@@ -1,0 +1,69 @@
+// Shared plumbing for the table/figure reproduction binaries.
+//
+// Every bench binary regenerates one table or figure from the paper. The
+// paper's experiments ran at Kronecker scale 22/23 with 32 threads on a
+// 72-thread Haswell server; container-friendly defaults are smaller and
+// every knob can be raised through environment variables:
+//
+//   EPGS_SCALE      Kronecker scale            (default 14; paper: 22/23)
+//   EPGS_THREADS    OpenMP threads             (default: all; paper: 32)
+//   EPGS_ROOTS      roots/trials per box plot  (default 8;  paper: 32)
+//   EPGS_FRACTION   real-dataset stand-in size (default 0.01; paper: 1.0)
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "core/parallel.hpp"
+#include "core/stats.hpp"
+#include "harness/analysis.hpp"
+#include "harness/runner.hpp"
+
+namespace epgs::bench {
+
+inline int env_int(const char* name, int fallback) {
+  const char* v = std::getenv(name);
+  return v != nullptr ? std::atoi(v) : fallback;
+}
+
+inline double env_double(const char* name, double fallback) {
+  const char* v = std::getenv(name);
+  return v != nullptr ? std::atof(v) : fallback;
+}
+
+inline int bench_scale() { return env_int("EPGS_SCALE", 14); }
+inline int bench_threads() { return env_int("EPGS_THREADS", 0); }
+inline int bench_roots() { return env_int("EPGS_ROOTS", 8); }
+inline double bench_fraction() { return env_double("EPGS_FRACTION", 0.01); }
+
+inline void print_header(const char* experiment, const char* paper_ref) {
+  std::printf("================================================================\n");
+  std::printf("%s\n", experiment);
+  std::printf("reproduces: %s\n", paper_ref);
+  std::printf("threads=%d scale=%d roots=%d fraction=%g\n",
+              bench_threads() > 0 ? bench_threads() : max_threads(),
+              bench_scale(), bench_roots(), bench_fraction());
+  std::printf("================================================================\n");
+}
+
+/// One row of a box-plot style table.
+inline void print_box_row(const std::string& label, const BoxStats& b) {
+  std::printf("  %-12s min=%.5fs q1=%.5fs med=%.5fs q3=%.5fs max=%.5fs "
+              "mean=%.5fs rsd=%.2f (n=%zu)\n",
+              label.c_str(), b.min, b.q1, b.median, b.q3, b.max, b.mean,
+              b.relative_stddev(), b.n);
+}
+
+/// Box stats of a (system, phase, algorithm) group, or skip-print.
+inline void print_group(const harness::ExperimentResult& result,
+                        const std::string& system, std::string_view phs,
+                        std::string_view alg = {}) {
+  if (!harness::has_records(result, system, phs, alg)) {
+    std::printf("  %-12s (not provided)\n", system.c_str());
+    return;
+  }
+  print_box_row(system, harness::phase_stats(result, system, phs, alg));
+}
+
+}  // namespace epgs::bench

@@ -1,0 +1,55 @@
+// Fig 2: BFS time box plots (GAP, Graph500, GraphBIG, GraphMat) and data
+// structure construction time box plots (GAP, Graph500, GraphMat) on a
+// Kronecker graph. "The Graph500 only constructs its graph once.
+// GraphBIG reads in the file and generates the data structure
+// simultaneously so is omitted."
+#include "bench_common.hpp"
+
+using namespace epgs;
+using namespace epgs::bench;
+
+int main() {
+  print_header("Fig 2 — BFS time and data structure construction",
+               "Pollard & Norris 2017, Figure 2 (Kronecker scale 22, 32 "
+               "roots, 32 threads)");
+
+  harness::ExperimentConfig cfg;
+  cfg.graph.kind = harness::GraphSpec::Kind::kKronecker;
+  cfg.graph.scale = bench_scale();
+  cfg.systems = {"GAP", "Graph500", "GraphBIG", "GraphMat"};
+  cfg.algorithms = {harness::Algorithm::kBfs};
+  cfg.num_roots = bench_roots();
+  cfg.threads = bench_threads();
+
+  const auto result = harness::run_experiment(cfg);
+
+  std::printf("\nBFS Time (%d random roots with degree > 1):\n",
+              cfg.num_roots);
+  for (const auto& s : cfg.systems) {
+    print_group(result, s, phase::kAlgorithm, "BFS");
+  }
+
+  std::printf("\nBFS Data Structure Construction:\n");
+  for (const auto& s : {"GAP", "Graph500", "GraphMat"}) {
+    print_group(result, s, phase::kBuild);
+  }
+  std::printf("  %-12s (reads file and builds simultaneously; omitted)\n",
+              "GraphBIG");
+
+  // Shape check against the paper: GAP wins, Graph500 close behind,
+  // GraphBIG/GraphMat one-plus orders of magnitude slower.
+  const double gap =
+      harness::phase_stats(result, "GAP", phase::kAlgorithm).median;
+  const double g500 =
+      harness::phase_stats(result, "Graph500", phase::kAlgorithm).median;
+  const double gbig =
+      harness::phase_stats(result, "GraphBIG", phase::kAlgorithm).median;
+  const double gmat =
+      harness::phase_stats(result, "GraphMat", phase::kAlgorithm).median;
+  std::printf("\nshape: GAP fastest: %s | Graph500 within ~4x of GAP: %s | "
+              "GraphBIG/GraphMat >5x GAP: %s\n",
+              (gap <= g500 && gap <= gbig && gap <= gmat) ? "yes" : "NO",
+              (g500 < 4.0 * gap) ? "yes" : "NO",
+              (gbig > 5.0 * gap && gmat > 5.0 * gap) ? "yes" : "NO");
+  return 0;
+}

@@ -1,0 +1,91 @@
+// Table II: Graphalytics on the same Kronecker graph used in the other
+// experiments — Community Detection (label propagation), PageRank, Local
+// Clustering Coefficient, Weakly Connected Components, and BFS for
+// GraphMat, GraphBIG, PowerGraph. "Graphalytics by default does not
+// perform SSSP on unweighted, undirected graphs."
+//
+// Printed side by side with easy-parallel-graph-*'s fair per-phase
+// numbers for the same systems, so the discrepancy the paper discusses
+// ("the discrepancy between PageRank values in Table II and Fig. 4 is a
+// result of the differing stopping criterion and the aforementioned
+// inconsistency of Graphalytics's performance collection scheme") is
+// visible in one place.
+#include "bench_common.hpp"
+#include "graphalytics/comparator.hpp"
+
+#include <filesystem>
+
+using namespace epgs;
+using namespace epgs::bench;
+
+int main() {
+  print_header("Table II — Graphalytics on the Kronecker graph",
+               "Pollard & Norris 2017, Table II (Kronecker scale 22, 32 "
+               "threads, one run per experiment)");
+
+  harness::GraphSpec spec;
+  spec.kind = harness::GraphSpec::Kind::kKronecker;
+  spec.scale = bench_scale();
+
+  graphalytics::Options opts;
+  opts.systems = {"GraphMat", "GraphBIG", "PowerGraph"};
+  opts.algorithms = {harness::Algorithm::kCdlp,
+                     harness::Algorithm::kPageRank,
+                     harness::Algorithm::kLcc, harness::Algorithm::kWcc,
+                     harness::Algorithm::kBfs};
+  opts.threads = bench_threads();
+  opts.work_dir =
+      std::filesystem::temp_directory_path() / "epgs_bench_table2";
+
+  const auto report = graphalytics::run(spec, opts);
+
+  const char* alg_rows[] = {"CDLP", "PageRank", "LCC", "WCC", "BFS"};
+  const char* alg_labels[] = {"Community Detection", "PageRank",
+                              "Local Clustering Coeff.",
+                              "Weakly Conn. Comp.", "BFS"};
+  std::printf("\nGraphalytics         %12s %12s %12s\n", "GraphMat",
+              "GraphBIG", "PowerGraph");
+  for (std::size_t i = 0; i < 5; ++i) {
+    std::printf("%-24s", alg_labels[i]);
+    for (const char* sys : {"GraphMat", "GraphBIG", "PowerGraph"}) {
+      const auto& cell = report.cells.at(sys).at(alg_rows[i]);
+      if (cell.available) {
+        std::printf(" %12.3f", cell.seconds);
+      } else {
+        std::printf(" %12s", "N/A");
+      }
+    }
+    std::printf("\n");
+  }
+
+  // Fair comparison from the harness for the same workload (PageRank).
+  harness::ExperimentConfig cfg;
+  cfg.graph = spec;
+  cfg.systems = {"GraphMat", "GraphBIG", "PowerGraph"};
+  cfg.algorithms = {harness::Algorithm::kPageRank};
+  cfg.num_roots = 2;
+  cfg.threads = bench_threads();
+  cfg.reconstruct_per_trial = false;
+  const auto fair = harness::run_experiment(cfg);
+
+  std::printf("\nfair per-phase PageRank times (algorithm only) from "
+              "easy-parallel-graph-*:\n");
+  for (const auto& s : cfg.systems) {
+    print_group(fair, s, phase::kAlgorithm, "PageRank");
+  }
+  // The methodological claim behind PowerGraph's huge Table II numbers:
+  // Graphalytics charges it for fused ingest + engine construction on
+  // top of the algorithm, so its cell must exceed its own fair
+  // algorithm-only time by a visible margin.
+  const double pg_cell = report.cells.at("PowerGraph").at("PageRank").seconds;
+  const double pg_fair =
+      harness::phase_stats(fair, "PowerGraph", phase::kAlgorithm,
+                           "PageRank")
+          .mean;
+  std::printf("\nshape: Graphalytics charges PowerGraph for engine+ingest "
+              "overhead (cell %.3fs > fair algorithm %.3fs): %s\n",
+              pg_cell, pg_fair, pg_cell > pg_fair ? "yes" : "NO");
+
+  std::filesystem::remove_all(opts.work_dir);
+  return 0;
+}

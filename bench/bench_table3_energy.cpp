@@ -1,0 +1,72 @@
+// Table III: BFS energy on a scale-22 Kronecker graph with 32 threads —
+// time, average power per root, energy per root, sleeping energy, and
+// increase over sleep, for GAP / Graph500 / GraphBIG / GraphMat.
+// "In our case, the fastest code is also the most energy efficient."
+#include "bench_common.hpp"
+#include "power/model.hpp"
+
+using namespace epgs;
+using namespace epgs::bench;
+
+int main() {
+  print_header("Table III — BFS energy per root",
+               "Pollard & Norris 2017, Table III (Kronecker scale 22, 32 "
+               "threads, averaged over 32 roots)");
+
+  harness::ExperimentConfig cfg;
+  cfg.graph.kind = harness::GraphSpec::Kind::kKronecker;
+  cfg.graph.scale = bench_scale();
+  cfg.systems = {"GAP", "Graph500", "GraphBIG", "GraphMat"};
+  cfg.algorithms = {harness::Algorithm::kBfs};
+  cfg.num_roots = bench_roots();
+  cfg.threads = bench_threads();
+  cfg.reconstruct_per_trial = false;
+
+  const auto result = harness::run_experiment(cfg);
+
+  power::MachineModel machine;
+  machine.hw_threads = max_threads();  // calibrate to this host
+  const auto rows = harness::energy_table(result, machine, "BFS");
+
+  std::printf("\n%-28s", "easy-parallel-graph-*");
+  for (const auto& row : rows) std::printf(" %12s", row.system.c_str());
+  std::printf("\n%-28s", "Time (s)");
+  for (const auto& row : rows) std::printf(" %12.5f", row.time_s);
+  std::printf("\n%-28s", "Average Power per Root (W)");
+  for (const auto& row : rows) {
+    std::printf(" %12.2f", row.avg_cpu_power_w + row.avg_ram_power_w);
+  }
+  std::printf("\n%-28s", "Energy per Root (J)");
+  for (const auto& row : rows) std::printf(" %12.4f", row.energy_per_root_j);
+  std::printf("\n%-28s", "Sleeping Energy (J)");
+  for (const auto& row : rows) std::printf(" %12.4f", row.sleep_energy_j);
+  std::printf("\n%-28s", "Increase over Sleep");
+  for (const auto& row : rows) {
+    std::printf(" %12.3f", row.increase_over_sleep);
+  }
+  std::printf("\n");
+
+  // Shape: fastest code is also the most energy efficient.
+  std::size_t fastest = 0, cheapest = 0;
+  for (std::size_t i = 1; i < rows.size(); ++i) {
+    if (rows[i].time_s < rows[fastest].time_s) fastest = i;
+    if (rows[i].energy_per_root_j < rows[cheapest].energy_per_root_j) {
+      cheapest = i;
+    }
+  }
+  std::printf("\nshape: fastest (%s) is also most energy efficient (%s): "
+              "%s\n",
+              rows[fastest].system.c_str(), rows[cheapest].system.c_str(),
+              fastest == cheapest ? "yes" : "NO");
+  std::printf("shape: every system's increase-over-sleep in the paper's "
+              "2.8-4.0 band: %s\n", [&] {
+                for (const auto& row : rows) {
+                  if (row.increase_over_sleep < 1.2 ||
+                      row.increase_over_sleep > 6.0) {
+                    return "NO";
+                  }
+                }
+                return "yes";
+              }());
+  return 0;
+}

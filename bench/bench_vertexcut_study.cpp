@@ -1,0 +1,83 @@
+// Ablation: why PowerGraph wins SSSP on dota-league (paper Section IV-C).
+//
+// "This could be because of the efficient [vertex-cut] partitioning
+// scheme in place on PowerGraph which can more efficiently deal with the
+// high degree vertices present on the denser Dota-League graph."
+//
+// This study quantifies that mechanism: the greedy vertex-cut's
+// replication factor, partition balance, and the GAS engine's
+// communication (mirror syncs per superstep) on the dense dota-like
+// graph vs. the sparse patents-like graph, across partition counts.
+#include "bench_common.hpp"
+
+#include "gen/datasets.hpp"
+#include "graph/transforms.hpp"
+#include "systems/powergraph/powergraph_system.hpp"
+#include "systems/powergraph/vertex_cut.hpp"
+
+using namespace epgs;
+using namespace epgs::bench;
+using systems::powergraph_detail::VertexCut;
+
+namespace {
+
+void study(const char* label, const EdgeList& graph) {
+  const double avg_deg =
+      static_cast<double>(graph.num_edges()) / graph.num_vertices;
+  std::printf("\n%s: %u vertices, %llu edges, avg degree %.1f\n", label,
+              graph.num_vertices,
+              static_cast<unsigned long long>(graph.num_edges()), avg_deg);
+  std::printf("  %10s %18s %14s\n", "partitions", "replication", "balance");
+  for (const int np : {2, 4, 8, 16}) {
+    const auto vc = VertexCut::build(graph, np);
+    std::size_t mx = 0;
+    for (int p = 0; p < np; ++p) {
+      mx = std::max(mx, vc.edges_of(p).size());
+    }
+    const double balance = static_cast<double>(mx) /
+                           (static_cast<double>(graph.num_edges()) / np);
+    std::printf("  %10d %18.3f %14.3f\n", np, vc.replication_factor(),
+                balance);
+  }
+
+  // Engine communication: mirror syncs per SSSP run, sync vs async.
+  auto weighted =
+      graph.weighted ? graph : with_random_weights(graph, 9, 255);
+  const auto roots = harness::select_roots(weighted, 1, 7);
+  for (const bool use_async : {false, true}) {
+    systems::PowerGraphSystem sys(systems::PowerGraphSystem::Options{
+        .num_partitions = 8, .async_engine = use_async});
+    sys.set_edges(weighted);
+    sys.build();
+    (void)sys.sssp(roots[0]);
+    const auto alg = sys.log().find(phase::kAlgorithm);
+    std::printf("  SSSP (%s engine): %.5fs, %llu gather+scatter edge "
+                "ops, %llu mirror syncs\n",
+                use_async ? "async" : "sync ", alg->seconds,
+                static_cast<unsigned long long>(alg->work.edges_processed),
+                static_cast<unsigned long long>(alg->work.vertex_updates));
+  }
+}
+
+}  // namespace
+
+int main() {
+  print_header("Ablation — vertex-cut quality: dense vs sparse graphs",
+               "Pollard & Norris 2017, Section IV-C (PowerGraph's SSSP "
+               "win on dota-league)");
+
+  gen::DotaLikeParams dp;
+  dp.fraction = bench_fraction();
+  study("dota-league-like (dense)", gen::dota_like(dp));
+
+  gen::PatentsLikeParams pp;
+  pp.fraction = bench_fraction() / 2.0;
+  study("cit-Patents-like (sparse)", gen::patents_like(pp));
+
+  std::printf("\nreading the table: on the dense graph the greedy cut "
+              "keeps replication low relative to degree, so each "
+              "superstep moves proportionally less mirror traffic per "
+              "edge — the advantage the paper credits for Fig 8's SSSP "
+              "result.\n");
+  return 0;
+}

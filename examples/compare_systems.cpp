@@ -1,0 +1,62 @@
+// Compare all five systems on one workload through the full
+// easy-parallel-graph-* pipeline: materialize -> run -> parse logs ->
+// CSV -> box statistics. This is the paper's Fig 8 workflow on your own
+// parameters.
+//
+//   ./compare_systems [scale] [roots] [threads]
+#include <cstdio>
+#include <cstdlib>
+
+#include "harness/analysis.hpp"
+#include "harness/runner.hpp"
+
+int main(int argc, char** argv) {
+  using namespace epgs;
+  using harness::Algorithm;
+
+  harness::ExperimentConfig cfg;
+  cfg.graph.kind = harness::GraphSpec::Kind::kKronecker;
+  cfg.graph.scale = argc > 1 ? std::atoi(argv[1]) : 12;
+  cfg.graph.add_weights = true;
+  cfg.systems = {"Graph500", "GAP", "GraphBIG", "GraphMat", "PowerGraph"};
+  cfg.algorithms = {Algorithm::kBfs, Algorithm::kSssp,
+                    Algorithm::kPageRank};
+  cfg.num_roots = argc > 2 ? std::atoi(argv[2]) : 8;
+  cfg.threads = argc > 3 ? std::atoi(argv[3]) : 0;
+  cfg.validate = true;  // every result checked against the oracles
+
+  std::printf("dataset %s, %d roots, validating every result...\n",
+              cfg.graph.name().c_str(), cfg.num_roots);
+  const auto result = harness::run_experiment(cfg);
+
+  for (const Algorithm alg : cfg.algorithms) {
+    const auto alg_name = harness::algorithm_name(alg);
+    std::printf("\n%s (median seconds over %d trials):\n",
+                alg_name.data(), cfg.num_roots);
+    for (const auto& sys : cfg.systems) {
+      if (!harness::has_records(result, sys, phase::kAlgorithm,
+                                alg_name)) {
+        std::printf("  %-11s -- (no reference implementation)\n",
+                    sys.c_str());
+        continue;
+      }
+      const auto b =
+          harness::phase_stats(result, sys, phase::kAlgorithm, alg_name);
+      std::printf("  %-11s %9.5f s  (min %9.5f, max %9.5f)\n", sys.c_str(),
+                  b.median, b.min, b.max);
+    }
+  }
+
+  // Phase 4 output: the CSV the analysis scripts would consume.
+  const auto csv = harness::records_to_csv(result.records);
+  std::printf("\nphase-4 CSV: %zu records, %zu bytes; first lines:\n",
+              result.records.size(), csv.size());
+  std::size_t shown = 0, pos = 0;
+  while (shown < 4 && pos < csv.size()) {
+    const auto eol = csv.find('\n', pos);
+    std::printf("  %s\n", csv.substr(pos, eol - pos).c_str());
+    pos = eol + 1;
+    ++shown;
+  }
+  return 0;
+}

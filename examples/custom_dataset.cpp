@@ -1,0 +1,71 @@
+// Bring your own dataset: "any network in the SNAP data format can be
+// used in easy-parallel-graph-*". This example reads a SNAP file (or
+// writes a demo one if no argument is given), homogenizes it into every
+// system's native on-disk format, and runs WCC + PageRank everywhere the
+// toolkits allow.
+//
+//   ./custom_dataset [file.snap]
+#include <cstdio>
+#include <filesystem>
+
+#include "gen/datasets.hpp"
+#include "graph/homogenizer.hpp"
+#include "graph/snap_io.hpp"
+#include "core/stats.hpp"
+#include "harness/experiment.hpp"
+#include "harness/runner.hpp"
+
+int main(int argc, char** argv) {
+  using namespace epgs;
+  namespace fs = std::filesystem;
+
+  fs::path input;
+  if (argc > 1) {
+    input = argv[1];
+  } else {
+    // No file given: synthesize a small dota-league-like graph and save
+    // it in SNAP format, demonstrating the full file-based flow.
+    input = fs::temp_directory_path() / "epgs_demo.snap";
+    gen::DotaLikeParams params;
+    params.fraction = 0.005;
+    write_snap_file(input, gen::dota_like(params));
+    std::printf("no input given; wrote demo dataset %s\n",
+                input.c_str());
+  }
+
+  // Phase 2: homogenize — one file per system, in its native format.
+  const EdgeList graph = read_snap_file(input);
+  const auto workdir = fs::temp_directory_path() / "epgs_custom_dataset";
+  const auto dataset = homogenize(graph, input.stem().string(), workdir);
+  std::printf("homogenized '%s' (%u vertices, %llu edges) into:\n",
+              dataset.name.c_str(), graph.num_vertices,
+              static_cast<unsigned long long>(graph.num_edges()));
+  for (const auto& [fmt, path] : dataset.files) {
+    std::printf("  %-15s %s\n", format_name(fmt).data(), path.c_str());
+  }
+
+  // Phase 3: run. Point the harness at the SNAP file.
+  harness::ExperimentConfig cfg;
+  cfg.graph.kind = harness::GraphSpec::Kind::kSnapFile;
+  cfg.graph.path = input.string();
+  cfg.systems = {"GAP", "GraphBIG", "GraphMat", "PowerGraph"};
+  cfg.algorithms = {harness::Algorithm::kWcc,
+                    harness::Algorithm::kPageRank};
+  cfg.num_roots = 3;
+  const auto result = harness::run_experiment(cfg);
+
+  for (const char* alg : {"WCC", "PageRank"}) {
+    std::printf("\n%s mean algorithm time:\n", alg);
+    for (const auto& sys : cfg.systems) {
+      const auto secs = result.seconds_of(sys, phase::kAlgorithm, alg);
+      if (secs.empty()) {
+        std::printf("  %-11s --\n", sys.c_str());
+      } else {
+        std::printf("  %-11s %.5f s\n", sys.c_str(), mean_of(secs));
+      }
+    }
+  }
+
+  fs::remove_all(workdir);
+  return 0;
+}

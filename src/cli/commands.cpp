@@ -1,0 +1,435 @@
+#include "cli/commands.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <ostream>
+#include <sstream>
+#include <tuple>
+
+#include "core/error.hpp"
+#include "core/stats.hpp"
+#include "graph/homogenizer.hpp"
+#include "graph/snap_io.hpp"
+#include "graph/statistics.hpp"
+#include "graph/transforms.hpp"
+#include "harness/analysis.hpp"
+#include "graphalytics/comparator.hpp"
+#include "harness/predictor.hpp"
+#include "harness/tuning.hpp"
+#include "harness/runner.hpp"
+#include "systems/common/registry.hpp"
+
+namespace epgs::cli {
+namespace {
+
+namespace fs = std::filesystem;
+
+harness::GraphSpec spec_from_args(const Args& args) {
+  harness::GraphSpec spec;
+  const std::string kind = args.get("kind", "kron");
+  if (kind == "kron" || kind == "kronecker") {
+    spec.kind = harness::GraphSpec::Kind::kKronecker;
+  } else if (kind == "patents") {
+    spec.kind = harness::GraphSpec::Kind::kPatentsLike;
+  } else if (kind == "dota") {
+    spec.kind = harness::GraphSpec::Kind::kDotaLike;
+  } else if (kind == "snap") {
+    spec.kind = harness::GraphSpec::Kind::kSnapFile;
+    spec.path = args.get("graph");
+    EPGS_CHECK(!spec.path.empty(), "--kind snap requires --graph <file>");
+  } else {
+    throw EpgsError("unknown --kind '" + kind +
+                    "' (kron | patents | dota | snap)");
+  }
+  spec.scale = args.get_int("scale", 14);
+  spec.edgefactor = args.get_int("edgefactor", 16);
+  spec.fraction = args.get_double("fraction", 0.01);
+  spec.seed = args.get_u64("seed", 20170517);
+  spec.symmetrize = !args.has("no-symmetrize");
+  spec.deduplicate = !args.has("no-dedupe");
+  spec.add_weights = args.has("weights");
+  spec.max_weight =
+      static_cast<std::uint32_t>(args.get_int("max-weight", 255));
+  return spec;
+}
+
+std::ofstream open_out_file(const std::string& path) {
+  std::ofstream f(path, std::ios::binary);
+  EPGS_CHECK(f.good(), "cannot open " + path + " for writing");
+  return f;
+}
+
+}  // namespace
+
+int cmd_generate(const Args& args, std::ostream& out) {
+  args.expect_known({"kind", "graph", "scale", "edgefactor", "fraction",
+                     "seed", "no-symmetrize", "no-dedupe", "weights",
+                     "max-weight", "out"});
+  const auto spec = spec_from_args(args);
+  const std::string out_path = args.get("out", spec.name() + ".snap");
+  const EdgeList el = harness::materialize(spec);
+  write_snap_file(out_path, el);
+  out << "wrote " << out_path << ": " << el.num_vertices << " vertices, "
+      << el.num_edges() << " edges"
+      << (el.weighted ? " (weighted)" : "") << "\n";
+  return 0;
+}
+
+int cmd_homogenize(const Args& args, std::ostream& out) {
+  args.expect_known({"in", "name", "out"});
+  const std::string in_path = args.get("in");
+  EPGS_CHECK(!in_path.empty(), "homogenize requires --in <file.snap>");
+  const std::string dir = args.get("out", "homogenized");
+  const std::string name =
+      args.get("name", fs::path(in_path).stem().string());
+
+  const EdgeList el = read_snap_file(in_path);
+  const auto ds = homogenize(el, name, dir);
+  out << "homogenized '" << name << "' into " << ds.files.size()
+      << " formats under " << dir << ":\n";
+  for (const auto& [fmt, path] : ds.files) {
+    out << "  " << format_name(fmt) << "\t" << path.string() << "\n";
+  }
+  return 0;
+}
+
+int cmd_run(const Args& args, std::ostream& out) {
+  args.expect_known({"kind", "graph", "scale", "edgefactor", "fraction",
+                     "seed", "no-symmetrize", "no-dedupe", "weights",
+                     "max-weight", "systems", "algorithms", "roots",
+                     "threads", "validate", "csv", "logdir",
+                     "no-reconstruct"});
+  harness::ExperimentConfig cfg;
+  cfg.graph = spec_from_args(args);
+  cfg.systems = args.get_list("systems");
+  if (cfg.systems.empty()) {
+    for (const auto s : all_system_names()) {
+      cfg.systems.emplace_back(s);
+    }
+  }
+  const auto algs = args.get_list("algorithms");
+  if (algs.empty()) {
+    cfg.algorithms = {harness::Algorithm::kBfs, harness::Algorithm::kSssp,
+                      harness::Algorithm::kPageRank};
+  } else {
+    for (const auto& a : algs) {
+      cfg.algorithms.push_back(harness::algorithm_from_name(a));
+    }
+  }
+  cfg.num_roots = args.get_int("roots", 32);
+  cfg.threads = args.get_int("threads", 0);
+  cfg.validate = args.has("validate");
+  cfg.reconstruct_per_trial = !args.has("no-reconstruct");
+  if (cfg.algorithms.size() == 1 &&
+      cfg.algorithms[0] == harness::Algorithm::kSssp) {
+    cfg.graph.add_weights = true;
+  }
+
+  const auto result = harness::run_experiment(cfg);
+
+  const std::string logdir = args.get("logdir");
+  if (!logdir.empty()) {
+    fs::create_directories(logdir);
+    for (const auto& [system, text] : result.raw_logs) {
+      auto f = open_out_file((fs::path(logdir) / (system + ".log")).string());
+      f << "# system = " << system << "\n"
+        << "# dataset = " << cfg.graph.name() << "\n"
+        << text;
+    }
+    out << "wrote " << result.raw_logs.size() << " raw logs to " << logdir
+        << "\n";
+  }
+
+  const std::string csv_path = args.get("csv", "results.csv");
+  auto csv = open_out_file(csv_path);
+  csv << harness::records_to_csv(result.records);
+  out << "wrote " << result.records.size() << " records to " << csv_path
+      << "\n";
+  return 0;
+}
+
+int cmd_parse(const Args& args, std::ostream& out) {
+  args.expect_known({"logdir", "csv", "threads"});
+  const std::string logdir = args.get("logdir");
+  EPGS_CHECK(!logdir.empty(), "parse requires --logdir <dir>");
+  const int threads = args.get_int("threads", 0);
+
+  std::vector<harness::RunRecord> records;
+  for (const auto& entry : fs::directory_iterator(logdir)) {
+    if (entry.path().extension() != ".log") continue;
+    std::ifstream f(entry.path());
+    EPGS_CHECK(f.good(), "cannot read " + entry.path().string());
+    std::ostringstream buf;
+    buf << f.rdbuf();
+    const auto log = PhaseLog::parse_log_text(buf.str());
+
+    const std::string system =
+        log.attrs().contains("system") ? log.attrs().at("system")
+                                       : entry.path().stem().string();
+    const std::string dataset = log.attrs().contains("dataset")
+                                    ? log.attrs().at("dataset")
+                                    : "unknown";
+    // Trial attribution: algorithm entries increment a per-algorithm
+    // counter; construction entries attach to the upcoming trial.
+    std::map<std::string, int> trial_of_alg;
+    int pending_build_trial = -1;
+    for (const auto& e : log.entries()) {
+      harness::RunRecord rec;
+      rec.dataset = dataset;
+      rec.system = system;
+      rec.threads = threads;
+      rec.phase = e.name;
+      rec.seconds = e.seconds;
+      rec.work = e.work;
+      rec.extra = e.extra;
+      if (e.name == phase::kAlgorithm && e.extra.contains("alg")) {
+        const std::string alg = e.extra.at("alg");
+        rec.algorithm = alg;
+        rec.trial = trial_of_alg[alg]++;
+      } else if (e.name == phase::kBuild) {
+        rec.trial = ++pending_build_trial;
+      } else {
+        rec.trial = -1;
+      }
+      records.push_back(std::move(rec));
+    }
+  }
+  EPGS_CHECK(!records.empty(), "no .log files found in " + logdir);
+
+  const std::string csv_path = args.get("csv", "results.csv");
+  auto csv = open_out_file(csv_path);
+  csv << harness::records_to_csv(records);
+  out << "parsed " << records.size() << " records into " << csv_path
+      << "\n";
+  return 0;
+}
+
+int cmd_analyze(const Args& args, std::ostream& out) {
+  args.expect_known({"csv", "out"});
+  const std::string csv_path = args.get("csv", "results.csv");
+  std::ifstream f(csv_path);
+  EPGS_CHECK(f.good(), "cannot read " + csv_path);
+  std::ostringstream buf;
+  buf << f.rdbuf();
+
+  harness::ExperimentResult result;
+  result.records = harness::records_from_csv(buf.str());
+
+  // Group by (algorithm, system, phase) in first-appearance order.
+  std::vector<std::tuple<std::string, std::string, std::string>> groups;
+  for (const auto& r : result.records) {
+    const auto key = std::make_tuple(r.algorithm, r.system, r.phase);
+    if (std::find(groups.begin(), groups.end(), key) == groups.end()) {
+      groups.push_back(key);
+    }
+  }
+
+  out << "group summary (" << result.records.size() << " records):\n";
+  std::ostringstream dat;
+  dat << "# alg system phase n min q1 median q3 max mean\n";
+  for (const auto& [alg, system, phs] : groups) {
+    const auto b = box_stats(result.seconds_of(system, phs, alg));
+    out << "  " << (alg.empty() ? "-" : alg) << "\t" << system << "\t"
+        << phs << "\tmedian=" << b.median << "s mean=" << b.mean
+        << "s n=" << b.n << "\n";
+    dat << (alg.empty() ? "-" : alg) << ' ' << system << " \"" << phs
+        << "\" " << b.n << ' ' << b.min << ' ' << b.q1 << ' ' << b.median
+        << ' ' << b.q3 << ' ' << b.max << ' ' << b.mean << "\n";
+  }
+
+  const std::string prefix = args.get("out");
+  if (!prefix.empty()) {
+    auto datf = open_out_file(prefix + ".dat");
+    datf << dat.str();
+    // The original tool fed R; emit an R script over the .dat file so
+    // phase 5 stays scriptable.
+    auto rf = open_out_file(prefix + ".R");
+    rf << "# Auto-generated by epg analyze — phase 5 of the pipeline.\n"
+       << "d <- read.table('" << prefix << ".dat', header=FALSE,\n"
+       << "  col.names=c('alg','system','phase','n','min','q1','median',"
+          "'q3','max','mean'))\n"
+       << "for (a in unique(d$alg)) {\n"
+       << "  s <- d[d$alg == a & d$phase == 'run algorithm',]\n"
+       << "  if (nrow(s) == 0) next\n"
+       << "  pdf(paste0('" << prefix << "_', a, '.pdf'))\n"
+       << "  bp <- list(stats=t(as.matrix(s[,c('min','q1','median','q3',"
+          "'max')])),\n"
+       << "             n=s$n, names=s$system)\n"
+       << "  bxp(bp, log='y', main=paste(a, 'Time'), "
+          "ylab='Time (seconds)')\n"
+       << "  dev.off()\n"
+       << "}\n";
+    out << "wrote " << prefix << ".dat and " << prefix << ".R\n";
+  }
+  return 0;
+}
+
+int cmd_tune(const Args& args, std::ostream& out) {
+  args.expect_known({"kind", "graph", "scale", "edgefactor", "fraction",
+                     "seed", "no-symmetrize", "no-dedupe", "weights",
+                     "max-weight", "roots"});
+  auto spec = spec_from_args(args);
+  const EdgeList graph = harness::materialize(spec);
+  const auto roots = harness::select_roots(
+      graph, args.get_int("roots", 4), spec.seed ^ 0x7C7EULL);
+
+  const auto bfs = harness::tune_bfs(graph, roots);
+  out << "BFS:  best alpha=" << bfs.best.alpha
+      << " beta=" << bfs.best.beta << " mean=" << bfs.best_mean_seconds
+      << "s over " << bfs.mean_seconds.size() << " candidates\n";
+
+  EdgeList weighted = graph;
+  if (!weighted.weighted) {
+    weighted = with_random_weights(graph, spec.seed ^ 0x77EEDull,
+                                   spec.max_weight);
+  }
+  const auto delta = harness::tune_delta(weighted, roots);
+  out << "SSSP: best delta=" << delta.best_delta
+      << " mean=" << delta.best_mean_seconds << "s over "
+      << delta.mean_seconds.size() << " candidates\n";
+  return 0;
+}
+
+int cmd_graphalytics(const Args& args, std::ostream& out) {
+  args.expect_known({"kind", "graph", "scale", "edgefactor", "fraction",
+                     "seed", "no-symmetrize", "no-dedupe", "weights",
+                     "max-weight", "systems", "algorithms", "threads",
+                     "workdir", "html"});
+  const auto spec = spec_from_args(args);
+  epgs::graphalytics::Options opts;
+  const auto systems = args.get_list("systems");
+  if (!systems.empty()) opts.systems = systems;
+  const auto algs = args.get_list("algorithms");
+  if (!algs.empty()) {
+    opts.algorithms.clear();
+    for (const auto& a : algs) {
+      opts.algorithms.push_back(harness::algorithm_from_name(a));
+    }
+  } else {
+    opts.algorithms = {harness::Algorithm::kBfs,
+                       harness::Algorithm::kPageRank,
+                       harness::Algorithm::kWcc};
+  }
+  opts.threads = args.get_int("threads", 0);
+  opts.work_dir = args.get("workdir", "graphalytics-work");
+
+  const auto report = epgs::graphalytics::run(spec, opts);
+  out << epgs::graphalytics::render_table(report);
+
+  const std::string html_path = args.get("html");
+  if (!html_path.empty()) {
+    auto f = open_out_file(html_path);
+    f << epgs::graphalytics::render_html(report);
+    out << "wrote HTML report to " << html_path << "\n";
+  }
+  return 0;
+}
+
+int cmd_predict(const Args& args, std::ostream& out) {
+  args.expect_known({"system", "algorithm", "scale", "edgefactor",
+                     "time-limit", "memory-limit-mib", "probe-small",
+                     "probe-large"});
+  const std::string system = args.get("system", "GAP");
+  const auto alg =
+      harness::algorithm_from_name(args.get("algorithm", "BFS"));
+  const auto pred = harness::Predictor::calibrate(
+      system, alg, args.get_int("probe-small", 8),
+      args.get_int("probe-large", 10));
+
+  // Target: a Kronecker graph of the requested scale (paper defaults).
+  const int scale = args.get_int("scale", 22);
+  const int edgefactor = args.get_int("edgefactor", 16);
+  harness::GraphStats stats;
+  stats.n = vid_t{1} << scale;
+  stats.m = static_cast<eid_t>(2 * edgefactor) << scale;  // symmetrized
+  stats.sum_deg_sq = static_cast<double>(stats.m) * 4.0 * edgefactor *
+                     (1 << (scale / 3));  // RMAT skew heuristic
+
+  const double t = pred.predict_seconds(stats);
+  const auto bytes = pred.predict_bytes(stats);
+  out << system << ' ' << harness::algorithm_name(alg) << " at scale "
+      << scale << ": predicted " << t << " s per trial, ~"
+      << format_bytes(bytes) << " resident\n";
+
+  const double limit = args.get_double("time-limit", 0.0);
+  if (limit > 0.0) {
+    const auto mem =
+        static_cast<std::size_t>(args.get_int("memory-limit-mib", 1 << 20))
+        << 20;
+    out << "feasible within " << limit << " s / "
+        << format_bytes(mem) << ": "
+        << (pred.feasible(stats, limit, mem) ? "yes" : "NO") << "\n";
+  }
+  return 0;
+}
+
+int cmd_stats(const Args& args, std::ostream& out) {
+  args.expect_known({"kind", "graph", "scale", "edgefactor", "fraction",
+                     "seed", "no-symmetrize", "no-dedupe", "weights",
+                     "max-weight"});
+  const auto spec = spec_from_args(args);
+  const EdgeList el = harness::materialize(spec);
+  out << "dataset: " << spec.name() << "\n"
+      << render_summary(summarize_graph(el));
+  return 0;
+}
+
+std::string usage() {
+  return
+      "epg — easy-parallel-graph-* pipeline (Pollard & Norris, CLUSTER'17)\n"
+      "\n"
+      "usage: epg <command> [options]\n"
+      "\n"
+      "commands:\n"
+      "  generate    --kind kron|patents|dota [--scale N] [--edgefactor N]\n"
+      "              [--fraction F] [--seed S] [--weights] [--max-weight W]\n"
+      "              [--no-symmetrize] [--no-dedupe] [--out file.snap]\n"
+      "  homogenize  --in file.snap [--name NAME] [--out DIR]\n"
+      "  run         [--kind ... | --kind snap --graph file.snap]\n"
+      "              [--systems A,B,...] [--algorithms BFS,SSSP,...]\n"
+      "              [--roots N] [--threads N] [--validate]\n"
+      "              [--no-reconstruct] [--csv out.csv] [--logdir DIR]\n"
+      "  parse       --logdir DIR [--csv out.csv] [--threads N]\n"
+      "  analyze     [--csv results.csv] [--out PREFIX]\n"
+      "  tune        [--kind ...] [--roots N]   (GAP alpha/beta + Delta)\n"
+      "  graphalytics [--kind ...] [--systems ...] [--algorithms ...]\n"
+      "              [--html report.html]   (single-trial comparator)\n"
+      "  predict     --system S --algorithm A --scale N\n"
+      "              [--time-limit SEC] [--memory-limit-mib M]\n"
+      "  stats       [--kind ... | --kind snap --graph file.snap]\n";
+}
+
+int dispatch(const std::vector<std::string>& argv, std::ostream& out,
+             std::ostream& err) {
+  if (argv.empty()) {
+    err << usage();
+    return 2;
+  }
+  const std::string& cmd = argv[0];
+  const Args args =
+      Args::parse({argv.begin() + 1, argv.end()});
+  try {
+    if (cmd == "generate") return cmd_generate(args, out);
+    if (cmd == "homogenize") return cmd_homogenize(args, out);
+    if (cmd == "run") return cmd_run(args, out);
+    if (cmd == "parse") return cmd_parse(args, out);
+    if (cmd == "analyze") return cmd_analyze(args, out);
+    if (cmd == "tune") return cmd_tune(args, out);
+    if (cmd == "graphalytics") return cmd_graphalytics(args, out);
+    if (cmd == "predict") return cmd_predict(args, out);
+    if (cmd == "stats") return cmd_stats(args, out);
+    if (cmd == "help" || cmd == "--help") {
+      out << usage();
+      return 0;
+    }
+  } catch (const std::exception& e) {
+    err << "epg " << cmd << ": " << e.what() << "\n";
+    return 1;
+  }
+  err << "epg: unknown command '" << cmd << "'\n\n" << usage();
+  return 2;
+}
+
+}  // namespace epgs::cli

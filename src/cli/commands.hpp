@@ -1,0 +1,41 @@
+// The epg command-line tool: the paper's Fig 1 pipeline, one subcommand
+// per cyan box ("each of which requires no more than a single shell
+// command").
+//
+//   epg generate    synthesize a graph (Kronecker / dataset stand-ins)
+//   epg homogenize  convert a SNAP file into every system's format
+//   epg run         run systems x algorithms x roots; write logs + CSV
+//   epg parse       compress raw log files into the phase-4 CSV
+//   epg analyze     box statistics + plot data from a phase-4 CSV
+//
+// Each command is a pure function over parsed Args so the test suite can
+// drive it without spawning processes; output goes to the given stream.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "cli/args.hpp"
+
+namespace epgs::cli {
+
+int cmd_generate(const Args& args, std::ostream& out);
+int cmd_homogenize(const Args& args, std::ostream& out);
+int cmd_run(const Args& args, std::ostream& out);
+int cmd_parse(const Args& args, std::ostream& out);
+int cmd_analyze(const Args& args, std::ostream& out);
+int cmd_tune(const Args& args, std::ostream& out);
+int cmd_graphalytics(const Args& args, std::ostream& out);
+int cmd_predict(const Args& args, std::ostream& out);
+int cmd_stats(const Args& args, std::ostream& out);
+
+/// Dispatch "epg <command> ...". Returns the process exit code; errors
+/// are printed to `err`.
+int dispatch(const std::vector<std::string>& argv, std::ostream& out,
+             std::ostream& err);
+
+/// Full usage text.
+std::string usage();
+
+}  // namespace epgs::cli

@@ -1,0 +1,40 @@
+// Minimal CSV reader/writer.
+//
+// Phase 4 of easy-parallel-graph-* compresses parsed log output into a CSV
+// which the analysis scripts consume; this is that CSV layer. Fields
+// containing commas, quotes or newlines are quoted per RFC 4180.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace epgs {
+
+using CsvRow = std::vector<std::string>;
+
+/// Streaming CSV writer.
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::ostream& os) : os_(os) {}
+
+  /// Write one row; fields are escaped as needed.
+  void write_row(const CsvRow& row);
+
+  /// Escape a single field per RFC 4180.
+  static std::string escape(std::string_view field);
+
+ private:
+  std::ostream& os_;
+};
+
+/// Parse an entire CSV document into rows. Handles quoted fields with
+/// embedded commas/quotes/newlines. Throws std::runtime_error on an
+/// unterminated quote.
+std::vector<CsvRow> parse_csv(std::string_view text);
+
+/// Convenience: render rows to a CSV string.
+std::string to_csv(const std::vector<CsvRow>& rows);
+
+}  // namespace epgs

@@ -1,0 +1,38 @@
+// Error handling: a checked-precondition macro and the library exception.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace epgs {
+
+/// Exception type for all recoverable library errors (bad input files,
+/// malformed logs, invalid experiment configurations).
+class EpgsError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+namespace detail {
+[[noreturn]] inline void throw_check_failure(const char* expr,
+                                             const char* file, int line,
+                                             const std::string& msg) {
+  std::ostringstream os;
+  os << file << ':' << line << ": check failed: " << expr;
+  if (!msg.empty()) os << " — " << msg;
+  throw EpgsError(os.str());
+}
+}  // namespace detail
+
+}  // namespace epgs
+
+/// Validate a runtime condition; throws epgs::EpgsError when false.
+/// Used for input validation (always on, including release builds).
+#define EPGS_CHECK(cond, msg)                                              \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      ::epgs::detail::throw_check_failure(#cond, __FILE__, __LINE__,       \
+                                          (msg));                          \
+    }                                                                      \
+  } while (false)

@@ -1,0 +1,85 @@
+// OpenMP helpers shared by all five system re-implementations.
+//
+// The paper varies the thread count from 1 to 72 per run; ThreadScope makes
+// that per-run override exception-safe. The atomic helpers implement the
+// compare-and-swap idioms (parent claiming in BFS, min-relaxation in SSSP)
+// used by the original codebases.
+#pragma once
+
+#include <omp.h>
+
+#include <atomic>
+#include <cstddef>
+#include <numeric>
+#include <vector>
+
+namespace epgs {
+
+/// RAII override of the OpenMP thread count.
+class ThreadScope {
+ public:
+  explicit ThreadScope(int num_threads)
+      : saved_(omp_get_max_threads()) {
+    if (num_threads > 0) omp_set_num_threads(num_threads);
+  }
+  ~ThreadScope() { omp_set_num_threads(saved_); }
+  ThreadScope(const ThreadScope&) = delete;
+  ThreadScope& operator=(const ThreadScope&) = delete;
+
+ private:
+  int saved_;
+};
+
+/// Current maximum OpenMP parallelism.
+inline int max_threads() { return omp_get_max_threads(); }
+
+/// Atomically do `*p = min(*p, val)`; returns true iff val became the new
+/// minimum (i.e., we won the relaxation).
+template <typename T>
+bool atomic_fetch_min(std::atomic<T>* p, T val) {
+  T cur = p->load(std::memory_order_relaxed);
+  while (val < cur) {
+    if (p->compare_exchange_weak(cur, val, std::memory_order_relaxed)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+/// Atomically replace `*p` with val iff `*p == expected`. Returns true on
+/// success. This is the BFS "claim parent" idiom.
+template <typename T>
+bool atomic_cas(std::atomic<T>* p, T expected, T val) {
+  return p->compare_exchange_strong(expected, val,
+                                    std::memory_order_relaxed);
+}
+
+/// Exclusive prefix sum: out[i] = sum(in[0..i)), returns total.
+/// Sequential implementation; CSR construction calls this once per build
+/// and it is never the bottleneck at the scales exercised here.
+template <typename T>
+T exclusive_prefix_sum(const std::vector<T>& in, std::vector<T>& out) {
+  out.resize(in.size() + 1);
+  T total{};
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    out[i] = total;
+    total += in[i];
+  }
+  out[in.size()] = total;
+  return total;
+}
+
+/// Cache-line padded counter for per-thread accumulation without false
+/// sharing.
+struct alignas(64) PaddedCounter {
+  std::uint64_t value = 0;
+};
+
+/// Sum a vector of padded per-thread counters.
+inline std::uint64_t sum_counters(const std::vector<PaddedCounter>& v) {
+  std::uint64_t s = 0;
+  for (const auto& c : v) s += c.value;
+  return s;
+}
+
+}  // namespace epgs

@@ -1,0 +1,90 @@
+// Structured per-run log of execution phases.
+//
+// easy-parallel-graph-* collects data "by parsing log files"; each system
+// under test appends timed phases (with optional work counters) to a
+// PhaseLog, which can be serialised to the same kind of plain-text log the
+// original tool scraped with AWK, and parsed back. The harness deliberately
+// round-trips through the text form so the parsing path is exercised
+// exactly as in the paper.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace epgs {
+
+/// Work counters a system may attach to a phase. These feed the analytic
+/// power model (src/power) as memory/compute intensity proxies.
+struct WorkStats {
+  std::uint64_t edges_processed = 0;   ///< edge relaxations / messages
+  std::uint64_t vertex_updates = 0;    ///< vertex state writes
+  std::uint64_t bytes_touched = 0;     ///< rough memory traffic estimate
+
+  WorkStats& operator+=(const WorkStats& o) {
+    edges_processed += o.edges_processed;
+    vertex_updates += o.vertex_updates;
+    bytes_touched += o.bytes_touched;
+    return *this;
+  }
+};
+
+/// One timed phase of execution ("load graph", "run algorithm", ...).
+struct PhaseEntry {
+  std::string name;
+  double seconds = 0.0;
+  WorkStats work;
+  std::map<std::string, std::string> extra;  ///< e.g. iterations=87
+};
+
+/// Append-only log of phases for a single run of a single system.
+class PhaseLog {
+ public:
+  /// Record a completed phase.
+  void add(std::string name, double seconds, WorkStats work = {},
+           std::map<std::string, std::string> extra = {});
+
+  /// Record/overwrite a free-form key for the whole run (system name, ...).
+  void set_attr(std::string key, std::string value);
+
+  [[nodiscard]] const std::vector<PhaseEntry>& entries() const {
+    return entries_;
+  }
+  [[nodiscard]] const std::map<std::string, std::string>& attrs() const {
+    return attrs_;
+  }
+
+  /// Total seconds across phases whose name matches exactly.
+  [[nodiscard]] double total(std::string_view phase_name) const;
+
+  /// Sum of all phase durations.
+  [[nodiscard]] double total_all() const;
+
+  /// First phase with the given name, if any.
+  [[nodiscard]] std::optional<PhaseEntry> find(std::string_view name) const;
+
+  /// Aggregate work counters across all phases.
+  [[nodiscard]] WorkStats total_work() const;
+
+  void clear();
+
+  /// Serialise in the bullet-list style of the GraphMat log excerpt in
+  /// Table I ("load graph: 5.91229 sec").
+  [[nodiscard]] std::string to_log_text() const;
+
+  /// Parse a log produced by to_log_text(). Throws std::runtime_error on
+  /// malformed input.
+  static PhaseLog parse_log_text(std::string_view text);
+
+ private:
+  std::vector<PhaseEntry> entries_;
+  std::map<std::string, std::string> attrs_;
+};
+
+std::ostream& operator<<(std::ostream& os, const PhaseLog& log);
+
+}  // namespace epgs

@@ -1,0 +1,50 @@
+#include "core/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace epgs {
+
+double quantile_sorted(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) {
+    throw std::invalid_argument("quantile_sorted: empty sample");
+  }
+  if (q < 0.0 || q > 1.0) {
+    throw std::invalid_argument("quantile_sorted: q outside [0,1]");
+  }
+  const double h = (static_cast<double>(sorted.size()) - 1.0) * q;
+  const auto lo = static_cast<std::size_t>(std::floor(h));
+  const auto hi = static_cast<std::size_t>(std::ceil(h));
+  return sorted[lo] + (h - static_cast<double>(lo)) * (sorted[hi] - sorted[lo]);
+}
+
+double mean_of(const std::vector<double>& sample) {
+  if (sample.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : sample) s += x;
+  return s / static_cast<double>(sample.size());
+}
+
+BoxStats box_stats(std::vector<double> sample) {
+  if (sample.empty()) {
+    throw std::invalid_argument("box_stats: empty sample");
+  }
+  std::sort(sample.begin(), sample.end());
+  BoxStats b;
+  b.n = sample.size();
+  b.min = sample.front();
+  b.max = sample.back();
+  b.q1 = quantile_sorted(sample, 0.25);
+  b.median = quantile_sorted(sample, 0.5);
+  b.q3 = quantile_sorted(sample, 0.75);
+  b.mean = mean_of(sample);
+  if (sample.size() > 1) {
+    double ss = 0.0;
+    for (double x : sample) ss += (x - b.mean) * (x - b.mean);
+    b.stddev = std::sqrt(ss / static_cast<double>(sample.size() - 1));
+  }
+  return b;
+}
+
+}  // namespace epgs

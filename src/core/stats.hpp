@@ -1,0 +1,49 @@
+// Descriptive statistics for runtime distributions.
+//
+// The paper reports most results as box plots over 32 roots/trials and
+// quotes relative standard deviations; BoxStats is the five-number summary
+// those plots are drawn from (R's default quantile type 7, so our numbers
+// match what the paper's R scripts would compute).
+#pragma once
+
+#include <vector>
+
+namespace epgs {
+
+/// Five-number summary plus mean/sd over a sample.
+struct BoxStats {
+  double min = 0.0;
+  double q1 = 0.0;
+  double median = 0.0;
+  double q3 = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  double stddev = 0.0;  ///< sample standard deviation (n-1)
+  std::size_t n = 0;
+
+  /// Relative standard deviation (coefficient of variation). The paper
+  /// compares PageRank's RSD to SSSP's per platform.
+  [[nodiscard]] double relative_stddev() const {
+    return mean != 0.0 ? stddev / mean : 0.0;
+  }
+};
+
+/// Compute a BoxStats summary. Throws std::invalid_argument if empty.
+BoxStats box_stats(std::vector<double> sample);
+
+/// Mean of a sample (0 for empty).
+double mean_of(const std::vector<double>& sample);
+
+/// Linear-interpolation quantile (R type 7). q in [0,1].
+/// Requires `sorted` to be non-empty and ascending.
+double quantile_sorted(const std::vector<double>& sorted, double q);
+
+/// Parallel speedup T1/Tn.
+inline double speedup(double t1, double tn) { return t1 / tn; }
+
+/// Parallel strong-scaling efficiency T1/(n*Tn), as in the paper's Fig 6.
+inline double efficiency(double t1, int n, double tn) {
+  return t1 / (static_cast<double>(n) * tn);
+}
+
+}  // namespace epgs

@@ -1,0 +1,40 @@
+// Wall-clock timing utilities.
+//
+// The paper times distinct *phases of execution* (file read, data structure
+// construction, algorithm, output) and criticises Graphalytics for mixing
+// them up. Every timed region in this codebase goes through WallTimer so
+// phases are measured uniformly across all five systems.
+#pragma once
+
+#include <chrono>
+
+namespace epgs {
+
+/// Monotonic wall-clock timer with start/stop/lap semantics.
+class WallTimer {
+ public:
+  using clock = std::chrono::steady_clock;
+
+  WallTimer() : start_(clock::now()) {}
+
+  /// Restart the timer from now.
+  void reset() { start_ = clock::now(); }
+
+  /// Seconds elapsed since construction or the last reset().
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  /// Seconds elapsed, then restart. Useful for back-to-back phases.
+  double lap() {
+    const auto now = clock::now();
+    const double s = std::chrono::duration<double>(now - start_).count();
+    start_ = now;
+    return s;
+  }
+
+ private:
+  clock::time_point start_;
+};
+
+}  // namespace epgs

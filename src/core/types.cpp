@@ -1,0 +1,26 @@
+#include "core/types.hpp"
+
+#include <array>
+#include <cstdio>
+
+namespace epgs {
+
+std::string format_bytes(std::size_t bytes) {
+  static constexpr std::array<const char*, 5> kUnits = {"B", "KiB", "MiB",
+                                                        "GiB", "TiB"};
+  double v = static_cast<double>(bytes);
+  std::size_t u = 0;
+  while (v >= 1024.0 && u + 1 < kUnits.size()) {
+    v /= 1024.0;
+    ++u;
+  }
+  char buf[32];
+  if (u == 0) {
+    std::snprintf(buf, sizeof buf, "%zu B", bytes);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.2f %s", v, kUnits[u]);
+  }
+  return buf;
+}
+
+}  // namespace epgs

@@ -1,0 +1,57 @@
+// Core scalar types and constants shared by every module.
+//
+// The paper's systems disagree about almost everything *except* these
+// basics: vertices are dense integer ids, edges may carry a weight, and
+// graph sizes are described by their Graph500 "scale" (n = 2^scale).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <string>
+
+namespace epgs {
+
+/// Vertex id. 32 bits covers every graph in the paper (max scale 23).
+using vid_t = std::uint32_t;
+
+/// Edge id / edge counts. 64 bits: scale-23 Kronecker has ~2^27 edges and
+/// users may go beyond.
+using eid_t = std::uint64_t;
+
+/// Edge weight. The paper notes GAP can store weights as int or float and
+/// that casting 0.2 to 0 changes semantics; we default to float carrying
+/// small integer values so all systems agree bit-exactly on SSSP.
+using weight_t = float;
+
+/// Sentinel for "no vertex" (BFS parent of unreached vertices, etc.).
+inline constexpr vid_t kNoVertex = std::numeric_limits<vid_t>::max();
+
+/// Sentinel distance for unreachable vertices in SSSP.
+inline constexpr weight_t kInfDist = std::numeric_limits<weight_t>::infinity();
+
+/// A single (possibly weighted) directed edge.
+struct Edge {
+  vid_t src = 0;
+  vid_t dst = 0;
+  weight_t w = 1.0f;
+
+  friend bool operator==(const Edge&, const Edge&) = default;
+};
+
+/// Graph500-style size description: a graph of scale S has 2^S vertices and
+/// (for the Kronecker generator) approximately edgefactor * 2^S edges.
+struct GraphScale {
+  int scale = 16;
+  int edgefactor = 16;
+
+  [[nodiscard]] vid_t num_vertices() const { return vid_t{1} << scale; }
+  [[nodiscard]] eid_t num_edges() const {
+    return static_cast<eid_t>(edgefactor) << scale;
+  }
+};
+
+/// Human-readable byte count, used in logs.
+std::string format_bytes(std::size_t bytes);
+
+}  // namespace epgs

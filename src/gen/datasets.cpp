@@ -1,0 +1,150 @@
+#include "gen/datasets.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+#include <vector>
+
+#include "core/error.hpp"
+#include "core/rng.hpp"
+
+namespace epgs::gen {
+
+EdgeList patents_like(const PatentsLikeParams& params) {
+  EPGS_CHECK(params.fraction > 0.0 && params.fraction <= 1.0,
+             "fraction must be in (0, 1]");
+  const auto n = static_cast<vid_t>(std::max<double>(
+      16.0, std::round(PatentsLikeParams::kPaperVertices * params.fraction)));
+  const auto target_m = static_cast<eid_t>(
+      std::round(PatentsLikeParams::kPaperEdges * params.fraction));
+  const double avg_out = static_cast<double>(target_m) / n;
+
+  EdgeList el;
+  el.num_vertices = n;
+  el.directed = true;
+  el.weighted = false;
+  el.edges.reserve(target_m + n);
+
+  Xoshiro256 rng(params.seed);
+  std::vector<vid_t> scratch;  // per-vertex citation targets, for dedupe
+
+  // Vertices appear in "time" order; vertex v can only cite u < v, like a
+  // patent citing earlier patents.
+  for (vid_t v = 1; v < n; ++v) {
+    // Geometric-ish citation count with mean avg_out.
+    eid_t k = 0;
+    const double p_continue = avg_out / (1.0 + avg_out);
+    while (rng.uniform() < p_continue) ++k;
+    k = std::min<eid_t>(k, v);
+    if (k == 0) continue;
+
+    const auto window = static_cast<vid_t>(std::max<double>(
+        1.0, params.recency_window * static_cast<double>(v)));
+    scratch.clear();
+    for (eid_t j = 0; j < k; ++j) {
+      vid_t target;
+      if (!el.edges.empty() && rng.uniform() < params.copy_prob) {
+        // Copy model: duplicate the destination of a uniformly random
+        // earlier citation. In-degree grows proportionally to in-degree,
+        // i.e. preferential attachment => power-law tail.
+        target = el.edges[rng.uniform_u64(el.edges.size())].dst;
+        if (target >= v) target = static_cast<vid_t>(rng.uniform_u64(v));
+      } else {
+        // Recency: cite within the trailing window.
+        const vid_t lo = v > window ? v - window : 0;
+        target = lo + static_cast<vid_t>(rng.uniform_u64(v - lo));
+      }
+      if (std::find(scratch.begin(), scratch.end(), target) !=
+          scratch.end()) {
+        continue;  // skip duplicate citation from the same vertex
+      }
+      scratch.push_back(target);
+      el.edges.push_back(Edge{v, target, 1.0f});
+    }
+  }
+  return el;
+}
+
+EdgeList dota_like(const DotaLikeParams& params) {
+  EPGS_CHECK(params.fraction > 0.0 && params.fraction <= 1.0,
+             "fraction must be in (0, 1]");
+  EPGS_CHECK(params.players_per_match >= 2, "need at least 2 players");
+  const auto n = static_cast<vid_t>(std::max<double>(
+      32.0, std::round(DotaLikeParams::kPaperVertices * params.fraction)));
+  // Paper counts directed edges (symmetric pairs); target the number of
+  // distinct undirected pairs, capped at half the complete graph.
+  const auto max_pairs = static_cast<eid_t>(n) * (n - 1) / 4;
+  const auto target_pairs = std::min<eid_t>(
+      static_cast<eid_t>(
+          std::round(DotaLikeParams::kPaperEdges * params.fraction / 2.0)),
+      max_pairs);
+
+  // Zipf-skewed player activity: a few very active players become the
+  // high-degree hubs the paper's PowerGraph analysis hinges on.
+  std::vector<double> cumulative(n);
+  double acc = 0.0;
+  for (vid_t i = 0; i < n; ++i) {
+    acc += 1.0 / std::pow(static_cast<double>(i + 1), params.activity_skew);
+    cumulative[i] = acc;
+  }
+
+  Xoshiro256 rng(params.seed);
+  auto sample_player = [&]() -> vid_t {
+    const double u = rng.uniform() * acc;
+    const auto it =
+        std::lower_bound(cumulative.begin(), cumulative.end(), u);
+    return static_cast<vid_t>(it - cumulative.begin());
+  };
+
+  std::unordered_map<std::uint64_t, std::uint32_t> pair_count;
+  pair_count.reserve(target_pairs * 2);
+  std::vector<vid_t> match(
+      static_cast<std::size_t>(params.players_per_match));
+
+  // Simulate matches until we have enough distinct co-play pairs. Each
+  // match is a clique among its players; repeated pairings raise the edge
+  // weight (co-play count), giving the heavy-tailed weights of the real
+  // dataset.
+  std::uint64_t guard = 0;
+  const std::uint64_t max_matches =
+      64 + 8 * target_pairs / (static_cast<std::uint64_t>(
+                                   params.players_per_match) *
+                               (params.players_per_match - 1) / 2);
+  while (pair_count.size() < target_pairs && guard++ < max_matches * 64) {
+    for (auto& p : match) p = sample_player();
+    for (std::size_t i = 0; i < match.size(); ++i) {
+      for (std::size_t j = i + 1; j < match.size(); ++j) {
+        vid_t a = match[i], b = match[j];
+        if (a == b) continue;
+        if (a > b) std::swap(a, b);
+        const std::uint64_t key =
+            (static_cast<std::uint64_t>(a) << 32) | b;
+        ++pair_count[key];
+        if (pair_count.size() >= target_pairs) break;
+      }
+      if (pair_count.size() >= target_pairs) break;
+    }
+  }
+
+  EdgeList el;
+  el.num_vertices = n;
+  el.directed = false;
+  el.weighted = true;
+  el.edges.reserve(pair_count.size() * 2);
+  for (const auto& [key, count] : pair_count) {
+    const auto a = static_cast<vid_t>(key >> 32);
+    const auto b = static_cast<vid_t>(key & 0xFFFFFFFFu);
+    const auto w = static_cast<weight_t>(count);
+    el.edges.push_back(Edge{a, b, w});
+    el.edges.push_back(Edge{b, a, w});
+  }
+  // Hash iteration order is not seed-deterministic across library
+  // versions; normalise for reproducibility.
+  std::sort(el.edges.begin(), el.edges.end(),
+            [](const Edge& x, const Edge& y) {
+              return x.src != y.src ? x.src < y.src : x.dst < y.dst;
+            });
+  return el;
+}
+
+}  // namespace epgs::gen

@@ -1,0 +1,61 @@
+// Synthetic stand-ins for the paper's two real-world datasets.
+//
+// The originals cannot be shipped here (SNAP download / Game Trace
+// Archive), so we generate graphs with the same headline statistics and
+// the structural features the paper's analysis leans on:
+//
+//  * cit-Patents (NBER patent citations): 3,774,768 vertices and
+//    16,518,948 edges; sparse (avg out-degree ~4.4), directed, unweighted,
+//    citation-DAG-like (edges point to earlier vertices), heavy-tailed
+//    in-degree via a copy/preferential-attachment model.
+//
+//  * dota-league (Game Trace Archive, Graphalytics variant): 61,670
+//    vertices and 50,870,313 edges; *dense* (avg out-degree 824), weighted
+//    (co-play counts), undirected, with very high degree hubs — the
+//    feature the paper credits for PowerGraph's vertex-cut winning SSSP
+//    on this dataset.
+//
+// Both generators take a `fraction` to scale the graph down proportionally
+// (vertices and edges shrink together, preserving density character), so
+// tests and default bench runs stay fast; pass fraction = 1.0 for the
+// paper's full sizes.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/edge_list.hpp"
+
+namespace epgs::gen {
+
+struct PatentsLikeParams {
+  double fraction = 1.0;       ///< scale of the paper-size graph
+  std::uint64_t seed = 1975;   ///< NBER dataset vintage
+  /// Probability a citation copies the target of an earlier citation
+  /// (yields power-law in-degree); remainder cites a recent vertex.
+  double copy_prob = 0.5;
+  /// Recency window, as a fraction of already-generated vertices.
+  double recency_window = 0.25;
+
+  static constexpr vid_t kPaperVertices = 3'774'768;
+  static constexpr eid_t kPaperEdges = 16'518'948;
+};
+
+/// Directed, unweighted citation-style graph.
+EdgeList patents_like(const PatentsLikeParams& params);
+
+struct DotaLikeParams {
+  double fraction = 1.0;
+  std::uint64_t seed = 824;    ///< the dataset's average out-degree
+  int players_per_match = 10;  ///< DotA match size
+  /// Skew of player activity (Zipf-ish exponent); bigger -> stronger hubs.
+  double activity_skew = 0.8;
+
+  static constexpr vid_t kPaperVertices = 61'670;
+  static constexpr eid_t kPaperEdges = 50'870'313;
+};
+
+/// Undirected (stored as symmetric directed pairs), weighted, dense
+/// player-interaction graph. Weights are co-play match counts.
+EdgeList dota_like(const DotaLikeParams& params);
+
+}  // namespace epgs::gen

@@ -1,0 +1,71 @@
+#include "gen/kronecker.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "core/error.hpp"
+#include "core/rng.hpp"
+
+namespace epgs::gen {
+
+EdgeList kronecker(const KroneckerParams& params) {
+  EPGS_CHECK(params.scale >= 1 && params.scale < 31, "scale out of range");
+  EPGS_CHECK(params.a > 0 && params.b >= 0 && params.c >= 0 &&
+                 params.d() >= 0,
+             "invalid initiator probabilities");
+
+  const vid_t n = vid_t{1} << params.scale;
+  const eid_t m = static_cast<eid_t>(params.edgefactor) << params.scale;
+
+  EdgeList el;
+  el.num_vertices = n;
+  el.directed = true;
+  el.weighted = false;
+  el.edges.resize(m);
+
+  const double ab = params.a + params.b;
+  const double a_norm = params.a / ab;                 // within top half
+  const double c_norm = params.c / (params.c + params.d());  // bottom half
+
+#pragma omp parallel for schedule(static)
+  for (std::int64_t i = 0; i < static_cast<std::int64_t>(m); ++i) {
+    // Independent stream per edge: deterministic under any thread count.
+    Xoshiro256 rng(params.seed ^ (0x9e3779b97f4a7c15ULL *
+                                  static_cast<std::uint64_t>(i + 1)));
+    vid_t src = 0, dst = 0;
+    for (int bit = params.scale - 1; bit >= 0; --bit) {
+      const bool south = rng.uniform() > ab;       // row bit
+      const bool east = rng.uniform() > (south ? c_norm : a_norm);  // col bit
+      if (south) src |= vid_t{1} << bit;
+      if (east) dst |= vid_t{1} << bit;
+    }
+    el.edges[static_cast<std::size_t>(i)] = Edge{src, dst, 1.0f};
+  }
+
+  if (params.permute_vertices) {
+    std::vector<vid_t> perm(n);
+    std::iota(perm.begin(), perm.end(), vid_t{0});
+    Xoshiro256 rng(params.seed ^ 0xD15EA5E0FULL);
+    for (vid_t i = n; i > 1; --i) {  // Fisher–Yates
+      const auto j = static_cast<vid_t>(rng.uniform_u64(i));
+      std::swap(perm[i - 1], perm[j]);
+    }
+#pragma omp parallel for schedule(static)
+    for (std::int64_t i = 0; i < static_cast<std::int64_t>(m); ++i) {
+      auto& e = el.edges[static_cast<std::size_t>(i)];
+      e.src = perm[e.src];
+      e.dst = perm[e.dst];
+    }
+  }
+
+  if (params.shuffle_edges) {
+    Xoshiro256 rng(params.seed ^ 0x5CAFFE175ULL);
+    for (eid_t i = m; i > 1; --i) {
+      const auto j = rng.uniform_u64(i);
+      std::swap(el.edges[i - 1], el.edges[j]);
+    }
+  }
+  return el;
+}
+
+}  // namespace epgs::gen

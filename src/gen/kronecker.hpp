@@ -1,0 +1,37 @@
+// Graph500 Kronecker (stochastic R-MAT generalisation) generator.
+//
+// Parameters are the Graph500 specification values the paper quotes:
+// A = 0.57, B = 0.19, C = 0.19, D = 1 - (A+B+C) = 0.05, average degree 16.
+// A graph of scale S has 2^S vertices and ~16 * 2^S edges. As in the spec,
+// vertex labels are randomly permuted afterwards so locality cannot be
+// exploited, and the edge list order is shuffled.
+#pragma once
+
+#include <cstdint>
+
+#include "core/types.hpp"
+#include "graph/edge_list.hpp"
+
+namespace epgs::gen {
+
+struct KroneckerParams {
+  int scale = 16;
+  int edgefactor = 16;
+  double a = 0.57;
+  double b = 0.19;
+  double c = 0.19;  // d = 1 - a - b - c
+  std::uint64_t seed = 20170517;  // arXiv v2 date of the paper
+  bool permute_vertices = true;
+  bool shuffle_edges = true;
+
+  [[nodiscard]] double d() const { return 1.0 - a - b - c; }
+};
+
+/// Generate a Kronecker edge list. Deterministic for a given params.seed
+/// regardless of thread count (each edge draws from its own stream).
+/// The result is directed with possible duplicates and self loops, exactly
+/// as emitted by the reference generator; callers symmetrize/dedupe as
+/// their system requires.
+EdgeList kronecker(const KroneckerParams& params);
+
+}  // namespace epgs::gen

@@ -1,0 +1,71 @@
+#include "graph/csr.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "core/error.hpp"
+#include "core/parallel.hpp"
+
+namespace epgs {
+
+CSRGraph CSRGraph::from_edges(const EdgeList& el, bool transpose) {
+  CSRGraph g;
+  g.n_ = el.num_vertices;
+  g.m_ = el.num_edges();
+
+  std::vector<eid_t> counts(g.n_, 0);
+  for (const auto& e : el.edges) {
+    EPGS_CHECK(e.src < g.n_ && e.dst < g.n_, "edge endpoint out of range");
+    ++counts[transpose ? e.dst : e.src];
+  }
+  exclusive_prefix_sum(counts, g.offsets_);
+
+  g.targets_.resize(g.m_);
+  if (el.weighted) g.weights_.resize(g.m_);
+  std::vector<eid_t> cursor(g.offsets_.begin(), g.offsets_.end() - 1);
+  for (const auto& e : el.edges) {
+    const vid_t row = transpose ? e.dst : e.src;
+    const vid_t col = transpose ? e.src : e.dst;
+    const eid_t pos = cursor[row]++;
+    g.targets_[pos] = col;
+    if (el.weighted) g.weights_[pos] = e.w;
+  }
+
+  // Sort each adjacency row by target (weights permuted alongside).
+  if (el.weighted) {
+    std::vector<std::pair<vid_t, weight_t>> row;
+    for (vid_t u = 0; u < g.n_; ++u) {
+      const eid_t lo = g.offsets_[u], hi = g.offsets_[u + 1];
+      row.clear();
+      row.reserve(hi - lo);
+      for (eid_t i = lo; i < hi; ++i) {
+        row.emplace_back(g.targets_[i], g.weights_[i]);
+      }
+      std::sort(row.begin(), row.end());
+      for (eid_t i = lo; i < hi; ++i) {
+        g.targets_[i] = row[i - lo].first;
+        g.weights_[i] = row[i - lo].second;
+      }
+    }
+  } else {
+#pragma omp parallel for schedule(dynamic, 1024)
+    for (std::int64_t u = 0; u < static_cast<std::int64_t>(g.n_); ++u) {
+      std::sort(g.targets_.begin() + static_cast<std::ptrdiff_t>(g.offsets_[u]),
+                g.targets_.begin() +
+                    static_cast<std::ptrdiff_t>(g.offsets_[u + 1]));
+    }
+  }
+  return g;
+}
+
+std::size_t CSRGraph::bytes() const {
+  return offsets_.size() * sizeof(eid_t) + targets_.size() * sizeof(vid_t) +
+         weights_.size() * sizeof(weight_t);
+}
+
+bool CSRGraph::has_edge(vid_t u, vid_t v) const {
+  const auto nbrs = neighbors(u);
+  return std::binary_search(nbrs.begin(), nbrs.end(), v);
+}
+
+}  // namespace epgs

@@ -1,0 +1,65 @@
+// Compressed sparse row graph.
+//
+// The paper notes that "most software packages represent graphs using CSR
+// format" even though "the implementation details differ across packages".
+// This is the *shared* CSR used by the framework's validators and by the
+// GAP / Graph500 re-implementations; GraphMat layers DCSR on top of the
+// same build path and GraphBIG/PowerGraph use their own stores.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "graph/edge_list.hpp"
+
+namespace epgs {
+
+class CSRGraph {
+ public:
+  CSRGraph() = default;
+
+  /// Build an out-neighborhood CSR from an edge list.
+  /// If `transpose` is true, builds the in-neighborhood (CSC of the
+  /// original): row u lists vertices with an edge into u.
+  /// Adjacency of every row is sorted by target id.
+  static CSRGraph from_edges(const EdgeList& el, bool transpose = false);
+
+  [[nodiscard]] vid_t num_vertices() const { return n_; }
+  [[nodiscard]] eid_t num_edges() const { return m_; }
+  [[nodiscard]] bool weighted() const { return !weights_.empty(); }
+
+  [[nodiscard]] eid_t degree(vid_t u) const {
+    return offsets_[u + 1] - offsets_[u];
+  }
+
+  [[nodiscard]] std::span<const vid_t> neighbors(vid_t u) const {
+    return {targets_.data() + offsets_[u],
+            static_cast<std::size_t>(degree(u))};
+  }
+
+  [[nodiscard]] std::span<const weight_t> edge_weights(vid_t u) const {
+    return {weights_.data() + offsets_[u],
+            static_cast<std::size_t>(degree(u))};
+  }
+
+  [[nodiscard]] const std::vector<eid_t>& offsets() const { return offsets_; }
+  [[nodiscard]] const std::vector<vid_t>& targets() const { return targets_; }
+  [[nodiscard]] const std::vector<weight_t>& weights() const {
+    return weights_;
+  }
+
+  /// Estimated resident size in bytes (for log/power accounting).
+  [[nodiscard]] std::size_t bytes() const;
+
+  /// True iff (u, v) is an edge; binary search over sorted adjacency.
+  [[nodiscard]] bool has_edge(vid_t u, vid_t v) const;
+
+ private:
+  vid_t n_ = 0;
+  eid_t m_ = 0;
+  std::vector<eid_t> offsets_;   // size n+1
+  std::vector<vid_t> targets_;   // size m
+  std::vector<weight_t> weights_;  // size m when weighted, else empty
+};
+
+}  // namespace epgs

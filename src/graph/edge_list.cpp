@@ -1,0 +1,26 @@
+#include "graph/edge_list.hpp"
+
+namespace epgs {
+
+std::vector<eid_t> out_degrees(const EdgeList& el) {
+  std::vector<eid_t> deg(el.num_vertices, 0);
+  for (const auto& e : el.edges) ++deg[e.src];
+  return deg;
+}
+
+std::vector<eid_t> in_degrees(const EdgeList& el) {
+  std::vector<eid_t> deg(el.num_vertices, 0);
+  for (const auto& e : el.edges) ++deg[e.dst];
+  return deg;
+}
+
+std::vector<eid_t> total_degrees(const EdgeList& el) {
+  std::vector<eid_t> deg(el.num_vertices, 0);
+  for (const auto& e : el.edges) {
+    ++deg[e.src];
+    ++deg[e.dst];
+  }
+  return deg;
+}
+
+}  // namespace epgs

@@ -1,0 +1,425 @@
+#include "graph/homogenizer.hpp"
+
+#include <array>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "core/error.hpp"
+#include "graph/csr.hpp"
+#include "graph/snap_io.hpp"
+
+namespace epgs {
+namespace {
+
+constexpr std::uint64_t kG500Magic = 0x4735303045504753ULL;  // "G500EPGS"
+constexpr std::uint64_t kSgMagic = 0x5347455047530001ULL;
+
+template <typename T>
+void write_pod(std::ostream& os, const T& v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof v);
+}
+
+template <typename T>
+T read_pod(std::istream& is) {
+  T v{};
+  is.read(reinterpret_cast<char*>(&v), sizeof v);
+  EPGS_CHECK(is.good(), "unexpected end of binary graph file");
+  return v;
+}
+
+template <typename T>
+void write_vec(std::ostream& os, const std::vector<T>& v) {
+  write_pod<std::uint64_t>(os, v.size());
+  os.write(reinterpret_cast<const char*>(v.data()),
+           static_cast<std::streamsize>(v.size() * sizeof(T)));
+}
+
+template <typename T>
+std::vector<T> read_vec(std::istream& is) {
+  const auto n = read_pod<std::uint64_t>(is);
+  std::vector<T> v(n);
+  is.read(reinterpret_cast<char*>(v.data()),
+          static_cast<std::streamsize>(n * sizeof(T)));
+  EPGS_CHECK(is.good(), "unexpected end of binary graph file");
+  return v;
+}
+
+std::ofstream open_out(const std::filesystem::path& p) {
+  std::ofstream out(p, std::ios::binary);
+  EPGS_CHECK(out.good(), "cannot open " + p.string() + " for writing");
+  return out;
+}
+
+std::ifstream open_in(const std::filesystem::path& p) {
+  std::ifstream in(p, std::ios::binary);
+  EPGS_CHECK(in.good(), "cannot open " + p.string());
+  return in;
+}
+
+}  // namespace
+
+std::string_view format_name(GraphFormat f) {
+  switch (f) {
+    case GraphFormat::kSnapText: return "snap";
+    case GraphFormat::kGraph500Bin: return "graph500-bin";
+    case GraphFormat::kGapSg: return "gap-sg";
+    case GraphFormat::kGraphMatMtx: return "graphmat-mtx";
+    case GraphFormat::kGraphBigCsv: return "graphbig-csv";
+    case GraphFormat::kPowerGraphTsv: return "powergraph-tsv";
+    case GraphFormat::kLigraAdj: return "ligra-adj";
+  }
+  return "unknown";
+}
+
+const std::filesystem::path& HomogenizedDataset::path(GraphFormat f) const {
+  const auto it = files.find(f);
+  EPGS_CHECK(it != files.end(),
+             "dataset '" + name + "' has no file for format " +
+                 std::string(format_name(f)));
+  return it->second;
+}
+
+// --- Graph500: flat little-endian packed (u64 src, u64 dst, f32 w) ----
+
+void write_graph500_bin(const std::filesystem::path& p, const EdgeList& el) {
+  auto out = open_out(p);
+  write_pod(out, kG500Magic);
+  write_pod<std::uint64_t>(out, el.num_vertices);
+  write_pod<std::uint64_t>(out, el.num_edges());
+  write_pod<std::uint8_t>(out, el.weighted ? 1 : 0);
+  for (const auto& e : el.edges) {
+    write_pod<std::uint64_t>(out, e.src);
+    write_pod<std::uint64_t>(out, e.dst);
+    if (el.weighted) write_pod<float>(out, e.w);
+  }
+  EPGS_CHECK(out.good(), "write failure: " + p.string());
+}
+
+EdgeList read_graph500_bin(const std::filesystem::path& p) {
+  auto in = open_in(p);
+  EPGS_CHECK(read_pod<std::uint64_t>(in) == kG500Magic,
+             "bad magic in " + p.string());
+  EdgeList el;
+  el.num_vertices = static_cast<vid_t>(read_pod<std::uint64_t>(in));
+  const auto m = read_pod<std::uint64_t>(in);
+  el.weighted = read_pod<std::uint8_t>(in) != 0;
+  el.edges.reserve(m);
+  for (std::uint64_t i = 0; i < m; ++i) {
+    Edge e;
+    e.src = static_cast<vid_t>(read_pod<std::uint64_t>(in));
+    e.dst = static_cast<vid_t>(read_pod<std::uint64_t>(in));
+    e.w = el.weighted ? read_pod<float>(in) : 1.0f;
+    el.edges.push_back(e);
+  }
+  return el;
+}
+
+// --- GAP .sg: serialized CSR (offsets + sorted targets [+ weights]) ---
+
+void write_gap_sg(const std::filesystem::path& p, const EdgeList& el) {
+  const CSRGraph g = CSRGraph::from_edges(el);
+  auto out = open_out(p);
+  write_pod(out, kSgMagic);
+  write_pod<std::uint64_t>(out, g.num_vertices());
+  write_pod<std::uint8_t>(out, el.weighted ? 1 : 0);
+  write_vec(out, g.offsets());
+  write_vec(out, g.targets());
+  if (el.weighted) write_vec(out, g.weights());
+  EPGS_CHECK(out.good(), "write failure: " + p.string());
+}
+
+EdgeList read_gap_sg(const std::filesystem::path& p) {
+  auto in = open_in(p);
+  EPGS_CHECK(read_pod<std::uint64_t>(in) == kSgMagic,
+             "bad magic in " + p.string());
+  EdgeList el;
+  el.num_vertices = static_cast<vid_t>(read_pod<std::uint64_t>(in));
+  el.weighted = read_pod<std::uint8_t>(in) != 0;
+  const auto offsets = read_vec<eid_t>(in);
+  const auto targets = read_vec<vid_t>(in);
+  std::vector<weight_t> weights;
+  if (el.weighted) weights = read_vec<weight_t>(in);
+  EPGS_CHECK(offsets.size() == static_cast<std::size_t>(el.num_vertices) + 1,
+             "corrupt .sg offsets");
+  el.edges.reserve(targets.size());
+  for (vid_t u = 0; u < el.num_vertices; ++u) {
+    for (eid_t i = offsets[u]; i < offsets[u + 1]; ++i) {
+      el.edges.push_back(
+          Edge{u, targets[i], el.weighted ? weights[i] : 1.0f});
+    }
+  }
+  return el;
+}
+
+// --- GraphMat: 1-indexed MatrixMarket-like triples -------------------
+
+void write_graphmat_mtx(const std::filesystem::path& p, const EdgeList& el) {
+  auto out = open_out(p);
+  out << "%%MatrixMarket matrix coordinate "
+      << (el.weighted ? "real" : "pattern") << " general\n";
+  out << el.num_vertices << ' ' << el.num_vertices << ' ' << el.num_edges()
+      << '\n';
+  char buf[96];
+  for (const auto& e : el.edges) {
+    int len;
+    if (el.weighted) {
+      len = std::snprintf(buf, sizeof buf, "%u %u %g\n", e.src + 1,
+                          e.dst + 1, static_cast<double>(e.w));
+    } else {
+      len = std::snprintf(buf, sizeof buf, "%u %u\n", e.src + 1, e.dst + 1);
+    }
+    out.write(buf, len);
+  }
+  EPGS_CHECK(out.good(), "write failure: " + p.string());
+}
+
+EdgeList read_graphmat_mtx(const std::filesystem::path& p) {
+  auto in = open_in(p);
+  std::string line;
+  // Header + comments.
+  bool weighted = false;
+  bool header_seen = false;
+  EdgeList el;
+  std::uint64_t declared_edges = 0;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    if (line[0] == '%') {
+      if (line.find("pattern") != std::string::npos) weighted = false;
+      if (line.find("real") != std::string::npos) weighted = true;
+      continue;
+    }
+    std::istringstream ss(line);
+    if (!header_seen) {
+      std::uint64_t rows = 0, cols = 0;
+      ss >> rows >> cols >> declared_edges;
+      EPGS_CHECK(rows == cols, "GraphMat mtx: non-square matrix");
+      el.num_vertices = static_cast<vid_t>(rows);
+      header_seen = true;
+      continue;
+    }
+    std::uint64_t r = 0, c = 0;
+    double w = 1.0;
+    ss >> r >> c;
+    if (weighted) ss >> w;
+    EPGS_CHECK(r >= 1 && c >= 1, "GraphMat mtx: ids are 1-indexed");
+    el.edges.push_back(Edge{static_cast<vid_t>(r - 1),
+                            static_cast<vid_t>(c - 1),
+                            static_cast<weight_t>(w)});
+  }
+  el.weighted = weighted;
+  EPGS_CHECK(el.edges.size() == declared_edges,
+             "GraphMat mtx: edge count mismatch in " + p.string());
+  return el;
+}
+
+// --- GraphBIG: vertex.csv + edge.csv directory ------------------------
+
+void write_graphbig_csv(const std::filesystem::path& dir, const EdgeList& el) {
+  std::filesystem::create_directories(dir);
+  {
+    auto out = open_out(dir / "vertex.csv");
+    out << "id\n";
+    for (vid_t v = 0; v < el.num_vertices; ++v) out << v << '\n';
+    EPGS_CHECK(out.good(), "write failure: vertex.csv");
+  }
+  {
+    auto out = open_out(dir / "edge.csv");
+    out << (el.weighted ? "src,dst,weight\n" : "src,dst\n");
+    char buf[96];
+    for (const auto& e : el.edges) {
+      int len;
+      if (el.weighted) {
+        len = std::snprintf(buf, sizeof buf, "%u,%u,%g\n", e.src, e.dst,
+                            static_cast<double>(e.w));
+      } else {
+        len = std::snprintf(buf, sizeof buf, "%u,%u\n", e.src, e.dst);
+      }
+      out.write(buf, len);
+    }
+    EPGS_CHECK(out.good(), "write failure: edge.csv");
+  }
+}
+
+EdgeList read_graphbig_csv(const std::filesystem::path& dir) {
+  EdgeList el;
+  {
+    auto in = open_in(dir / "vertex.csv");
+    std::string line;
+    std::getline(in, line);  // header
+    vid_t count = 0;
+    while (std::getline(in, line)) {
+      if (!line.empty()) ++count;
+    }
+    el.num_vertices = count;
+  }
+  {
+    auto in = open_in(dir / "edge.csv");
+    std::string line;
+    std::getline(in, line);  // header
+    el.weighted = line.find("weight") != std::string::npos;
+    while (std::getline(in, line)) {
+      if (line.empty()) continue;
+      Edge e;
+      double w = 1.0;
+      if (el.weighted) {
+        EPGS_CHECK(std::sscanf(line.c_str(), "%u,%u,%lf", &e.src, &e.dst,
+                               &w) == 3,
+                   "GraphBIG edge.csv: bad line '" + line + "'");
+      } else {
+        EPGS_CHECK(std::sscanf(line.c_str(), "%u,%u", &e.src, &e.dst) == 2,
+                   "GraphBIG edge.csv: bad line '" + line + "'");
+      }
+      e.w = static_cast<weight_t>(w);
+      el.edges.push_back(e);
+    }
+  }
+  return el;
+}
+
+// --- PowerGraph: tab-separated values ---------------------------------
+
+void write_powergraph_tsv(const std::filesystem::path& p,
+                          const EdgeList& el) {
+  auto out = open_out(p);
+  char buf[96];
+  for (const auto& e : el.edges) {
+    int len;
+    if (el.weighted) {
+      len = std::snprintf(buf, sizeof buf, "%u\t%u\t%g\n", e.src, e.dst,
+                          static_cast<double>(e.w));
+    } else {
+      len = std::snprintf(buf, sizeof buf, "%u\t%u\n", e.src, e.dst);
+    }
+    out.write(buf, len);
+  }
+  // PowerGraph infers the vertex set from edge endpoints; isolated trailing
+  // vertices need a marker so the count round-trips.
+  out << "#nv\t" << el.num_vertices << '\n';
+  EPGS_CHECK(out.good(), "write failure: " + p.string());
+}
+
+EdgeList read_powergraph_tsv(const std::filesystem::path& p) {
+  auto in = open_in(p);
+  EdgeList el;
+  std::string line;
+  bool saw_weight = false;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      std::uint64_t nv = 0;
+      if (std::sscanf(line.c_str(), "#nv\t%lu", &nv) == 1) {
+        el.num_vertices = static_cast<vid_t>(nv);
+      }
+      continue;
+    }
+    Edge e;
+    double w = 1.0;
+    const int got =
+        std::sscanf(line.c_str(), "%u\t%u\t%lf", &e.src, &e.dst, &w);
+    EPGS_CHECK(got >= 2, "PowerGraph tsv: bad line '" + line + "'");
+    if (got == 3) saw_weight = true;
+    e.w = static_cast<weight_t>(w);
+    el.ensure_vertex(e.src);
+    el.ensure_vertex(e.dst);
+    el.edges.push_back(e);
+  }
+  el.weighted = saw_weight;
+  return el;
+}
+
+// --- Ligra: PBBS (Weighted)AdjacencyGraph text format ------------------
+
+void write_ligra_adj(const std::filesystem::path& p, const EdgeList& el) {
+  const CSRGraph g = CSRGraph::from_edges(el);
+  auto out = open_out(p);
+  out << (el.weighted ? "WeightedAdjacencyGraph" : "AdjacencyGraph")
+      << '\n';
+  out << g.num_vertices() << '\n' << g.num_edges() << '\n';
+  for (vid_t v = 0; v < g.num_vertices(); ++v) {
+    out << g.offsets()[v] << '\n';
+  }
+  for (const vid_t t : g.targets()) out << t << '\n';
+  if (el.weighted) {
+    for (const weight_t w : g.weights()) out << w << '\n';
+  }
+  EPGS_CHECK(out.good(), "write failure: " + p.string());
+}
+
+EdgeList read_ligra_adj(const std::filesystem::path& p) {
+  auto in = open_in(p);
+  std::string header;
+  in >> header;
+  const bool weighted = header == "WeightedAdjacencyGraph";
+  EPGS_CHECK(weighted || header == "AdjacencyGraph",
+             "Ligra adj: bad header in " + p.string());
+  std::uint64_t n = 0, m = 0;
+  in >> n >> m;
+  EPGS_CHECK(in.good(), "Ligra adj: truncated sizes");
+  std::vector<eid_t> offsets(n + 1, m);
+  for (std::uint64_t v = 0; v < n; ++v) in >> offsets[v];
+  std::vector<vid_t> targets(m);
+  for (std::uint64_t e = 0; e < m; ++e) in >> targets[e];
+  std::vector<weight_t> weights;
+  if (weighted) {
+    weights.resize(m);
+    for (std::uint64_t e = 0; e < m; ++e) in >> weights[e];
+  }
+  EPGS_CHECK(!in.fail(), "Ligra adj: truncated body in " + p.string());
+
+  EdgeList el;
+  el.num_vertices = static_cast<vid_t>(n);
+  el.weighted = weighted;
+  el.edges.reserve(m);
+  for (vid_t u = 0; u < n; ++u) {
+    EPGS_CHECK(offsets[u] <= offsets[u + 1] && offsets[u + 1] <= m,
+               "Ligra adj: non-monotone offsets");
+    for (eid_t e = offsets[u]; e < offsets[u + 1]; ++e) {
+      EPGS_CHECK(targets[e] < n, "Ligra adj: target out of range");
+      el.edges.push_back(
+          Edge{u, targets[e], weighted ? weights[e] : 1.0f});
+    }
+  }
+  return el;
+}
+
+HomogenizedDataset homogenize(const EdgeList& el, const std::string& name,
+                              const std::filesystem::path& dir) {
+  std::filesystem::create_directories(dir);
+  HomogenizedDataset ds;
+  ds.name = name;
+  ds.dir = dir;
+
+  const auto snap = dir / (name + ".snap");
+  write_snap_file(snap, el);
+  ds.files[GraphFormat::kSnapText] = snap;
+
+  const auto g500 = dir / (name + ".g500");
+  write_graph500_bin(g500, el);
+  ds.files[GraphFormat::kGraph500Bin] = g500;
+
+  const auto sg = dir / (name + (el.weighted ? ".wsg" : ".sg"));
+  write_gap_sg(sg, el);
+  ds.files[GraphFormat::kGapSg] = sg;
+
+  const auto mtx = dir / (name + ".mtx");
+  write_graphmat_mtx(mtx, el);
+  ds.files[GraphFormat::kGraphMatMtx] = mtx;
+
+  const auto gbdir = dir / (name + ".graphbig");
+  write_graphbig_csv(gbdir, el);
+  ds.files[GraphFormat::kGraphBigCsv] = gbdir;
+
+  const auto tsv = dir / (name + ".tsv");
+  write_powergraph_tsv(tsv, el);
+  ds.files[GraphFormat::kPowerGraphTsv] = tsv;
+
+  const auto adj = dir / (name + ".adj");
+  write_ligra_adj(adj, el);
+  ds.files[GraphFormat::kLigraAdj] = adj;
+
+  return ds;
+}
+
+}  // namespace epgs

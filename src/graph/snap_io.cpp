@@ -1,0 +1,136 @@
+#include "graph/snap_io.hpp"
+
+#include <charconv>
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "core/error.hpp"
+
+namespace epgs {
+namespace {
+
+bool is_space(char c) { return c == ' ' || c == '\t' || c == '\r'; }
+
+std::string_view next_token(std::string_view& line) {
+  while (!line.empty() && is_space(line.front())) line.remove_prefix(1);
+  std::size_t i = 0;
+  while (i < line.size() && !is_space(line[i])) ++i;
+  const std::string_view tok = line.substr(0, i);
+  line.remove_prefix(i);
+  return tok;
+}
+
+vid_t parse_vid(std::string_view tok, std::size_t line_no) {
+  std::uint64_t v = 0;
+  auto [ptr, ec] = std::from_chars(tok.data(), tok.data() + tok.size(), v);
+  if (ec != std::errc{} || ptr != tok.data() + tok.size()) {
+    throw EpgsError("SNAP parse: bad vertex id '" + std::string(tok) +
+                    "' on line " + std::to_string(line_no));
+  }
+  EPGS_CHECK(v <= 0xFFFFFFFEULL, "vertex id exceeds 32-bit range");
+  return static_cast<vid_t>(v);
+}
+
+}  // namespace
+
+EdgeList parse_snap(std::string_view text) {
+  EdgeList el;
+  el.directed = true;
+  std::size_t pos = 0;
+  std::size_t line_no = 0;
+  bool saw_weight = false;
+  bool saw_unweighted = false;
+
+  while (pos < text.size()) {
+    ++line_no;
+    const std::size_t eol = text.find('\n', pos);
+    std::string_view line = text.substr(
+        pos, eol == std::string_view::npos ? std::string_view::npos
+                                           : eol - pos);
+    pos = eol == std::string_view::npos ? text.size() : eol + 1;
+
+    // Skip leading whitespace for comment detection.
+    std::string_view peek = line;
+    while (!peek.empty() && is_space(peek.front())) peek.remove_prefix(1);
+    if (peek.empty() || peek.front() == '#') {
+      // Honour the conventional "# Nodes: N ..." header so isolated
+      // trailing vertices survive a round trip.
+      const auto pos2 = peek.find("Nodes:");
+      if (pos2 != std::string_view::npos) {
+        std::string_view rest = peek.substr(pos2 + 6);
+        while (!rest.empty() && is_space(rest.front())) rest.remove_prefix(1);
+        std::uint64_t n = 0;
+        auto [p, ec] =
+            std::from_chars(rest.data(), rest.data() + rest.size(), n);
+        if (ec == std::errc{} && n > 0 && n <= 0xFFFFFFFFULL) {
+          el.ensure_vertex(static_cast<vid_t>(n - 1));
+        }
+      }
+      continue;
+    }
+
+    const std::string_view t1 = next_token(line);
+    const std::string_view t2 = next_token(line);
+    if (t2.empty()) {
+      throw EpgsError("SNAP parse: line " + std::to_string(line_no) +
+                      " has fewer than two fields");
+    }
+    Edge e;
+    e.src = parse_vid(t1, line_no);
+    e.dst = parse_vid(t2, line_no);
+
+    const std::string_view t3 = next_token(line);
+    if (!t3.empty()) {
+      e.w = std::stof(std::string(t3));
+      saw_weight = true;
+    } else {
+      e.w = 1.0f;
+      saw_unweighted = true;
+    }
+    el.ensure_vertex(e.src);
+    el.ensure_vertex(e.dst);
+    el.edges.push_back(e);
+  }
+  if (saw_weight && saw_unweighted) {
+    throw EpgsError("SNAP parse: mixed weighted and unweighted lines");
+  }
+  el.weighted = saw_weight;
+  return el;
+}
+
+EdgeList read_snap_file(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  EPGS_CHECK(in.good(), "cannot open " + path.string());
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return parse_snap(buf.str());
+}
+
+void write_snap(std::ostream& os, const EdgeList& el) {
+  os << "# easy-parallel-graph SNAP export\n";
+  os << "# Nodes: " << el.num_vertices << " Edges: " << el.num_edges()
+     << '\n';
+  char buf[96];
+  for (const auto& e : el.edges) {
+    int len;
+    if (el.weighted) {
+      len = std::snprintf(buf, sizeof buf, "%u\t%u\t%g\n", e.src, e.dst,
+                          static_cast<double>(e.w));
+    } else {
+      len = std::snprintf(buf, sizeof buf, "%u\t%u\n", e.src, e.dst);
+    }
+    os.write(buf, len);
+  }
+}
+
+void write_snap_file(const std::filesystem::path& path, const EdgeList& el) {
+  std::ofstream out(path, std::ios::binary);
+  EPGS_CHECK(out.good(), "cannot open " + path.string() + " for writing");
+  write_snap(out, el);
+  out.flush();
+  EPGS_CHECK(out.good(), "write to " + path.string() + " failed");
+}
+
+}  // namespace epgs

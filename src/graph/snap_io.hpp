@@ -1,0 +1,30 @@
+// SNAP text format I/O.
+//
+// "A file in the SNAP format consists of one edge per line, with vertices
+// separated by whitespace and lines which begin with # are comments."
+// (paper, footnote 4). An optional third column carries the edge weight.
+// Any dataset in this format can be fed to easy-parallel-graph-*.
+#pragma once
+
+#include <filesystem>
+#include <iosfwd>
+#include <string_view>
+
+#include "graph/edge_list.hpp"
+
+namespace epgs {
+
+/// Parse a SNAP-format document from memory.
+/// Vertex ids are used verbatim (no relabeling); num_vertices becomes
+/// max(id)+1. Throws EpgsError on malformed lines.
+EdgeList parse_snap(std::string_view text);
+
+/// Read a SNAP-format file from disk.
+EdgeList read_snap_file(const std::filesystem::path& path);
+
+/// Write an edge list in SNAP format; weights are emitted as a third
+/// column iff el.weighted. A comment header records the sizes.
+void write_snap(std::ostream& os, const EdgeList& el);
+void write_snap_file(const std::filesystem::path& path, const EdgeList& el);
+
+}  // namespace epgs

@@ -1,0 +1,121 @@
+#include "graph/statistics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace epgs {
+namespace {
+
+DegreeSummary summarize_degrees(std::vector<eid_t> degrees) {
+  DegreeSummary s;
+  if (degrees.empty()) return s;
+  std::sort(degrees.begin(), degrees.end());
+  s.min = degrees.front();
+  s.max = degrees.back();
+  double sum = 0.0;
+  for (const auto d : degrees) sum += static_cast<double>(d);
+  s.mean = sum / static_cast<double>(degrees.size());
+  const std::size_t mid = degrees.size() / 2;
+  s.median = degrees.size() % 2 == 1
+                 ? static_cast<double>(degrees[mid])
+                 : (static_cast<double>(degrees[mid - 1]) +
+                    static_cast<double>(degrees[mid])) /
+                       2.0;
+  // Fit the tail above the mean degree (a pragmatic xmin choice).
+  s.powerlaw_xmin =
+      std::max<eid_t>(1, static_cast<eid_t>(std::ceil(s.mean)));
+  s.powerlaw_alpha = powerlaw_alpha_mle(degrees, s.powerlaw_xmin);
+  return s;
+}
+
+}  // namespace
+
+double powerlaw_alpha_mle(const std::vector<eid_t>& degrees, eid_t xmin,
+                          std::size_t min_tail) {
+  if (xmin < 1) return 0.0;
+  double log_sum = 0.0;
+  std::size_t k = 0;
+  const double shift = static_cast<double>(xmin) - 0.5;
+  for (const auto d : degrees) {
+    if (d >= xmin) {
+      log_sum += std::log(static_cast<double>(d) / shift);
+      ++k;
+    }
+  }
+  if (k < min_tail || log_sum <= 0.0) return 0.0;
+  return 1.0 + static_cast<double>(k) / log_sum;
+}
+
+std::map<eid_t, vid_t> degree_histogram(const std::vector<eid_t>& degrees) {
+  std::map<eid_t, vid_t> hist;
+  for (const auto d : degrees) ++hist[d];
+  return hist;
+}
+
+GraphSummary summarize_graph(const EdgeList& el) {
+  GraphSummary s;
+  s.num_vertices = el.num_vertices;
+  s.num_edges = el.num_edges();
+  s.weighted = el.weighted;
+  if (el.num_vertices > 1) {
+    s.density = static_cast<double>(s.num_edges) /
+                (static_cast<double>(s.num_vertices) *
+                 (static_cast<double>(s.num_vertices) - 1.0));
+  }
+  s.avg_out_degree = s.num_vertices > 0
+                         ? static_cast<double>(s.num_edges) / s.num_vertices
+                         : 0.0;
+
+  const auto out = out_degrees(el);
+  const auto in = in_degrees(el);
+  for (vid_t v = 0; v < el.num_vertices; ++v) {
+    if (out[v] == 0 && in[v] == 0) ++s.isolated_vertices;
+  }
+  for (const auto& e : el.edges) {
+    if (e.src == e.dst) ++s.self_loops;
+  }
+  s.out_degree = summarize_degrees(out);
+  s.in_degree = summarize_degrees(in);
+
+  if (el.weighted && !el.edges.empty()) {
+    double sum = 0.0;
+    s.min_weight = el.edges.front().w;
+    s.max_weight = el.edges.front().w;
+    for (const auto& e : el.edges) {
+      sum += static_cast<double>(e.w);
+      s.min_weight = std::min<double>(s.min_weight, e.w);
+      s.max_weight = std::max<double>(s.max_weight, e.w);
+    }
+    s.mean_weight = sum / static_cast<double>(el.edges.size());
+  }
+  return s;
+}
+
+std::string render_summary(const GraphSummary& s) {
+  std::ostringstream os;
+  os << "vertices            " << s.num_vertices << '\n'
+     << "edges               " << s.num_edges
+     << (s.weighted ? " (weighted)" : " (unweighted)") << '\n'
+     << "density             " << s.density << '\n'
+     << "avg out-degree      " << s.avg_out_degree << '\n'
+     << "isolated vertices   " << s.isolated_vertices << '\n'
+     << "self loops          " << s.self_loops << '\n'
+     << "out-degree          min=" << s.out_degree.min
+     << " median=" << s.out_degree.median << " max=" << s.out_degree.max
+     << '\n'
+     << "in-degree           min=" << s.in_degree.min
+     << " median=" << s.in_degree.median << " max=" << s.in_degree.max
+     << '\n';
+  if (s.in_degree.powerlaw_alpha > 0.0) {
+    os << "in-degree tail      alpha=" << s.in_degree.powerlaw_alpha
+       << " (x >= " << s.in_degree.powerlaw_xmin << ")\n";
+  }
+  if (s.weighted) {
+    os << "weights             min=" << s.min_weight
+       << " mean=" << s.mean_weight << " max=" << s.max_weight << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace epgs

@@ -1,0 +1,76 @@
+#include "graph/transforms.hpp"
+
+#include <algorithm>
+
+#include "core/rng.hpp"
+
+namespace epgs {
+
+EdgeList symmetrize(const EdgeList& el) {
+  EdgeList out;
+  out.num_vertices = el.num_vertices;
+  out.directed = false;
+  out.weighted = el.weighted;
+  out.edges.reserve(el.edges.size() * 2);
+  for (const auto& e : el.edges) {
+    out.edges.push_back(e);
+    if (e.src != e.dst) {
+      out.edges.push_back(Edge{e.dst, e.src, e.w});
+    }
+  }
+  return out;
+}
+
+EdgeList dedupe(const EdgeList& el, bool drop_self_loops) {
+  EdgeList out;
+  out.num_vertices = el.num_vertices;
+  out.directed = el.directed;
+  out.weighted = el.weighted;
+  out.edges = el.edges;
+
+  if (drop_self_loops) {
+    std::erase_if(out.edges, [](const Edge& e) { return e.src == e.dst; });
+  }
+  std::sort(out.edges.begin(), out.edges.end(),
+            [](const Edge& a, const Edge& b) {
+              if (a.src != b.src) return a.src < b.src;
+              if (a.dst != b.dst) return a.dst < b.dst;
+              return a.w < b.w;
+            });
+  out.edges.erase(
+      std::unique(out.edges.begin(), out.edges.end(),
+                  [](const Edge& a, const Edge& b) {
+                    return a.src == b.src && a.dst == b.dst;
+                  }),
+      out.edges.end());
+  return out;
+}
+
+EdgeList with_random_weights(const EdgeList& el, std::uint64_t seed,
+                             std::uint32_t max_weight) {
+  EdgeList out = el;
+  out.weighted = true;
+  Xoshiro256 rng(seed);
+  for (auto& e : out.edges) {
+    e.w = static_cast<weight_t>(rng.uniform_in(1, max_weight));
+  }
+  return out;
+}
+
+EdgeList unweighted_view(const EdgeList& el) {
+  EdgeList out = el;
+  out.weighted = false;
+  for (auto& e : out.edges) e.w = 1.0f;
+  return out;
+}
+
+vid_t count_vertices_with_degree_above(const EdgeList& el, eid_t min_degree) {
+  const auto deg = total_degrees(el);
+  vid_t c = 0;
+  for (const auto d : deg) {
+    if (d > min_degree) ++c;
+  }
+  return c;
+}
+
+}  // namespace epgs

@@ -1,0 +1,102 @@
+#include "graphalytics/granula.hpp"
+
+#include <cstdio>
+
+#include "systems/common/system.hpp"
+#include <sstream>
+
+namespace epgs::graphalytics {
+
+OperationSpec default_operation_model() {
+  return OperationSpec{
+      .label = "Job",
+      .phase_name = "",
+      .children = {
+          OperationSpec{.label = "Ingest",
+                        .phase_name = std::string(phase::kFileRead),
+                        .children = {}},
+          OperationSpec{
+              .label = "Setup",
+              .phase_name = "",
+              .children =
+                  {OperationSpec{.label = "BuildGraph",
+                                 .phase_name = std::string(phase::kBuild),
+                                 .children = {}},
+                   OperationSpec{
+                       .label = "EngineInit",
+                       .phase_name = std::string(phase::kEngineInit),
+                       .children = {}}}},
+          OperationSpec{.label = "Processing",
+                        .phase_name = std::string(phase::kAlgorithm),
+                        .children = {}},
+          OperationSpec{.label = "Output",
+                        .phase_name = std::string(phase::kOutput),
+                        .children = {}},
+      }};
+}
+
+OperationReport evaluate(const OperationSpec& spec, const PhaseLog& log) {
+  OperationReport report;
+  report.label = spec.label;
+
+  if (!spec.phase_name.empty()) {
+    for (const auto& e : log.entries()) {
+      if (e.name == spec.phase_name) {
+        report.self_seconds += e.seconds;
+        report.work += e.work;
+        ++report.occurrences;
+      }
+    }
+  }
+  report.seconds = report.self_seconds;
+  for (const auto& child : spec.children) {
+    report.children.push_back(evaluate(child, log));
+    report.seconds += report.children.back().seconds;
+    report.work += report.children.back().work;
+  }
+  if (report.seconds > 0.0 && report.work.edges_processed > 0) {
+    report.edges_per_second =
+        static_cast<double>(report.work.edges_processed) / report.seconds;
+  }
+  return report;
+}
+
+namespace {
+
+void render_node(const OperationReport& node, int depth,
+                 std::ostringstream& os) {
+  char buf[192];
+  std::snprintf(buf, sizeof buf, "%*s%-14s %10.6f s", depth * 2, "",
+                node.label.c_str(), node.seconds);
+  os << buf;
+  if (node.occurrences > 0) {
+    std::snprintf(buf, sizeof buf, "  (x%d", node.occurrences);
+    os << buf;
+    if (node.edges_per_second > 0.0) {
+      std::snprintf(buf, sizeof buf, ", %.3g edges/s",
+                    node.edges_per_second);
+      os << buf;
+    }
+    if (node.work.vertex_updates > 0) {
+      std::snprintf(buf, sizeof buf, ", %llu vertex updates",
+                    static_cast<unsigned long long>(
+                        node.work.vertex_updates));
+      os << buf;
+    }
+    os << ')';
+  }
+  os << '\n';
+  for (const auto& child : node.children) {
+    render_node(child, depth + 1, os);
+  }
+}
+
+}  // namespace
+
+std::string render_report(const OperationReport& report) {
+  std::ostringstream os;
+  render_node(report, 0, os);
+  return os.str();
+}
+
+}  // namespace epgs::graphalytics

@@ -1,0 +1,55 @@
+// Granula-style fine-grained performance modelling.
+//
+// The paper's related work: "With a plugin to Graphalytics called
+// Granula, one can explicitly specify a performance model to analyze
+// specific execution behavior such as the amount of communication or
+// runtime of particular kernels of execution. This requires in-depth
+// knowledge of the source code and execution model ... but allows
+// detailed performance analysis."
+//
+// This module is that idea applied to our phase logs: a user-declared
+// hierarchical operation model (job -> operations -> sub-operations,
+// each matching phase names) is evaluated against a PhaseLog, yielding
+// per-operation wall time, work counters, and derived metrics
+// (communication volume from mirror syncs, edge throughput, ...).
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/phase_log.hpp"
+
+namespace epgs::graphalytics {
+
+/// One node of the operation model: matches every phase whose name
+/// equals `phase_name` (empty = container-only node).
+struct OperationSpec {
+  std::string label;        ///< e.g. "Ingest", "Processing"
+  std::string phase_name;   ///< phase to match; empty for pure containers
+  std::vector<OperationSpec> children;
+};
+
+/// Evaluated node: measured totals plus derived metrics.
+struct OperationReport {
+  std::string label;
+  double seconds = 0.0;            ///< matched phases + children
+  double self_seconds = 0.0;       ///< matched phases only
+  int occurrences = 0;             ///< number of matched phases
+  WorkStats work;                  ///< aggregated counters (self + children)
+  double edges_per_second = 0.0;   ///< throughput when work was counted
+  std::vector<OperationReport> children;
+};
+
+/// The default model for the systems in this study: Ingest (file read),
+/// Setup (build graph + initialize engine), Processing (run algorithm).
+OperationSpec default_operation_model();
+
+/// Evaluate `spec` against a log. A phase consumed by a child is still
+/// counted by its ancestors (hierarchical containment).
+OperationReport evaluate(const OperationSpec& spec, const PhaseLog& log);
+
+/// Render an indented text report (the Granula "archive" equivalent).
+std::string render_report(const OperationReport& report);
+
+}  // namespace epgs::graphalytics

@@ -1,0 +1,116 @@
+#include "harness/analysis.hpp"
+
+#include <algorithm>
+
+#include "core/error.hpp"
+#include "systems/common/system.hpp"
+
+namespace epgs::harness {
+
+BoxStats phase_stats(const ExperimentResult& result, std::string_view system,
+                     std::string_view phase, std::string_view algorithm) {
+  auto sample = result.seconds_of(system, phase, algorithm);
+  EPGS_CHECK(!sample.empty(),
+             "no records for " + std::string(system) + "/" +
+                 std::string(phase) + "/" + std::string(algorithm));
+  return box_stats(std::move(sample));
+}
+
+bool has_records(const ExperimentResult& result, std::string_view system,
+                 std::string_view phase, std::string_view algorithm) {
+  return !result.seconds_of(system, phase, algorithm).empty();
+}
+
+std::vector<ScalabilityCurve> scalability_sweep(
+    ExperimentConfig base, const std::vector<int>& ladder) {
+  EPGS_CHECK(!ladder.empty(), "empty thread ladder");
+  std::vector<ScalabilityCurve> curves;
+  for (const auto& system : base.systems) {
+    curves.push_back(ScalabilityCurve{system, {}});
+  }
+
+  for (const int t : ladder) {
+    ExperimentConfig cfg = base;
+    cfg.threads = t;
+    const auto result = run_experiment(cfg);
+    for (auto& curve : curves) {
+      if (!has_records(result, curve.system, phase::kAlgorithm)) continue;
+      ScalabilityPoint p;
+      p.threads = t;
+      p.mean_seconds =
+          phase_stats(result, curve.system, phase::kAlgorithm).mean;
+      curve.points.push_back(p);
+    }
+  }
+
+  for (auto& curve : curves) {
+    if (curve.points.empty()) continue;
+    const double t1 = curve.points.front().mean_seconds;
+    for (auto& p : curve.points) {
+      p.speedup = speedup(t1, p.mean_seconds);
+      p.efficiency = efficiency(t1, p.threads, p.mean_seconds);
+    }
+  }
+  return curves;
+}
+
+std::vector<power::PowerEstimate> per_trial_power(
+    const ExperimentResult& result, std::string_view system,
+    std::string_view algorithm, const power::MachineModel& machine) {
+  std::vector<power::PowerEstimate> out;
+  for (const auto& r : result.records) {
+    if (r.system != system || r.phase != phase::kAlgorithm ||
+        r.algorithm != algorithm) {
+      continue;
+    }
+    out.push_back(power::estimate(
+        machine, power::WorkloadSample{r.seconds, r.threads, r.work}));
+  }
+  return out;
+}
+
+std::vector<EnergyRow> energy_table(const ExperimentResult& result,
+                                    const power::MachineModel& machine,
+                                    std::string_view algorithm) {
+  std::vector<EnergyRow> rows;
+  // Preserve record order of first appearance per system.
+  std::vector<std::string> systems;
+  for (const auto& r : result.records) {
+    if (r.algorithm != algorithm) continue;
+    if (std::find(systems.begin(), systems.end(), r.system) ==
+        systems.end()) {
+      systems.push_back(r.system);
+    }
+  }
+
+  for (const auto& system : systems) {
+    const auto estimates =
+        per_trial_power(result, system, algorithm, machine);
+    if (estimates.empty()) continue;
+    const auto times =
+        result.seconds_of(system, phase::kAlgorithm, algorithm);
+
+    EnergyRow row;
+    row.system = system;
+    row.time_s = mean_of(times);
+    double cpu_w = 0.0, ram_w = 0.0, joules = 0.0;
+    for (const auto& e : estimates) {
+      cpu_w += e.cpu_watts;
+      ram_w += e.ram_watts;
+      joules += e.total_joules();
+    }
+    const auto n = static_cast<double>(estimates.size());
+    row.avg_cpu_power_w = cpu_w / n;
+    row.avg_ram_power_w = ram_w / n;
+    row.energy_per_root_j = joules / n;
+    const auto sleep = power::sleep_baseline(machine, row.time_s);
+    row.sleep_energy_j = sleep.total_joules();
+    row.increase_over_sleep =
+        row.sleep_energy_j > 0 ? row.energy_per_root_j / row.sleep_energy_j
+                               : 0.0;
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+}  // namespace epgs::harness

@@ -1,0 +1,68 @@
+// Phase 5: analysis. The original framework hands a CSV to R scripts;
+// here the box statistics, scalability curves and energy tables those
+// scripts produced are computed natively.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/stats.hpp"
+#include "harness/runner.hpp"
+#include "power/model.hpp"
+
+namespace epgs::harness {
+
+/// Box-plot statistics of one (system, phase[, algorithm]) group.
+/// Throws EpgsError when the group is empty.
+BoxStats phase_stats(const ExperimentResult& result, std::string_view system,
+                     std::string_view phase, std::string_view algorithm = {});
+
+/// True when the group has at least one record.
+bool has_records(const ExperimentResult& result, std::string_view system,
+                 std::string_view phase, std::string_view algorithm = {});
+
+// --- Scalability (Figs 5 and 6) ---------------------------------------
+
+struct ScalabilityPoint {
+  int threads = 1;
+  double mean_seconds = 0.0;
+  double speedup = 1.0;     ///< T1 / Tn
+  double efficiency = 1.0;  ///< T1 / (n * Tn)
+};
+
+struct ScalabilityCurve {
+  std::string system;
+  std::vector<ScalabilityPoint> points;
+};
+
+/// Run `base` once per thread count in `ladder` ("because of timing
+/// considerations, only four trials were run" — base.num_roots should be
+/// small) and derive speedup/efficiency from the mean algorithm time.
+/// `ladder` entries exceeding the hardware are still run (oversubscribed),
+/// as on the paper's 72-thread box.
+std::vector<ScalabilityCurve> scalability_sweep(ExperimentConfig base,
+                                                const std::vector<int>& ladder);
+
+// --- Energy (Table III and Fig 9) --------------------------------------
+
+struct EnergyRow {
+  std::string system;
+  double time_s = 0.0;            ///< mean algorithm time per root
+  double avg_cpu_power_w = 0.0;   ///< mean of per-root CPU power
+  double avg_ram_power_w = 0.0;
+  double energy_per_root_j = 0.0; ///< CPU+RAM energy per root
+  double sleep_energy_j = 0.0;    ///< idle power * time
+  double increase_over_sleep = 0.0;
+};
+
+/// Table III: one row per system, derived from per-root BFS samples.
+std::vector<EnergyRow> energy_table(const ExperimentResult& result,
+                                    const power::MachineModel& machine,
+                                    std::string_view algorithm = "BFS");
+
+/// Fig 9: the per-root power estimates behind the box plots.
+std::vector<power::PowerEstimate> per_trial_power(
+    const ExperimentResult& result, std::string_view system,
+    std::string_view algorithm, const power::MachineModel& machine);
+
+}  // namespace epgs::harness

@@ -1,0 +1,76 @@
+// Experiment configuration: what easy-parallel-graph-*'s shell phases 2-3
+// take as input ("given a synthetic graph size or a real-world graph file"
+// and "given a graph and the number of threads").
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/edge_list.hpp"
+#include "systems/common/system.hpp"
+
+namespace epgs::harness {
+
+/// kTc and kBc are this framework's extension (the paper's Section V
+/// future work): "algorithms like triangle counting and betweenness
+/// centrality are widely implemented but not supported by either
+/// Graphalytics nor easy-parallel-graph-*".
+enum class Algorithm { kBfs, kSssp, kPageRank, kCdlp, kLcc, kWcc, kTc, kBc };
+
+[[nodiscard]] std::string_view algorithm_name(Algorithm a);
+[[nodiscard]] Algorithm algorithm_from_name(std::string_view name);
+
+/// Which graph to run on. Kronecker mirrors the Graph500 generator the
+/// paper uses for synthetic experiments; the *Like kinds are this repo's
+/// stand-ins for the two real-world datasets; SnapFile accepts "any
+/// network in the SNAP data format".
+struct GraphSpec {
+  enum class Kind { kKronecker, kPatentsLike, kDotaLike, kSnapFile };
+
+  Kind kind = Kind::kKronecker;
+  int scale = 16;            ///< Kronecker: 2^scale vertices
+  int edgefactor = 16;       ///< Kronecker: edges per vertex
+  double fraction = 0.02;    ///< dataset stand-ins: size vs the paper's
+  std::string path;          ///< SnapFile: input path
+  std::uint64_t seed = 20170517;
+
+  /// Preprocessing applied by the homogenizer before any system sees the
+  /// graph (identical input for everyone — the fairness the paper is
+  /// about).
+  bool symmetrize = true;       ///< Graph500 treats graphs as undirected
+  bool deduplicate = true;
+  bool add_weights = false;     ///< uniform integer weights for SSSP
+  std::uint32_t max_weight = 255;
+
+  [[nodiscard]] std::string name() const;
+};
+
+/// Generate/load the graph and apply the configured preprocessing.
+EdgeList materialize(const GraphSpec& spec);
+
+struct ExperimentConfig {
+  GraphSpec graph;
+  std::vector<std::string> systems;      ///< names from the registry
+  std::vector<Algorithm> algorithms;
+  int num_roots = 32;   ///< roots for BFS/SSSP; plain trials for the rest
+  int threads = 0;      ///< 0 = all available
+  std::uint64_t root_seed = 2;
+  PageRankParams pagerank;
+  int cdlp_iterations = 10;
+  /// Re-time data structure construction before every trial for systems
+  /// that support it (except Graph500, which "only constructs its graph
+  /// once" — Fig 2); gives the construction box plots their samples.
+  bool reconstruct_per_trial = true;
+  /// Validate every result against the serial reference oracles.
+  bool validate = false;
+};
+
+/// Pick `count` distinct roots with total degree > min_degree (the paper
+/// follows the Graph500 in requiring degree greater than 1), seeded and
+/// deterministic. Falls back to lower-degree vertices if the graph cannot
+/// supply enough.
+std::vector<vid_t> select_roots(const EdgeList& el, int count,
+                                std::uint64_t seed, eid_t min_degree = 1);
+
+}  // namespace epgs::harness

@@ -1,0 +1,145 @@
+#include "harness/predictor.hpp"
+
+#include <algorithm>
+
+#include "core/error.hpp"
+#include "core/timer.hpp"
+#include "gen/kronecker.hpp"
+#include "graph/transforms.hpp"
+#include "systems/common/registry.hpp"
+
+namespace epgs::harness {
+
+GraphStats GraphStats::of(const EdgeList& el) {
+  GraphStats s;
+  s.n = el.num_vertices;
+  s.m = el.num_edges();
+  const auto deg = total_degrees(el);
+  for (const auto d : deg) {
+    s.sum_deg_sq += static_cast<double>(d) * static_cast<double>(d);
+  }
+  return s;
+}
+
+double estimated_work_units(Algorithm alg, const GraphStats& stats,
+                            int expected_pagerank_iterations) {
+  const auto m = static_cast<double>(stats.m);
+  switch (alg) {
+    case Algorithm::kBfs:
+      return m;
+    case Algorithm::kSssp:
+      return 2.0 * m;  // relaxations revisit edges
+    case Algorithm::kPageRank:
+      return m * expected_pagerank_iterations;
+    case Algorithm::kCdlp:
+      return 2.0 * m * 10.0;  // both directions x default iterations
+    case Algorithm::kWcc:
+      return 4.0 * m;  // a few min-propagation rounds
+    case Algorithm::kLcc:
+    case Algorithm::kTc:
+      return stats.sum_deg_sq;
+    case Algorithm::kBc:
+      return 2.0 * m;  // forward + backward sweep
+  }
+  return m;
+}
+
+namespace {
+
+struct ProbeMeasurement {
+  GraphStats stats;
+  double seconds = 0.0;
+  std::size_t build_bytes = 0;
+};
+
+ProbeMeasurement probe(const std::string& system_name, Algorithm alg,
+                       int scale, std::uint64_t seed) {
+  gen::KroneckerParams p;
+  p.scale = scale;
+  p.edgefactor = 8;
+  p.seed = seed;
+  EdgeList el = dedupe(symmetrize(gen::kronecker(p)));
+  if (alg == Algorithm::kSssp) {
+    el = with_random_weights(el, seed ^ 0xFEEDULL, 255);
+  }
+
+  auto sys = make_system(system_name);
+  sys->set_edges(el);
+  sys->build();
+
+  ProbeMeasurement pm;
+  pm.stats = GraphStats::of(el);
+  pm.build_bytes = sys->log().find(phase::kBuild)->work.bytes_touched;
+
+  const auto roots = select_roots(el, 2, seed ^ 0xB00ULL);
+  WallTimer t;
+  for (const vid_t root : roots) {
+    switch (alg) {
+      case Algorithm::kBfs: (void)sys->bfs(root); break;
+      case Algorithm::kSssp: (void)sys->sssp(root); break;
+      case Algorithm::kPageRank: (void)sys->pagerank(); break;
+      case Algorithm::kCdlp: (void)sys->cdlp(); break;
+      case Algorithm::kLcc: (void)sys->lcc(); break;
+      case Algorithm::kWcc: (void)sys->wcc(); break;
+      case Algorithm::kTc: (void)sys->tc(); break;
+      case Algorithm::kBc: (void)sys->bc(root); break;
+    }
+  }
+  pm.seconds = t.seconds() / static_cast<double>(roots.size());
+  return pm;
+}
+
+}  // namespace
+
+Predictor Predictor::calibrate(const std::string& system, Algorithm alg,
+                               int small_scale, int large_scale,
+                               std::uint64_t seed) {
+  EPGS_CHECK(small_scale < large_scale,
+             "probe scales must be increasing");
+  Predictor pred;
+  pred.system_ = system;
+  pred.alg_ = alg;
+
+  const auto small = probe(system, alg, small_scale, seed);
+  const auto large = probe(system, alg, large_scale, seed);
+
+  const double u1 = estimated_work_units(alg, small.stats,
+                                         pred.pagerank_iters_);
+  const double u2 = estimated_work_units(alg, large.stats,
+                                         pred.pagerank_iters_);
+  EPGS_CHECK(u2 > u1, "probe work did not grow with scale");
+
+  // Affine fit through the two probes; clamp to a sane (non-negative)
+  // model when measurement noise inverts the slope.
+  double b = (large.seconds - small.seconds) / (u2 - u1);
+  if (b <= 0.0) b = large.seconds / u2;
+  double a = small.seconds - b * u1;
+  if (a < 0.0) a = 0.0;
+  pred.overhead_s_ = a;
+  pred.rate_s_ = b;
+
+  pred.bytes_per_edge_ = static_cast<double>(large.build_bytes) /
+                         static_cast<double>(large.stats.m);
+  pred.bytes_per_vertex_ = 16.0;  // per-vertex state arrays, conservative
+  return pred;
+}
+
+double Predictor::predict_seconds(const GraphStats& stats) const {
+  return overhead_s_ +
+         rate_s_ * estimated_work_units(alg_, stats, pagerank_iters_);
+}
+
+std::size_t Predictor::predict_bytes(const GraphStats& stats) const {
+  return static_cast<std::size_t>(bytes_per_edge_ *
+                                      static_cast<double>(stats.m) +
+                                  bytes_per_vertex_ *
+                                      static_cast<double>(stats.n));
+}
+
+bool Predictor::feasible(const GraphStats& stats, double time_limit_s,
+                         std::size_t memory_limit_bytes) const {
+  return predict_seconds(stats) <= time_limit_s &&
+         predict_bytes(stats) <= memory_limit_bytes;
+}
+
+}  // namespace epgs::harness

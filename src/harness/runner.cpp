@@ -1,0 +1,241 @@
+#include "harness/runner.hpp"
+
+#include <charconv>
+#include <optional>
+
+#include "core/csv.hpp"
+#include "core/error.hpp"
+#include "core/parallel.hpp"
+#include "graph/csr.hpp"
+#include "systems/common/registry.hpp"
+#include "systems/common/validation.hpp"
+
+namespace epgs::harness {
+namespace {
+
+struct EntryTag {
+  std::string algorithm;
+  int trial = -1;
+};
+
+double parse_double(const std::string& s) {
+  return s.empty() ? 0.0 : std::stod(s);
+}
+
+std::uint64_t parse_u64_field(const std::string& s) {
+  return s.empty() ? 0 : std::stoull(s);
+}
+
+}  // namespace
+
+std::vector<double> ExperimentResult::seconds_of(
+    std::string_view system, std::string_view phase,
+    std::string_view algorithm) const {
+  std::vector<double> out;
+  for (const auto& r : records) {
+    if (r.system != system || r.phase != phase) continue;
+    if (!algorithm.empty() && r.algorithm != algorithm) continue;
+    out.push_back(r.seconds);
+  }
+  return out;
+}
+
+std::vector<double> ExperimentResult::iterations_of(
+    std::string_view system, std::string_view algorithm) const {
+  std::vector<double> out;
+  for (const auto& r : records) {
+    if (r.system != system || r.algorithm != algorithm) continue;
+    const auto it = r.extra.find("iterations");
+    if (it != r.extra.end()) out.push_back(std::stod(it->second));
+  }
+  return out;
+}
+
+ExperimentResult run_experiment(const ExperimentConfig& cfg) {
+  EPGS_CHECK(!cfg.systems.empty(), "no systems configured");
+  EPGS_CHECK(!cfg.algorithms.empty(), "no algorithms configured");
+
+  const EdgeList el = materialize(cfg.graph);
+  const std::string dataset = cfg.graph.name();
+
+  ExperimentResult result;
+  result.roots = select_roots(el, cfg.num_roots, cfg.root_seed);
+
+  // Oracles for optional validation.
+  std::optional<CSRGraph> oracle_csr;
+  if (cfg.validate) oracle_csr = CSRGraph::from_edges(el);
+
+  const int threads = cfg.threads > 0 ? cfg.threads : max_threads();
+
+  for (const auto& system_name : cfg.systems) {
+    auto sys = make_system(system_name);
+    ThreadScope scope(threads);
+
+    // Tag every log entry with (algorithm, trial) as it appears so the
+    // text-parsed log can be attributed afterwards.
+    std::vector<EntryTag> tags;
+    auto tag_new = [&](std::string alg, int trial) {
+      while (tags.size() < sys->log().entries().size()) {
+        tags.push_back(EntryTag{alg, trial});
+      }
+    };
+
+    const bool rebuild_per_trial =
+        cfg.reconstruct_per_trial &&
+        sys->capabilities().separate_construction &&
+        sys->name() != "Graph500";
+
+    if (!rebuild_per_trial) {
+      sys->set_edges(el);
+      sys->build();
+      tag_new("", -1);
+    }
+
+    for (const Algorithm alg : cfg.algorithms) {
+      const auto caps = sys->capabilities();
+      const bool supported =
+          (alg == Algorithm::kBfs && caps.bfs) ||
+          (alg == Algorithm::kSssp && caps.sssp) ||
+          (alg == Algorithm::kPageRank && caps.pagerank) ||
+          (alg == Algorithm::kCdlp && caps.cdlp) ||
+          (alg == Algorithm::kLcc && caps.lcc) ||
+          (alg == Algorithm::kWcc && caps.wcc) ||
+          (alg == Algorithm::kTc && caps.tc) ||
+          (alg == Algorithm::kBc && caps.bc);
+      if (!supported) continue;  // the paper's plots just omit the bar
+
+      const std::string alg_name(algorithm_name(alg));
+      for (int trial = 0; trial < cfg.num_roots; ++trial) {
+        if (rebuild_per_trial) {
+          sys->set_edges(el);
+          sys->build();
+          tag_new(alg_name, trial);
+        }
+        const vid_t root = result.roots[static_cast<std::size_t>(trial)];
+        switch (alg) {
+          case Algorithm::kBfs: {
+            auto res = sys->bfs(root);
+            if (cfg.validate) {
+              const auto err = validate_bfs(*oracle_csr, res);
+              EPGS_CHECK(!err, system_name + " BFS invalid: " +
+                                   err.value_or(""));
+            }
+            break;
+          }
+          case Algorithm::kSssp: {
+            auto res = sys->sssp(root);
+            if (cfg.validate) {
+              const auto err = validate_sssp(*oracle_csr, res);
+              EPGS_CHECK(!err, system_name + " SSSP invalid: " +
+                                   err.value_or(""));
+            }
+            break;
+          }
+          case Algorithm::kPageRank: {
+            auto res = sys->pagerank(cfg.pagerank);
+            if (cfg.validate && trial == 0) {
+              const auto err = validate_pagerank(res);
+              EPGS_CHECK(!err, system_name + " PageRank invalid: " +
+                                   err.value_or(""));
+            }
+            break;
+          }
+          case Algorithm::kCdlp:
+            (void)sys->cdlp(cfg.cdlp_iterations);
+            break;
+          case Algorithm::kLcc:
+            (void)sys->lcc();
+            break;
+          case Algorithm::kWcc: {
+            auto res = sys->wcc();
+            if (cfg.validate && trial == 0) {
+              const auto err = validate_wcc(el, res);
+              EPGS_CHECK(!err, system_name + " WCC invalid: " +
+                                   err.value_or(""));
+            }
+            break;
+          }
+          case Algorithm::kTc:
+            (void)sys->tc();
+            break;
+          case Algorithm::kBc:
+            (void)sys->bc(root);
+            break;
+        }
+        tag_new(alg_name, trial);
+
+        // LCC/WCC/CDLP/PageRank are deterministic per trial; still run
+        // them num_roots times as the paper does ("for PageRank, we
+        // simply run the algorithm 32 times").
+      }
+    }
+
+    // Phase 4: serialise the system's log, parse it back, emit records.
+    const std::string raw = sys->log().to_log_text();
+    result.raw_logs[system_name] = raw;
+    const PhaseLog parsed = PhaseLog::parse_log_text(raw);
+    EPGS_CHECK(parsed.entries().size() == tags.size(),
+               "log round-trip entry count mismatch for " + system_name);
+    for (std::size_t i = 0; i < parsed.entries().size(); ++i) {
+      const auto& e = parsed.entries()[i];
+      RunRecord rec;
+      rec.dataset = dataset;
+      rec.system = system_name;
+      rec.algorithm = tags[i].algorithm;
+      rec.threads = threads;
+      rec.trial = tags[i].trial;
+      rec.phase = e.name;
+      rec.seconds = e.seconds;
+      rec.work = e.work;
+      rec.extra = e.extra;
+      result.records.push_back(std::move(rec));
+    }
+  }
+  return result;
+}
+
+std::string records_to_csv(const std::vector<RunRecord>& records) {
+  std::vector<CsvRow> rows;
+  rows.push_back({"dataset", "system", "algorithm", "threads", "trial",
+                  "phase", "seconds", "edges", "vupdates", "bytes",
+                  "iterations"});
+  for (const auto& r : records) {
+    const auto it = r.extra.find("iterations");
+    char secs[32];
+    std::snprintf(secs, sizeof secs, "%.9g", r.seconds);
+    rows.push_back({r.dataset, r.system, r.algorithm,
+                    std::to_string(r.threads), std::to_string(r.trial),
+                    r.phase, secs,
+                    std::to_string(r.work.edges_processed),
+                    std::to_string(r.work.vertex_updates),
+                    std::to_string(r.work.bytes_touched),
+                    it == r.extra.end() ? "" : it->second});
+  }
+  return to_csv(rows);
+}
+
+std::vector<RunRecord> records_from_csv(const std::string& csv) {
+  const auto rows = parse_csv(csv);
+  EPGS_CHECK(!rows.empty(), "empty CSV");
+  std::vector<RunRecord> records;
+  for (std::size_t i = 1; i < rows.size(); ++i) {
+    const auto& row = rows[i];
+    EPGS_CHECK(row.size() == 11, "CSV row has wrong field count");
+    RunRecord r;
+    r.dataset = row[0];
+    r.system = row[1];
+    r.algorithm = row[2];
+    r.threads = static_cast<int>(parse_u64_field(row[3]));
+    r.trial = std::stoi(row[4]);
+    r.phase = row[5];
+    r.seconds = parse_double(row[6]);
+    r.work.edges_processed = parse_u64_field(row[7]);
+    r.work.vertex_updates = parse_u64_field(row[8]);
+    r.work.bytes_touched = parse_u64_field(row[9]);
+    if (!row[10].empty()) r.extra["iterations"] = row[10];
+    records.push_back(std::move(r));
+  }
+  return records;
+}
+
+}  // namespace epgs::harness

@@ -1,0 +1,63 @@
+// The experiment runner: phases 3 (run) and 4 (parse logs into CSV) of
+// easy-parallel-graph-*.
+//
+// For every configured system the runner drives the common adapter
+// life-cycle, then — exactly like the original tool's AWK scripts — reads
+// everything back by *serialising each system's phase log to text and
+// parsing it*, producing one flat record per timed phase. Nothing in the
+// analysis path touches system internals.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/phase_log.hpp"
+#include "harness/experiment.hpp"
+
+namespace epgs::harness {
+
+/// One timed phase of one trial: a row of the phase-4 CSV.
+struct RunRecord {
+  std::string dataset;
+  std::string system;
+  std::string algorithm;  ///< empty for construction phases
+  int threads = 0;
+  int trial = -1;         ///< root index / repetition; -1 for build-once
+  std::string phase;      ///< "build graph", "run algorithm", ...
+  double seconds = 0.0;
+  WorkStats work;
+  std::map<std::string, std::string> extra;  ///< e.g. iterations
+};
+
+/// Result of a full experiment.
+struct ExperimentResult {
+  std::vector<RunRecord> records;
+  std::vector<vid_t> roots;
+  /// Verbatim per-system log text (what the parser consumed) for
+  /// inspection, keyed by system name.
+  std::map<std::string, std::string> raw_logs;
+
+  /// Seconds of every record matching the given keys (empty algorithm
+  /// matches any).
+  [[nodiscard]] std::vector<double> seconds_of(
+      std::string_view system, std::string_view phase,
+      std::string_view algorithm = {}) const;
+
+  /// Sum of iterations extra over matching records (e.g. PageRank).
+  [[nodiscard]] std::vector<double> iterations_of(
+      std::string_view system, std::string_view algorithm) const;
+};
+
+/// Run the experiment. Throws EpgsError on configuration errors; systems
+/// lacking a requested algorithm are skipped for that algorithm (the
+/// paper's plots simply omit those bars).
+ExperimentResult run_experiment(const ExperimentConfig& cfg);
+
+/// Phase-4 output: render records as CSV (with header).
+std::string records_to_csv(const std::vector<RunRecord>& records);
+
+/// Parse a phase-4 CSV back into records (round-trip tested).
+std::vector<RunRecord> records_from_csv(const std::string& csv);
+
+}  // namespace epgs::harness

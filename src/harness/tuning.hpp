@@ -1,0 +1,55 @@
+// Heuristic parameter tuning (paper Section V).
+//
+// "Advances in parallel SSSP and BFS contain parameterizations (Delta for
+// SSSP and alpha and beta for BFS) which affect performance depending on
+// graph structure. These are provided in GAP. We plan to add some level
+// of heuristic parameter tuning ... to the next iteration of our
+// framework." — this is that next iteration: a measured grid search over
+// GAP's direction-optimizing thresholds and delta-stepping bucket width,
+// since Section IV-C blames GAP's dota-league BFS loss on "our lack of
+// tuning; we use the default parameterization of alpha = 15 and beta =
+// 18, which may not be optimal for all graphs".
+#pragma once
+
+#include <vector>
+
+#include "graph/edge_list.hpp"
+#include "systems/gap/gap_system.hpp"
+
+namespace epgs::harness {
+
+struct BfsTuningCandidate {
+  double alpha = 15.0;
+  double beta = 18.0;
+};
+
+std::vector<BfsTuningCandidate> default_bfs_grid();
+std::vector<weight_t> default_delta_grid();
+
+struct BfsTuningResult {
+  BfsTuningCandidate best;
+  double best_mean_seconds = 0.0;
+  /// Mean BFS time per candidate, parallel to the input grid.
+  std::vector<double> mean_seconds;
+};
+
+/// Measure mean GAP BFS time over `roots` for every candidate; returns
+/// the argmin. The default grid brackets GAP's (15, 18) defaults.
+BfsTuningResult tune_bfs(const EdgeList& graph,
+                         const std::vector<vid_t>& roots,
+                         const std::vector<BfsTuningCandidate>& grid =
+                             default_bfs_grid());
+
+struct DeltaTuningResult {
+  weight_t best_delta = 2.0f;
+  double best_mean_seconds = 0.0;
+  std::vector<double> mean_seconds;
+};
+
+/// Measure mean GAP delta-stepping time over `roots` per delta.
+DeltaTuningResult tune_delta(const EdgeList& weighted_graph,
+                             const std::vector<vid_t>& roots,
+                             const std::vector<weight_t>& deltas =
+                                 default_delta_grid());
+
+}  // namespace epgs::harness

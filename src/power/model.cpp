@@ -1,0 +1,45 @@
+#include "power/model.hpp"
+
+#include <algorithm>
+
+#include "core/error.hpp"
+
+namespace epgs::power {
+
+PowerEstimate estimate(const MachineModel& machine,
+                       const WorkloadSample& sample) {
+  EPGS_CHECK(sample.seconds >= 0.0, "negative duration");
+  EPGS_CHECK(sample.threads >= 0, "negative thread count");
+
+  const double u = std::min(
+      1.0, static_cast<double>(sample.threads) /
+               std::max(1, machine.hw_threads));
+
+  double c = 0.0, m = 0.0;
+  if (sample.seconds > 0.0) {
+    const double edge_rate =
+        static_cast<double>(sample.work.edges_processed) / sample.seconds;
+    const double byte_rate =
+        static_cast<double>(sample.work.bytes_touched) / sample.seconds;
+    c = std::min(1.0, edge_rate / machine.edge_rate_ceiling);
+    m = std::min(1.0, byte_rate / machine.mem_bandwidth_ceiling);
+  }
+
+  PowerEstimate e;
+  e.cpu_watts = machine.cpu_idle_w +
+                (machine.cpu_peak_w - machine.cpu_idle_w) * u *
+                    (0.5 + 0.5 * c);
+  e.ram_watts =
+      machine.ram_idle_w + (machine.ram_peak_w - machine.ram_idle_w) * m;
+  e.cpu_joules = e.cpu_watts * sample.seconds;
+  e.ram_joules = e.ram_watts * sample.seconds;
+  return e;
+}
+
+PowerEstimate sleep_baseline(const MachineModel& machine, double seconds) {
+  return estimate(machine, WorkloadSample{.seconds = seconds,
+                                          .threads = 0,
+                                          .work = {}});
+}
+
+}  // namespace epgs::power

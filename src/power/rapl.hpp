@@ -1,0 +1,88 @@
+// power_rapl_t: the exact instrumentation API from the paper's Fig 10.
+//
+//   #ifdef POWER_PROFILING
+//   power_rapl_t ps;
+//   power_rapl_init(&ps);
+//   power_rapl_start(&ps);
+//   #endif
+//   <region of code to profile>
+//   #ifdef POWER_PROFILING
+//   power_rapl_end(&ps);
+//   power_rapl_print(&ps);
+//   #endif
+//
+// Backed by the first available energy source:
+//  * Linux powercap sysfs (/sys/class/powercap/intel-rapl*) when the
+//    counters are readable — real RAPL, as in the paper;
+//  * the analytic model otherwise (idle-power integration over the
+//    region; callers wanting work-aware estimates use power::estimate()).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "power/model.hpp"
+
+namespace epgs::power {
+
+/// Abstract cumulative-energy source (monotone counters, joules).
+class EnergyBackend {
+ public:
+  virtual ~EnergyBackend() = default;
+  [[nodiscard]] virtual std::string_view name() const = 0;
+  /// Cumulative CPU package energy in joules since an arbitrary epoch.
+  virtual double cpu_energy_j() = 0;
+  /// Cumulative DRAM energy in joules (0 if the platform lacks the zone).
+  virtual double ram_energy_j() = 0;
+};
+
+/// Reads Linux powercap RAPL zones. Construction throws EpgsError when no
+/// readable package zone exists.
+class PowercapBackend final : public EnergyBackend {
+ public:
+  explicit PowercapBackend(std::string sysfs_root = "/sys/class/powercap");
+  [[nodiscard]] std::string_view name() const override { return "powercap"; }
+  double cpu_energy_j() override;
+  double ram_energy_j() override;
+
+  /// True when a readable package zone exists under `sysfs_root`.
+  static bool available(const std::string& sysfs_root = "/sys/class/powercap");
+
+ private:
+  std::string package_path_;
+  std::string dram_path_;
+};
+
+/// Fallback: integrates the analytic model's idle power over wall time.
+class ModelBackend final : public EnergyBackend {
+ public:
+  explicit ModelBackend(MachineModel machine = {});
+  [[nodiscard]] std::string_view name() const override { return "model"; }
+  double cpu_energy_j() override;
+  double ram_energy_j() override;
+
+ private:
+  MachineModel machine_;
+  double t0_;
+};
+
+/// Select the best available backend (powercap, else model).
+std::unique_ptr<EnergyBackend> make_default_backend();
+
+}  // namespace epgs::power
+
+/// C-style measurement handle (Fig 10).
+struct power_rapl_t {
+  double cpu_j_start = 0.0;
+  double ram_j_start = 0.0;
+  double wall_start = 0.0;
+  double cpu_j = 0.0;   ///< filled by power_rapl_end
+  double ram_j = 0.0;   ///< filled by power_rapl_end
+  double seconds = 0.0; ///< filled by power_rapl_end
+  epgs::power::EnergyBackend* backend = nullptr;  // non-owning
+};
+
+void power_rapl_init(power_rapl_t* ps);
+void power_rapl_start(power_rapl_t* ps);
+void power_rapl_end(power_rapl_t* ps);
+void power_rapl_print(const power_rapl_t* ps);

@@ -1,0 +1,289 @@
+#include "systems/common/reference.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <queue>
+#include <unordered_map>
+
+#include "core/error.hpp"
+
+namespace epgs::ref {
+
+std::vector<vid_t> bfs_levels(const CSRGraph& g, vid_t root) {
+  const vid_t n = g.num_vertices();
+  EPGS_CHECK(root < n, "bfs root out of range");
+  std::vector<vid_t> level(n, kNoVertex);
+  std::vector<vid_t> queue{root};
+  level[root] = 0;
+  std::vector<vid_t> next;
+  vid_t depth = 0;
+  while (!queue.empty()) {
+    ++depth;
+    next.clear();
+    for (const vid_t u : queue) {
+      for (const vid_t v : g.neighbors(u)) {
+        if (level[v] == kNoVertex) {
+          level[v] = depth;
+          next.push_back(v);
+        }
+      }
+    }
+    queue.swap(next);
+  }
+  return level;
+}
+
+std::vector<weight_t> dijkstra(const CSRGraph& g, vid_t root) {
+  const vid_t n = g.num_vertices();
+  EPGS_CHECK(root < n, "sssp root out of range");
+  std::vector<weight_t> dist(n, kInfDist);
+  using Item = std::pair<weight_t, vid_t>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> pq;
+  dist[root] = 0.0f;
+  pq.emplace(0.0f, root);
+  while (!pq.empty()) {
+    const auto [d, u] = pq.top();
+    pq.pop();
+    if (d > dist[u]) continue;
+    const auto nbrs = g.neighbors(u);
+    const auto ws = g.weighted() ? g.edge_weights(u)
+                                 : std::span<const weight_t>{};
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      const weight_t w = g.weighted() ? ws[i] : 1.0f;
+      EPGS_CHECK(w >= 0.0f, "dijkstra requires non-negative weights");
+      const weight_t nd = d + w;
+      if (nd < dist[nbrs[i]]) {
+        dist[nbrs[i]] = nd;
+        pq.emplace(nd, nbrs[i]);
+      }
+    }
+  }
+  return dist;
+}
+
+PageRankResult pagerank(const CSRGraph& out, const CSRGraph& in,
+                        const PageRankParams& params) {
+  const vid_t n = out.num_vertices();
+  EPGS_CHECK(n == in.num_vertices(), "out/in vertex count mismatch");
+  PageRankResult r;
+  r.rank.assign(n, n > 0 ? 1.0 / n : 0.0);
+  std::vector<double> next(n, 0.0);
+
+  for (int it = 0; it < params.max_iterations; ++it) {
+    double dangling = 0.0;
+    for (vid_t v = 0; v < n; ++v) {
+      if (out.degree(v) == 0) dangling += r.rank[v];
+    }
+    const double base =
+        (1.0 - params.damping) / n + params.damping * dangling / n;
+    double l1 = 0.0;
+    for (vid_t v = 0; v < n; ++v) {
+      double sum = 0.0;
+      for (const vid_t u : in.neighbors(v)) {
+        sum += r.rank[u] / static_cast<double>(out.degree(u));
+      }
+      next[v] = base + params.damping * sum;
+      l1 += std::abs(next[v] - r.rank[v]);
+    }
+    r.rank.swap(next);
+    ++r.iterations;
+    if (l1 < params.epsilon) break;
+  }
+  return r;
+}
+
+namespace {
+
+/// Smallest label among the most frequent in `labels` (must be sorted).
+vid_t min_mode(std::vector<vid_t>& labels) {
+  std::sort(labels.begin(), labels.end());
+  vid_t best = labels.front();
+  std::size_t best_count = 0;
+  std::size_t i = 0;
+  while (i < labels.size()) {
+    std::size_t j = i;
+    while (j < labels.size() && labels[j] == labels[i]) ++j;
+    if (j - i > best_count) {
+      best_count = j - i;
+      best = labels[i];
+    }
+    i = j;
+  }
+  return best;
+}
+
+}  // namespace
+
+CdlpResult cdlp(const CSRGraph& out, const CSRGraph& in,
+                int max_iterations) {
+  const vid_t n = out.num_vertices();
+  CdlpResult r;
+  r.label.resize(n);
+  std::iota(r.label.begin(), r.label.end(), vid_t{0});
+  std::vector<vid_t> next(n);
+  std::vector<vid_t> scratch;
+
+  for (int it = 0; it < max_iterations; ++it) {
+    bool changed = false;
+    for (vid_t v = 0; v < n; ++v) {
+      scratch.clear();
+      for (const vid_t u : out.neighbors(v)) scratch.push_back(r.label[u]);
+      for (const vid_t u : in.neighbors(v)) scratch.push_back(r.label[u]);
+      next[v] = scratch.empty() ? r.label[v] : min_mode(scratch);
+      changed |= next[v] != r.label[v];
+    }
+    r.label.swap(next);
+    ++r.iterations;
+    if (!changed) break;
+  }
+  return r;
+}
+
+std::vector<vid_t> neighbor_union(const CSRGraph& out, const CSRGraph& in,
+                                  vid_t v) {
+  std::vector<vid_t> nbrs;
+  const auto o = out.neighbors(v);
+  const auto i = in.neighbors(v);
+  nbrs.reserve(o.size() + i.size());
+  std::merge(o.begin(), o.end(), i.begin(), i.end(),
+             std::back_inserter(nbrs));
+  nbrs.erase(std::unique(nbrs.begin(), nbrs.end()), nbrs.end());
+  std::erase(nbrs, v);
+  return nbrs;
+}
+
+LccResult lcc(const CSRGraph& out, const CSRGraph& in) {
+  const vid_t n = out.num_vertices();
+  LccResult r;
+  r.coefficient.assign(n, 0.0);
+  for (vid_t v = 0; v < n; ++v) {
+    const auto nbrs = neighbor_union(out, in, v);
+    if (nbrs.size() < 2) continue;
+    std::uint64_t links = 0;
+    for (const vid_t a : nbrs) {
+      // Count directed edges a->b with b in N(v): intersect a's
+      // out-neighbors with the (sorted) neighbor union.
+      const auto adj = out.neighbors(a);
+      auto it = nbrs.begin();
+      for (const vid_t b : adj) {
+        it = std::lower_bound(it, nbrs.end(), b);
+        if (it == nbrs.end()) break;
+        if (*it == b && b != a) ++links;
+      }
+    }
+    r.coefficient[v] =
+        static_cast<double>(links) /
+        (static_cast<double>(nbrs.size()) * (nbrs.size() - 1));
+  }
+  return r;
+}
+
+TriangleCountResult triangle_count(const CSRGraph& out, const CSRGraph& in) {
+  const vid_t n = out.num_vertices();
+  // Forward algorithm on higher-id neighbor lists of the undirected
+  // simple graph: each triangle u < a < b is discovered exactly once at
+  // its smallest vertex.
+  std::vector<std::vector<vid_t>> higher(n);
+  for (vid_t v = 0; v < n; ++v) {
+    const auto nbrs = neighbor_union(out, in, v);
+    for (const vid_t u : nbrs) {
+      if (u > v) higher[v].push_back(u);  // already sorted
+    }
+  }
+  std::uint64_t count = 0;
+  for (vid_t v = 0; v < n; ++v) {
+    for (const vid_t a : higher[v]) {
+      // |higher[v] ∩ higher[a]| — both sorted.
+      auto it1 = higher[v].begin();
+      auto it2 = higher[a].begin();
+      while (it1 != higher[v].end() && it2 != higher[a].end()) {
+        if (*it1 < *it2) {
+          ++it1;
+        } else if (*it2 < *it1) {
+          ++it2;
+        } else {
+          ++count;
+          ++it1;
+          ++it2;
+        }
+      }
+    }
+  }
+  return TriangleCountResult{count};
+}
+
+BcResult brandes_bc(const CSRGraph& out, const CSRGraph& in, vid_t source) {
+  const vid_t n = out.num_vertices();
+  EPGS_CHECK(source < n, "bc source out of range");
+  BcResult r;
+  r.source = source;
+  r.dependency.assign(n, 0.0);
+
+  // Forward BFS: sigma (number of hop-shortest paths) and level order.
+  std::vector<double> sigma(n, 0.0);
+  std::vector<vid_t> level(n, kNoVertex);
+  std::vector<vid_t> order;  // BFS visitation order
+  order.reserve(n);
+  sigma[source] = 1.0;
+  level[source] = 0;
+  std::vector<vid_t> frontier{source};
+  vid_t depth = 0;
+  while (!frontier.empty()) {
+    order.insert(order.end(), frontier.begin(), frontier.end());
+    ++depth;
+    std::vector<vid_t> next;
+    for (const vid_t u : frontier) {
+      for (const vid_t v : out.neighbors(u)) {
+        if (level[v] == kNoVertex) {
+          level[v] = depth;
+          next.push_back(v);
+        }
+        if (level[v] == depth) sigma[v] += sigma[u];
+      }
+    }
+    frontier.swap(next);
+  }
+
+  // Backward sweep in reverse BFS order.
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const vid_t w = *it;
+    if (level[w] == 0) continue;
+    for (const vid_t v : in.neighbors(w)) {
+      if (level[v] != kNoVertex && level[v] + 1 == level[w]) {
+        r.dependency[v] += sigma[v] / sigma[w] * (1.0 + r.dependency[w]);
+      }
+    }
+  }
+  return r;
+}
+
+WccResult wcc(const EdgeList& el) {
+  const vid_t n = el.num_vertices;
+  std::vector<vid_t> parent(n);
+  std::iota(parent.begin(), parent.end(), vid_t{0});
+
+  auto find = [&](vid_t x) {
+    vid_t root = x;
+    while (parent[root] != root) root = parent[root];
+    while (parent[x] != root) {
+      const vid_t nxt = parent[x];
+      parent[x] = root;
+      x = nxt;
+    }
+    return root;
+  };
+
+  for (const auto& e : el.edges) {
+    const vid_t a = find(e.src), b = find(e.dst);
+    if (a != b) parent[std::max(a, b)] = std::min(a, b);
+  }
+
+  WccResult r;
+  r.component.resize(n);
+  // Union-by-min guarantees every root is its component's minimum id.
+  for (vid_t v = 0; v < n; ++v) r.component[v] = find(v);
+  return r;
+}
+
+}  // namespace epgs::ref

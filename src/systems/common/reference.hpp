@@ -1,0 +1,55 @@
+// Trusted serial reference algorithms.
+//
+// These are *not* systems under test: they are the oracles the framework
+// validates every system against (the Graph500 spec requires results be
+// verified; we extend the same rigor to SSSP/PR/CDLP/LCC/WCC, which the
+// paper leaves as future work for PageRank).
+#pragma once
+
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "systems/common/system.hpp"
+
+namespace epgs::ref {
+
+/// Hop levels from `root` over out-edges; kNoVertex when unreachable.
+std::vector<vid_t> bfs_levels(const CSRGraph& g, vid_t root);
+
+/// Dijkstra over non-negative weights; kInfDist when unreachable.
+std::vector<weight_t> dijkstra(const CSRGraph& g, vid_t root);
+
+/// Power-iteration PageRank with uniform teleport and dangling-mass
+/// redistribution; stops when the L1 change drops below params.epsilon.
+PageRankResult pagerank(const CSRGraph& out, const CSRGraph& in,
+                        const PageRankParams& params);
+
+/// Synchronous community detection by label propagation. In each round a
+/// vertex adopts the smallest label among the most frequent labels over
+/// its combined in+out neighborhood; stops at fixpoint or max_iterations.
+CdlpResult cdlp(const CSRGraph& out, const CSRGraph& in, int max_iterations);
+
+/// Local clustering coefficient: with N(v) the union of in- and
+/// out-neighbors (self excluded), lcc(v) = |{(a,b) in N(v)^2 : a->b}| /
+/// (|N(v)| * (|N(v)|-1)); 0 when |N(v)| < 2.
+LccResult lcc(const CSRGraph& out, const CSRGraph& in);
+
+/// Weakly connected components via union-find; component[v] is the
+/// smallest vertex id in v's component.
+WccResult wcc(const EdgeList& el);
+
+/// Helper shared by the LCC implementations: the sorted, deduplicated
+/// union of a vertex's in- and out-neighbors, excluding the vertex itself.
+std::vector<vid_t> neighbor_union(const CSRGraph& out, const CSRGraph& in,
+                                  vid_t v);
+
+/// Triangle count on the underlying undirected simple graph (each
+/// unordered triple of mutually adjacent vertices counted once).
+TriangleCountResult triangle_count(const CSRGraph& out, const CSRGraph& in);
+
+/// Brandes single-source dependency accumulation over hop-shortest paths
+/// (unweighted). Out-edges define the search direction; `in` supplies the
+/// predecessor lists for the backward sweep.
+BcResult brandes_bc(const CSRGraph& out, const CSRGraph& in, vid_t source);
+
+}  // namespace epgs::ref

@@ -1,0 +1,34 @@
+#include "systems/common/registry.hpp"
+
+#include "systems/gap/gap_system.hpp"
+#include "systems/graph500/graph500_system.hpp"
+#include "systems/graphbig/graphbig_system.hpp"
+#include "systems/graphmat/graphmat_system.hpp"
+#include "systems/ligra/ligra_system.hpp"
+#include "systems/powergraph/powergraph_system.hpp"
+
+namespace epgs {
+
+std::vector<std::string_view> all_system_names() {
+  return {"Graph500", "GAP", "GraphBIG", "GraphMat", "PowerGraph"};
+}
+
+std::vector<std::string_view> extension_system_names() {
+  return {"Ligra"};
+}
+
+std::unique_ptr<System> make_system(std::string_view name) {
+  if (name == "GAP") return std::make_unique<systems::GapSystem>();
+  if (name == "Graph500") return std::make_unique<systems::Graph500System>();
+  if (name == "GraphBIG") return std::make_unique<systems::GraphBigSystem>();
+  if (name == "GraphMat") return std::make_unique<systems::GraphMatSystem>();
+  if (name == "PowerGraph") {
+    return std::make_unique<systems::PowerGraphSystem>();
+  }
+  if (name == "Ligra") return std::make_unique<systems::LigraSystem>();
+  throw EpgsError("unknown system: '" + std::string(name) +
+                  "' (expected one of GAP, Graph500, GraphBIG, GraphMat, "
+                  "PowerGraph)");
+}
+
+}  // namespace epgs

@@ -1,0 +1,26 @@
+// Factory for the five systems under test.
+//
+// The harness and benches refer to systems by the names the paper uses
+// ("GAP", "Graph500", "GraphBIG", "GraphMat", "PowerGraph").
+#pragma once
+
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "systems/common/system.hpp"
+
+namespace epgs {
+
+/// The five systems the paper studies, in the paper's ordering.
+std::vector<std::string_view> all_system_names();
+
+/// Additional systems this framework was extended to, demonstrating the
+/// paper's claim that the approach "can be extended to others".
+std::vector<std::string_view> extension_system_names();
+
+/// Instantiate a system by name (case-sensitive). Throws EpgsError for an
+/// unknown name.
+std::unique_ptr<System> make_system(std::string_view name);
+
+}  // namespace epgs

@@ -1,0 +1,42 @@
+#include "systems/common/results.hpp"
+
+#include <algorithm>
+
+#include "core/error.hpp"
+
+namespace epgs {
+
+std::vector<vid_t> BfsResult::levels() const {
+  const auto n = static_cast<vid_t>(parent.size());
+  std::vector<vid_t> level(n, kNoVertex);
+  if (root < n && parent[root] == root) level[root] = 0;
+
+  std::vector<vid_t> chain;
+  for (vid_t v = 0; v < n; ++v) {
+    if (level[v] != kNoVertex || parent[v] == kNoVertex) continue;
+    chain.clear();
+    vid_t cur = v;
+    while (level[cur] == kNoVertex) {
+      EPGS_CHECK(parent[cur] != kNoVertex,
+                 "BFS tree: reachable vertex chains to unreachable parent");
+      EPGS_CHECK(chain.size() <= n, "BFS tree contains a cycle");
+      chain.push_back(cur);
+      cur = parent[cur];
+    }
+    vid_t l = level[cur];
+    for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
+      level[*it] = ++l;
+    }
+  }
+  return level;
+}
+
+vid_t WccResult::num_components() const {
+  vid_t count = 0;
+  for (vid_t v = 0; v < component.size(); ++v) {
+    if (component[v] == v) ++count;
+  }
+  return count;
+}
+
+}  // namespace epgs

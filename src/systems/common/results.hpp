@@ -1,0 +1,83 @@
+// Algorithm result types, shared by all five systems.
+//
+// Each system computes with its own internal machinery (CSR scans, SpMV,
+// GAS supersteps, ...) but converts to these common result vectors so the
+// framework can cross-validate: every system must produce an equivalent
+// BFS parent tree, identical SSSP distances, identical component/label
+// assignments, and PageRank vectors equal within tolerance.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace epgs {
+
+/// BFS: parent[v] is the BFS-tree parent, parent[root] == root, and
+/// kNoVertex for unreached vertices. Any valid BFS tree is acceptable
+/// (systems may differ); level sets must agree.
+struct BfsResult {
+  vid_t root = 0;
+  std::vector<vid_t> parent;
+
+  /// Hop distance of every vertex derived from the parent tree
+  /// (kNoVertex-parented vertices get level kNoVertex). O(n) with path
+  /// shortening; throws on a malformed (cyclic) tree.
+  [[nodiscard]] std::vector<vid_t> levels() const;
+};
+
+/// SSSP: dist[v] is the shortest-path distance from root, kInfDist when
+/// unreachable.
+struct SsspResult {
+  vid_t root = 0;
+  std::vector<weight_t> dist;
+};
+
+/// PageRank: rank sums to ~1; `iterations` is what the paper's Fig 4
+/// right panel plots.
+struct PageRankResult {
+  std::vector<double> rank;
+  int iterations = 0;
+};
+
+/// Community detection by label propagation: label[v] is the community id.
+struct CdlpResult {
+  std::vector<vid_t> label;
+  int iterations = 0;
+};
+
+/// Local clustering coefficient per vertex.
+struct LccResult {
+  std::vector<double> coefficient;
+};
+
+/// Weakly connected components: component[v] is the smallest vertex id in
+/// v's component (canonical representative, so systems agree exactly).
+struct WccResult {
+  std::vector<vid_t> component;
+
+  [[nodiscard]] vid_t num_components() const;
+};
+
+/// Triangle counting (paper Section V: "algorithms like triangle counting
+/// and betweenness centrality are widely implemented but not supported by
+/// either Graphalytics nor easy-parallel-graph-*" — supported here as the
+/// framework extension the paper plans).
+/// Triangles are counted on the underlying undirected simple graph: each
+/// unordered triple of mutually adjacent distinct vertices counts once.
+struct TriangleCountResult {
+  std::uint64_t triangles = 0;
+};
+
+/// Single-source betweenness centrality contribution (Brandes):
+/// dependency[v] = sum over w reachable from the source of
+/// (sigma_sv / sigma_sw) * (1 + dependency[w]) along shortest (hop) paths.
+/// Full BC is the sum of these over all sources; like GAP's bc benchmark
+/// the harness samples sources (the same roots as BFS).
+struct BcResult {
+  vid_t source = 0;
+  std::vector<double> dependency;
+};
+
+}  // namespace epgs

@@ -1,0 +1,166 @@
+#include "systems/common/system.hpp"
+
+#include <utility>
+
+#include "core/timer.hpp"
+#include "graph/snap_io.hpp"
+
+namespace epgs {
+namespace {
+
+EdgeList read_native(GraphFormat fmt, const std::filesystem::path& path) {
+  switch (fmt) {
+    case GraphFormat::kSnapText: return read_snap_file(path);
+    case GraphFormat::kGraph500Bin: return read_graph500_bin(path);
+    case GraphFormat::kGapSg: return read_gap_sg(path);
+    case GraphFormat::kGraphMatMtx: return read_graphmat_mtx(path);
+    case GraphFormat::kGraphBigCsv: return read_graphbig_csv(path);
+    case GraphFormat::kPowerGraphTsv: return read_powergraph_tsv(path);
+    case GraphFormat::kLigraAdj: return read_ligra_adj(path);
+  }
+  throw EpgsError("unknown graph format");
+}
+
+}  // namespace
+
+void System::set_edges(EdgeList edges) {
+  staged_ = std::move(edges);
+  has_staged_ = true;
+  built_ = false;
+  n_ = staged_.num_vertices;
+}
+
+void System::load_file(const std::filesystem::path& path) {
+  if (capabilities().separate_construction) {
+    WallTimer t;
+    EdgeList el = read_native(native_format(), path);
+    const double secs = t.seconds();
+    log_.add(std::string(phase::kFileRead), secs,
+             WorkStats{.edges_processed = el.num_edges(),
+                       .vertex_updates = el.num_vertices,
+                       .bytes_touched = el.num_edges() * sizeof(Edge)});
+    set_edges(std::move(el));
+  } else {
+    // Fused read+build systems (GraphBIG, PowerGraph): defer the read so
+    // it is timed together with construction inside build().
+    pending_path_ = path;
+    has_staged_ = false;
+    built_ = false;
+  }
+}
+
+void System::build() {
+  EPGS_CHECK(has_staged_ || !pending_path_.empty(),
+             "System::build: no edges staged and no file pending");
+  WallTimer t;
+  bool fused = false;
+  if (!has_staged_) {
+    staged_ = read_native(native_format(), pending_path_);
+    has_staged_ = true;
+    n_ = staged_.num_vertices;
+    fused = true;
+    pending_path_.clear();
+  }
+  work_ = {};
+  do_build(staged_);
+  const double secs = t.seconds();
+  std::map<std::string, std::string> extra;
+  if (fused) extra["fused_read"] = "1";
+  WorkStats w = work_;
+  if (w.edges_processed == 0) w.edges_processed = staged_.num_edges();
+  if (w.vertex_updates == 0) w.vertex_updates = staged_.num_vertices;
+  log_.add(std::string(phase::kBuild), secs, w, std::move(extra));
+  built_ = true;
+}
+
+vid_t System::num_vertices() const {
+  return built_ ? n_ : staged_.num_vertices;
+}
+
+template <typename Fn>
+auto System::run_timed(std::string_view alg, bool supported, Fn&& fn) {
+  if (!supported) {
+    throw UnsupportedAlgorithm(std::string(name()) +
+                               " does not provide a reference "
+                               "implementation of " +
+                               std::string(alg));
+  }
+  EPGS_CHECK(built_, std::string(name()) + ": build() must precede " +
+                         std::string(alg));
+  work_ = {};
+  WallTimer t;
+  auto result = fn();
+  const double secs = t.seconds();
+  std::map<std::string, std::string> extra{{"alg", std::string(alg)}};
+  if constexpr (requires { result.iterations; }) {
+    extra["iterations"] = std::to_string(result.iterations);
+  }
+  log_.add(std::string(phase::kAlgorithm), secs, work_, std::move(extra));
+  return result;
+}
+
+BfsResult System::bfs(vid_t root) {
+  return run_timed("bfs", capabilities().bfs,
+                   [&] { return do_bfs(root); });
+}
+
+SsspResult System::sssp(vid_t root) {
+  return run_timed("sssp", capabilities().sssp,
+                   [&] { return do_sssp(root); });
+}
+
+PageRankResult System::pagerank(const PageRankParams& params) {
+  return run_timed("pagerank", capabilities().pagerank,
+                   [&] { return do_pagerank(params); });
+}
+
+CdlpResult System::cdlp(int max_iterations) {
+  return run_timed("cdlp", capabilities().cdlp,
+                   [&] { return do_cdlp(max_iterations); });
+}
+
+LccResult System::lcc() {
+  return run_timed("lcc", capabilities().lcc, [&] { return do_lcc(); });
+}
+
+WccResult System::wcc() {
+  return run_timed("wcc", capabilities().wcc, [&] { return do_wcc(); });
+}
+
+TriangleCountResult System::tc() {
+  return run_timed("tc", capabilities().tc, [&] { return do_tc(); });
+}
+
+BcResult System::bc(vid_t source) {
+  return run_timed("bc", capabilities().bc, [&] { return do_bc(source); });
+}
+
+// Default hooks: a system that advertises a capability must override the
+// hook; reaching one of these means the Capabilities struct lied.
+BfsResult System::do_bfs(vid_t) {
+  throw UnsupportedAlgorithm(std::string(name()) + ": bfs not implemented");
+}
+SsspResult System::do_sssp(vid_t) {
+  throw UnsupportedAlgorithm(std::string(name()) + ": sssp not implemented");
+}
+PageRankResult System::do_pagerank(const PageRankParams&) {
+  throw UnsupportedAlgorithm(std::string(name()) +
+                             ": pagerank not implemented");
+}
+CdlpResult System::do_cdlp(int) {
+  throw UnsupportedAlgorithm(std::string(name()) + ": cdlp not implemented");
+}
+LccResult System::do_lcc() {
+  throw UnsupportedAlgorithm(std::string(name()) + ": lcc not implemented");
+}
+WccResult System::do_wcc() {
+  throw UnsupportedAlgorithm(std::string(name()) + ": wcc not implemented");
+}
+TriangleCountResult System::do_tc() {
+  throw UnsupportedAlgorithm(std::string(name()) + ": tc not implemented");
+}
+BcResult System::do_bc(vid_t) {
+  throw UnsupportedAlgorithm(std::string(name()) + ": bc not implemented");
+}
+
+}  // namespace epgs

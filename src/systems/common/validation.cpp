@@ -1,0 +1,128 @@
+#include "systems/common/validation.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "systems/common/reference.hpp"
+
+namespace epgs {
+namespace {
+
+std::string describe(vid_t v, const char* what) {
+  std::ostringstream os;
+  os << what << " (vertex " << v << ")";
+  return os.str();
+}
+
+}  // namespace
+
+ValidationError validate_bfs(const CSRGraph& g, const BfsResult& result) {
+  const vid_t n = g.num_vertices();
+  if (result.parent.size() != n) return "parent array size mismatch";
+  if (result.root >= n) return "root out of range";
+  if (result.parent[result.root] != result.root) {
+    return "rule 1: parent[root] != root";
+  }
+
+  std::vector<vid_t> level;
+  try {
+    level = result.levels();
+  } catch (const EpgsError& e) {
+    return std::string("rule 3: malformed tree: ") + e.what();
+  }
+
+  for (vid_t v = 0; v < n; ++v) {
+    const vid_t p = result.parent[v];
+    if (p == kNoVertex || v == result.root) continue;
+    if (p >= n) return describe(v, "rule 2: parent id out of range");
+    // Tree edge must exist in either direction: the Graph500 treats the
+    // graph as undirected, and our harness symmetrizes, so p->v must be
+    // present as a directed edge.
+    if (!g.has_edge(p, v) && !g.has_edge(v, p)) {
+      return describe(v, "rule 2: tree edge not in graph");
+    }
+    if (level[v] != level[p] + 1) {
+      return describe(v, "rule 3: level(child) != level(parent) + 1");
+    }
+  }
+
+  const auto true_level = ref::bfs_levels(g, result.root);
+  for (vid_t v = 0; v < n; ++v) {
+    const bool reached = result.parent[v] != kNoVertex;
+    const bool reachable = true_level[v] != kNoVertex;
+    if (reached != reachable) {
+      return describe(v, "rule 4: reachability mismatch");
+    }
+    if (reached && level[v] != true_level[v]) {
+      return describe(v, "rule 5: tree level != true hop distance");
+    }
+  }
+  return std::nullopt;
+}
+
+ValidationError validate_sssp(const CSRGraph& g, const SsspResult& result) {
+  const vid_t n = g.num_vertices();
+  if (result.dist.size() != n) return "dist array size mismatch";
+  if (result.root >= n) return "root out of range";
+  if (result.dist[result.root] != 0.0f) return "dist[root] != 0";
+
+  // Every edge relaxed.
+  for (vid_t u = 0; u < n; ++u) {
+    if (result.dist[u] == kInfDist) continue;
+    const auto nbrs = g.neighbors(u);
+    const auto ws =
+        g.weighted() ? g.edge_weights(u) : std::span<const weight_t>{};
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      const weight_t w = g.weighted() ? ws[i] : 1.0f;
+      if (result.dist[nbrs[i]] > result.dist[u] + w) {
+        return describe(nbrs[i], "edge not relaxed");
+      }
+    }
+  }
+  // Exactness against Dijkstra.
+  const auto truth = ref::dijkstra(g, result.root);
+  for (vid_t v = 0; v < n; ++v) {
+    if (result.dist[v] != truth[v]) {
+      return describe(v, "distance differs from Dijkstra");
+    }
+  }
+  return std::nullopt;
+}
+
+ValidationError validate_pagerank(const PageRankResult& result, double tol) {
+  double sum = 0.0;
+  for (std::size_t v = 0; v < result.rank.size(); ++v) {
+    const double r = result.rank[v];
+    if (!(r > 0.0) || !std::isfinite(r)) {
+      return describe(static_cast<vid_t>(v), "non-positive or non-finite rank");
+    }
+    sum += r;
+  }
+  if (std::abs(sum - 1.0) > tol) {
+    std::ostringstream os;
+    os << "rank sum " << sum << " deviates from 1 by more than " << tol;
+    return os.str();
+  }
+  return std::nullopt;
+}
+
+ValidationError validate_wcc(const EdgeList& el, const WccResult& result) {
+  if (result.component.size() != el.num_vertices) {
+    return "component array size mismatch";
+  }
+  for (const auto& e : el.edges) {
+    if (result.component[e.src] != result.component[e.dst]) {
+      return describe(e.src, "edge endpoints in different components");
+    }
+  }
+  for (vid_t v = 0; v < el.num_vertices; ++v) {
+    const vid_t c = result.component[v];
+    if (c > v) return describe(v, "component id exceeds member id");
+    if (result.component[c] != c) {
+      return describe(v, "component id is not a representative");
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace epgs

@@ -1,0 +1,42 @@
+// Result validation, Graph500 style.
+//
+// The Graph500 spec mandates five checks on every BFS output; we implement
+// them (against the *input* graph, not any system's internal state) and add
+// analogous validators for SSSP and PageRank. Every system's result in the
+// test suite passes through these.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "graph/csr.hpp"
+#include "systems/common/results.hpp"
+
+namespace epgs {
+
+/// Outcome of a validation pass: empty optional means valid; otherwise a
+/// human-readable description of the first violated rule.
+using ValidationError = std::optional<std::string>;
+
+/// Graph500 Kernel 2 result checks:
+///  1. the BFS tree is rooted at `root` (parent[root] == root);
+///  2. every tree edge (parent[v], v) exists in the graph;
+///  3. tree levels of parent and child differ by exactly one;
+///  4. exactly the vertices reachable from root have parents;
+///  5. tree levels equal true hop distances (BFS trees are shortest).
+ValidationError validate_bfs(const CSRGraph& g, const BfsResult& result);
+
+/// SSSP checks: dist[root] == 0; every edge is relaxed
+/// (dist[v] <= dist[u] + w); every non-root finite vertex has a witness
+/// in-edge achieving its distance; unreachable vertices are infinite.
+ValidationError validate_sssp(const CSRGraph& g, const SsspResult& result);
+
+/// PageRank sanity: all ranks positive, sum within `tol` of 1.
+ValidationError validate_pagerank(const PageRankResult& result,
+                                  double tol = 1e-6);
+
+/// WCC checks: endpoints of every edge share a component; every
+/// component id is the minimum vertex id within the component.
+ValidationError validate_wcc(const EdgeList& el, const WccResult& result);
+
+}  // namespace epgs

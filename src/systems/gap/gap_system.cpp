@@ -1,0 +1,463 @@
+#include "systems/gap/gap_system.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <numeric>
+
+#include "core/bitmap.hpp"
+#include "core/parallel.hpp"
+
+namespace epgs::systems {
+
+void GapSystem::do_build(const EdgeList& edges) {
+  if (opts_.integer_weights && edges.weighted) {
+    // The int-weight build: every weight truncates toward zero, so 0.2
+    // becomes 0 — the semantic hazard the paper warns about.
+    EdgeList truncated = edges;
+    for (auto& e : truncated.edges) {
+      e.w = static_cast<weight_t>(static_cast<std::int32_t>(e.w));
+    }
+    out_ = CSRGraph::from_edges(truncated, /*transpose=*/false);
+    in_ = CSRGraph::from_edges(truncated, /*transpose=*/true);
+  } else {
+    out_ = CSRGraph::from_edges(edges, /*transpose=*/false);
+    in_ = CSRGraph::from_edges(edges, /*transpose=*/true);
+  }
+  work_.bytes_touched = out_.bytes() + in_.bytes();
+}
+
+// ---------------------------------------------------------------------
+// Direction-optimizing BFS (Beamer). Top-down steps expand a sparse
+// frontier queue; once the frontier's outgoing edge count exceeds the
+// unexplored edge count / alpha, we switch to bottom-up steps that scan
+// unvisited vertices for any parent in the frontier bitmap, switching
+// back when the frontier shrinks below n / beta.
+// ---------------------------------------------------------------------
+
+BfsResult GapSystem::do_bfs(vid_t root) {
+  const vid_t n = out_.num_vertices();
+  BfsResult r;
+  r.root = root;
+  r.parent.assign(n, kNoVertex);
+
+  std::vector<std::atomic<vid_t>> parent(n);
+  for (vid_t v = 0; v < n; ++v) {
+    parent[v].store(kNoVertex, std::memory_order_relaxed);
+  }
+  parent[root].store(root, std::memory_order_relaxed);
+
+  std::vector<vid_t> frontier{root};
+  Bitmap front_bm(n), next_bm(n);
+  bool bottom_up = false;
+  // Edges not yet examined; drives the alpha heuristic.
+  std::int64_t edges_remaining = static_cast<std::int64_t>(out_.num_edges());
+  std::uint64_t edges_scanned = 0;
+
+  auto frontier_out_degree = [&](const std::vector<vid_t>& f) {
+    std::int64_t d = 0;
+    for (const vid_t u : f) d += static_cast<std::int64_t>(out_.degree(u));
+    return d;
+  };
+
+  while (!frontier.empty()) {
+    if (!bottom_up) {
+      const std::int64_t scout = frontier_out_degree(frontier);
+      if (static_cast<double>(scout) >
+          static_cast<double>(edges_remaining) / opts_.alpha) {
+        bottom_up = true;
+        front_bm.reset();
+        for (const vid_t u : frontier) front_bm.set(u);
+      }
+    }
+
+    if (bottom_up) {
+      next_bm.reset();
+      std::atomic<vid_t> awake{0};
+      std::uint64_t scanned = 0;
+#pragma omp parallel for schedule(dynamic, 1024) reduction(+ : scanned)
+      for (std::int64_t v = 0; v < static_cast<std::int64_t>(n); ++v) {
+        if (parent[v].load(std::memory_order_relaxed) != kNoVertex) continue;
+        for (const vid_t u : in_.neighbors(static_cast<vid_t>(v))) {
+          ++scanned;
+          if (front_bm.test(u)) {
+            parent[v].store(u, std::memory_order_relaxed);
+            next_bm.set_atomic(static_cast<std::size_t>(v));
+            awake.fetch_add(1, std::memory_order_relaxed);
+            break;
+          }
+        }
+      }
+      edges_scanned += scanned;
+      const vid_t nf = awake.load();
+      edges_remaining -= static_cast<std::int64_t>(scanned);
+      if (nf == 0) break;
+      if (static_cast<double>(nf) < static_cast<double>(n) / opts_.beta) {
+        // Shrunk again: convert bitmap back to a queue and go top-down.
+        frontier.clear();
+        for (vid_t v = 0; v < n; ++v) {
+          if (next_bm.test(v)) frontier.push_back(v);
+        }
+        bottom_up = false;
+      } else {
+        front_bm.swap(next_bm);
+        frontier.assign(1, root);  // placeholder to keep the loop alive
+        continue;
+      }
+    } else {
+      std::vector<vid_t> next;
+#pragma omp parallel
+      {
+        std::vector<vid_t> local;
+        std::uint64_t scanned = 0;
+#pragma omp for schedule(dynamic, 64) nowait
+        for (std::int64_t i = 0; i < static_cast<std::int64_t>(
+                                         frontier.size());
+             ++i) {
+          const vid_t u = frontier[static_cast<std::size_t>(i)];
+          for (const vid_t v : out_.neighbors(u)) {
+            ++scanned;
+            vid_t expected = kNoVertex;
+            if (parent[v].compare_exchange_strong(
+                    expected, u, std::memory_order_relaxed)) {
+              local.push_back(v);
+            }
+          }
+        }
+#pragma omp critical
+        {
+          next.insert(next.end(), local.begin(), local.end());
+          edges_scanned += scanned;
+          edges_remaining -= static_cast<std::int64_t>(scanned);
+        }
+      }
+      frontier.swap(next);
+    }
+  }
+
+  for (vid_t v = 0; v < n; ++v) {
+    r.parent[v] = parent[v].load(std::memory_order_relaxed);
+  }
+  work_.edges_processed = edges_scanned;
+  work_.vertex_updates = n;
+  work_.bytes_touched =
+      edges_scanned * sizeof(vid_t) + static_cast<std::uint64_t>(n) * 8;
+  return r;
+}
+
+// ---------------------------------------------------------------------
+// Delta-stepping SSSP.
+// ---------------------------------------------------------------------
+
+SsspResult GapSystem::do_sssp(vid_t root) {
+  const vid_t n = out_.num_vertices();
+  const weight_t delta = opts_.delta;
+  SsspResult r;
+  r.root = root;
+
+  std::vector<std::atomic<weight_t>> dist(n);
+  for (auto& d : dist) d.store(kInfDist, std::memory_order_relaxed);
+  dist[root].store(0.0f, std::memory_order_relaxed);
+
+  std::vector<std::vector<vid_t>> buckets(1);
+  buckets[0].push_back(root);
+  std::uint64_t relaxations = 0;
+
+  auto bucket_index = [&](weight_t d) {
+    return static_cast<std::size_t>(d / delta);
+  };
+  auto push_bucket = [&](std::vector<std::vector<vid_t>>& bs, vid_t v,
+                         weight_t d) {
+    const std::size_t b = bucket_index(d);
+    if (b >= bs.size()) bs.resize(b + 1);
+    bs[b].push_back(v);
+  };
+
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    std::vector<vid_t> deleted;
+    while (!buckets[i].empty()) {
+      std::vector<vid_t> current;
+      current.swap(buckets[i]);
+#pragma omp parallel
+      {
+        std::vector<std::pair<vid_t, weight_t>> local_pushes;
+        std::vector<vid_t> local_deleted;
+        std::uint64_t local_relax = 0;
+#pragma omp for schedule(dynamic, 64) nowait
+        for (std::int64_t k = 0; k < static_cast<std::int64_t>(
+                                         current.size());
+             ++k) {
+          const vid_t u = current[static_cast<std::size_t>(k)];
+          const weight_t du = dist[u].load(std::memory_order_relaxed);
+          if (du == kInfDist || bucket_index(du) != i) continue;  // stale
+          local_deleted.push_back(u);
+          const auto nbrs = out_.neighbors(u);
+          const auto ws = out_.weighted() ? out_.edge_weights(u)
+                                          : std::span<const weight_t>{};
+          for (std::size_t e = 0; e < nbrs.size(); ++e) {
+            const weight_t w = out_.weighted() ? ws[e] : 1.0f;
+            if (w > delta) continue;  // light edges only in this pass
+            ++local_relax;
+            const weight_t nd = du + w;
+            if (atomic_fetch_min(&dist[nbrs[e]], nd)) {
+              local_pushes.emplace_back(nbrs[e], nd);
+            }
+          }
+        }
+#pragma omp critical
+        {
+          for (const auto& [v, d] : local_pushes) push_bucket(buckets, v, d);
+          deleted.insert(deleted.end(), local_deleted.begin(),
+                         local_deleted.end());
+          relaxations += local_relax;
+        }
+      }
+    }
+    // Heavy edges of every vertex settled in this bucket.
+#pragma omp parallel
+    {
+      std::vector<std::pair<vid_t, weight_t>> local_pushes;
+      std::uint64_t local_relax = 0;
+#pragma omp for schedule(dynamic, 64) nowait
+      for (std::int64_t k = 0; k < static_cast<std::int64_t>(deleted.size());
+           ++k) {
+        const vid_t u = deleted[static_cast<std::size_t>(k)];
+        const weight_t du = dist[u].load(std::memory_order_relaxed);
+        const auto nbrs = out_.neighbors(u);
+        const auto ws = out_.weighted() ? out_.edge_weights(u)
+                                        : std::span<const weight_t>{};
+        for (std::size_t e = 0; e < nbrs.size(); ++e) {
+          const weight_t w = out_.weighted() ? ws[e] : 1.0f;
+          if (w <= delta) continue;
+          ++local_relax;
+          const weight_t nd = du + w;
+          if (atomic_fetch_min(&dist[nbrs[e]], nd)) {
+            local_pushes.emplace_back(nbrs[e], nd);
+          }
+        }
+      }
+#pragma omp critical
+      {
+        for (const auto& [v, d] : local_pushes) push_bucket(buckets, v, d);
+        relaxations += local_relax;
+      }
+    }
+  }
+
+  r.dist.resize(n);
+  for (vid_t v = 0; v < n; ++v) {
+    r.dist[v] = dist[v].load(std::memory_order_relaxed);
+  }
+  work_.edges_processed = relaxations;
+  work_.vertex_updates = n;
+  work_.bytes_touched = relaxations * (sizeof(vid_t) + sizeof(weight_t));
+  return r;
+}
+
+// ---------------------------------------------------------------------
+// Pull PageRank with the paper's L1 stopping criterion.
+// ---------------------------------------------------------------------
+
+PageRankResult GapSystem::do_pagerank(const PageRankParams& params) {
+  const vid_t n = out_.num_vertices();
+  PageRankResult r;
+  r.rank.assign(n, n > 0 ? 1.0 / n : 0.0);
+  std::vector<double> next(n);
+  std::uint64_t edge_work = 0;
+
+  for (int it = 0; it < params.max_iterations; ++it) {
+    double dangling = 0.0;
+#pragma omp parallel for reduction(+ : dangling) schedule(static)
+    for (std::int64_t v = 0; v < static_cast<std::int64_t>(n); ++v) {
+      if (out_.degree(static_cast<vid_t>(v)) == 0) dangling += r.rank[v];
+    }
+    const double base =
+        (1.0 - params.damping) / n + params.damping * dangling / n;
+
+    double l1 = 0.0;
+#pragma omp parallel for reduction(+ : l1) schedule(dynamic, 1024)
+    for (std::int64_t v = 0; v < static_cast<std::int64_t>(n); ++v) {
+      double sum = 0.0;
+      for (const vid_t u : in_.neighbors(static_cast<vid_t>(v))) {
+        sum += r.rank[u] / static_cast<double>(out_.degree(u));
+      }
+      next[v] = base + params.damping * sum;
+      l1 += std::abs(next[v] - r.rank[v]);
+    }
+    r.rank.swap(next);
+    ++r.iterations;
+    edge_work += in_.num_edges();
+    if (l1 < params.epsilon) break;
+  }
+  work_.edges_processed = edge_work;
+  work_.vertex_updates = static_cast<std::uint64_t>(n) * r.iterations;
+  work_.bytes_touched = edge_work * (sizeof(vid_t) + sizeof(double));
+  return r;
+}
+
+// ---------------------------------------------------------------------
+// Shiloach–Vishkin connected components with min-hooking.
+// ---------------------------------------------------------------------
+
+WccResult GapSystem::do_wcc() {
+  const vid_t n = out_.num_vertices();
+  WccResult r;
+  r.component.resize(n);
+  std::iota(r.component.begin(), r.component.end(), vid_t{0});
+  auto& comp = r.component;
+  std::uint64_t edge_work = 0;
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+#pragma omp parallel for schedule(dynamic, 1024) reduction(|| : changed)
+    for (std::int64_t u = 0; u < static_cast<std::int64_t>(n); ++u) {
+      for (const vid_t v : out_.neighbors(static_cast<vid_t>(u))) {
+        const vid_t cu = comp[u], cv = comp[v];
+        if (cu < cv && cv == comp[cv]) {
+          comp[cv] = cu;  // hook higher root under lower id
+          changed = true;
+        } else if (cv < cu && cu == comp[cu]) {
+          comp[cu] = cv;
+          changed = true;
+        }
+      }
+    }
+    edge_work += out_.num_edges();
+    // Pointer jumping (shortcutting).
+#pragma omp parallel for schedule(static)
+    for (std::int64_t v = 0; v < static_cast<std::int64_t>(n); ++v) {
+      while (comp[v] != comp[comp[v]]) comp[v] = comp[comp[v]];
+    }
+  }
+  work_.edges_processed = edge_work;
+  work_.vertex_updates = n;
+  work_.bytes_touched = edge_work * sizeof(vid_t);
+  return r;
+}
+
+// ---------------------------------------------------------------------
+// Triangle counting (GAP's tc): intersect sorted higher-id neighbor
+// lists of the undirected simple view; each triangle found once at its
+// smallest vertex.
+// ---------------------------------------------------------------------
+
+TriangleCountResult GapSystem::do_tc() {
+  const vid_t n = out_.num_vertices();
+  std::vector<std::vector<vid_t>> higher(n);
+#pragma omp parallel for schedule(dynamic, 512)
+  for (std::int64_t vi = 0; vi < static_cast<std::int64_t>(n); ++vi) {
+    const auto v = static_cast<vid_t>(vi);
+    std::vector<vid_t> nbrs;
+    const auto o = out_.neighbors(v);
+    const auto i = in_.neighbors(v);
+    nbrs.reserve(o.size() + i.size());
+    std::merge(o.begin(), o.end(), i.begin(), i.end(),
+               std::back_inserter(nbrs));
+    nbrs.erase(std::unique(nbrs.begin(), nbrs.end()), nbrs.end());
+    for (const vid_t u : nbrs) {
+      if (u > v) higher[vi].push_back(u);
+    }
+  }
+
+  std::uint64_t count = 0;
+  std::uint64_t scanned = 0;
+#pragma omp parallel for schedule(dynamic, 256) \
+    reduction(+ : count, scanned)
+  for (std::int64_t vi = 0; vi < static_cast<std::int64_t>(n); ++vi) {
+    for (const vid_t a : higher[static_cast<std::size_t>(vi)]) {
+      const auto& hv = higher[static_cast<std::size_t>(vi)];
+      const auto& ha = higher[a];
+      std::size_t i1 = 0, i2 = 0;
+      while (i1 < hv.size() && i2 < ha.size()) {
+        ++scanned;
+        if (hv[i1] < ha[i2]) {
+          ++i1;
+        } else if (ha[i2] < hv[i1]) {
+          ++i2;
+        } else {
+          ++count;
+          ++i1;
+          ++i2;
+        }
+      }
+    }
+  }
+  work_.edges_processed = scanned;
+  work_.vertex_updates = n;
+  work_.bytes_touched = scanned * sizeof(vid_t);
+  return TriangleCountResult{count};
+}
+
+// ---------------------------------------------------------------------
+// Betweenness centrality (GAP's bc): Brandes with a level-synchronous
+// forward phase and a per-level backward sweep.
+// ---------------------------------------------------------------------
+
+BcResult GapSystem::do_bc(vid_t source) {
+  const vid_t n = out_.num_vertices();
+  BcResult r;
+  r.source = source;
+  r.dependency.assign(n, 0.0);
+
+  std::vector<double> sigma(n, 0.0);
+  std::vector<vid_t> level(n, kNoVertex);
+  std::vector<std::vector<vid_t>> levels;  // vertices per depth
+  sigma[source] = 1.0;
+  level[source] = 0;
+  levels.push_back({source});
+  std::uint64_t scanned = 0;
+
+  // Forward: discover next level, then accumulate sigma level-
+  // synchronously (sigma writes race-free because each v at depth d is
+  // summed from all depth d-1 in-neighbors in its own iteration).
+  while (!levels.back().empty()) {
+    const auto& frontier = levels.back();
+    const vid_t depth = static_cast<vid_t>(levels.size());
+    std::vector<vid_t> next;
+    for (const vid_t u : frontier) {
+      for (const vid_t v : out_.neighbors(u)) {
+        ++scanned;
+        if (level[v] == kNoVertex) {
+          level[v] = depth;
+          next.push_back(v);
+        }
+      }
+    }
+#pragma omp parallel for schedule(dynamic, 256)
+    for (std::int64_t i = 0; i < static_cast<std::int64_t>(next.size());
+         ++i) {
+      const vid_t v = next[static_cast<std::size_t>(i)];
+      double s = 0.0;
+      for (const vid_t u : in_.neighbors(v)) {
+        if (level[u] != kNoVertex && level[u] + 1 == depth) s += sigma[u];
+      }
+      sigma[v] = s;
+    }
+    if (next.empty()) break;
+    levels.push_back(std::move(next));
+  }
+
+  // Backward: process levels deepest-first; vertices within a level are
+  // independent (dependencies only flow from deeper levels).
+  for (auto lit = levels.rbegin(); lit != levels.rend(); ++lit) {
+#pragma omp parallel for schedule(dynamic, 256)
+    for (std::int64_t i = 0; i < static_cast<std::int64_t>(lit->size());
+         ++i) {
+      const vid_t v = (*lit)[static_cast<std::size_t>(i)];
+      double dep = 0.0;
+      for (const vid_t w : out_.neighbors(v)) {
+        if (level[w] != kNoVertex && level[w] == level[v] + 1) {
+          dep += sigma[v] / sigma[w] * (1.0 + r.dependency[w]);
+        }
+      }
+      r.dependency[v] = dep;
+    }
+  }
+  work_.edges_processed = scanned * 2;
+  work_.vertex_updates = n;
+  work_.bytes_touched = scanned * (sizeof(vid_t) + sizeof(double));
+  return r;
+}
+
+}  // namespace epgs::systems

@@ -1,0 +1,78 @@
+#include "systems/graph500/graph500_system.hpp"
+
+#include <atomic>
+
+#include "core/bitmap.hpp"
+#include "core/parallel.hpp"
+
+namespace epgs::systems {
+
+void Graph500System::do_build(const EdgeList& edges) {
+  // Kernel 1: unsorted edge list in RAM -> CSR.
+  csr_ = CSRGraph::from_edges(edges);
+  work_.bytes_touched = csr_.bytes();
+}
+
+BfsResult Graph500System::do_bfs(vid_t root) {
+  // Kernel 2: level-synchronous top-down BFS. Unlike GAP there is no
+  // bottom-up phase — every frontier vertex scans its full adjacency and
+  // claims children via CAS, which is why the paper measures Graph500 a
+  // touch behind GAP on the low-diameter Kronecker graphs.
+  const vid_t n = csr_.num_vertices();
+  BfsResult r;
+  r.root = root;
+  r.parent.assign(n, kNoVertex);
+
+  std::vector<std::atomic<vid_t>> parent(n);
+  for (vid_t v = 0; v < n; ++v) {
+    parent[v].store(kNoVertex, std::memory_order_relaxed);
+  }
+  parent[root].store(root, std::memory_order_relaxed);
+
+  Bitmap visited(n);
+  visited.set(root);
+
+  std::vector<vid_t> frontier{root};
+  std::uint64_t edges_scanned = 0;
+
+  while (!frontier.empty()) {
+    std::vector<vid_t> next;
+#pragma omp parallel
+    {
+      std::vector<vid_t> local;
+      std::uint64_t scanned = 0;
+#pragma omp for schedule(dynamic, 64) nowait
+      for (std::int64_t i = 0;
+           i < static_cast<std::int64_t>(frontier.size()); ++i) {
+        const vid_t u = frontier[static_cast<std::size_t>(i)];
+        for (const vid_t v : csr_.neighbors(u)) {
+          ++scanned;
+          if (visited.test(v)) continue;  // cheap pre-check
+          vid_t expected = kNoVertex;
+          if (parent[v].compare_exchange_strong(expected, u,
+                                                std::memory_order_relaxed)) {
+            visited.set_atomic(v);
+            local.push_back(v);
+          }
+        }
+      }
+#pragma omp critical
+      {
+        next.insert(next.end(), local.begin(), local.end());
+        edges_scanned += scanned;
+      }
+    }
+    frontier.swap(next);
+  }
+
+  for (vid_t v = 0; v < n; ++v) {
+    r.parent[v] = parent[v].load(std::memory_order_relaxed);
+  }
+  work_.edges_processed = edges_scanned;
+  work_.vertex_updates = n;
+  work_.bytes_touched =
+      edges_scanned * sizeof(vid_t) + static_cast<std::uint64_t>(n) * 8;
+  return r;
+}
+
+}  // namespace epgs::systems

@@ -1,0 +1,42 @@
+// Graph500 reference implementation (OpenMP flavour, ~v2.1.4).
+//
+// "The canonical BFS benchmark which consists of a specification and
+// reference implementation." Kernel 1 builds a CSR from an unsorted edge
+// list in RAM; Kernel 2 is a level-synchronous top-down BFS claiming
+// parents with compare-and-swap over a visited bitmap. BFS is the *only*
+// algorithm — the paper's harness simply has no Graph500 column for SSSP
+// or PageRank.
+#pragma once
+
+#include "graph/csr.hpp"
+#include "systems/common/system.hpp"
+
+namespace epgs::systems {
+
+class Graph500System final : public System {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "Graph500"; }
+  [[nodiscard]] Capabilities capabilities() const override {
+    return Capabilities{.bfs = true,
+                        .sssp = false,
+                        .pagerank = false,
+                        .cdlp = false,
+                        .lcc = false,
+                        .wcc = false,
+                        .separate_construction = true};
+  }
+  [[nodiscard]] GraphFormat native_format() const override {
+    return GraphFormat::kGraph500Bin;
+  }
+
+  [[nodiscard]] const CSRGraph& csr() const { return csr_; }
+
+ protected:
+  void do_build(const EdgeList& edges) override;
+  BfsResult do_bfs(vid_t root) override;
+
+ private:
+  CSRGraph csr_;
+};
+
+}  // namespace epgs::systems

@@ -1,0 +1,93 @@
+// GraphMat's vertex-program engine: generalized SpMV over a semiring.
+//
+// A GraphMat program is map/reduce over the transpose adjacency matrix:
+//   send_message   : active vertex u        -> message x[u]
+//   process+reduce : (x[u], A[u][v])        -> accumulator at v
+//   apply          : accumulator, state[v]  -> new state (may activate v)
+//
+// Each iteration walks the *entire* compressed structure and tests each
+// source against the active bitvector — the dense-scan cost profile that
+// makes GraphMat slower than frontier-based systems on high-diameter or
+// small graphs, and competitive when most of the matrix is active.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/bitmap.hpp"
+#include "systems/graphmat/dcsr.hpp"
+
+namespace epgs::systems::graphmat_detail {
+
+/// A Program must define:
+///   using State = ...; using Msg = ...; using Acc = ...;
+///   Acc  identity() const;
+///   Msg  send_message(vid_t u, const State&) const;
+///   void process_message(const Msg&, weight_t w, Acc&) const;   // reduce
+///   bool apply(const Acc&, State&) const;  // true -> activate vertex
+template <typename Program>
+struct EngineResult {
+  int iterations = 0;
+  std::uint64_t edges_scanned = 0;
+};
+
+template <typename Program>
+EngineResult<Program> run_graph_program(
+    const Program& prog, const DCSR& a_transpose,
+    std::vector<typename Program::State>& states, Bitmap& active,
+    int max_iterations) {
+  using Msg = typename Program::Msg;
+  const vid_t n = a_transpose.num_vertices();
+  EngineResult<Program> result;
+
+  std::vector<Msg> x(n);
+  Bitmap next_active(n);
+
+  for (int it = 0; it < max_iterations; ++it) {
+    if (active.count() == 0) break;
+
+    // Phase 1: materialise messages from active vertices (dense x).
+#pragma omp parallel for schedule(static)
+    for (std::int64_t u = 0; u < static_cast<std::int64_t>(n); ++u) {
+      if (active.test(static_cast<std::size_t>(u))) {
+        x[u] = prog.send_message(static_cast<vid_t>(u),
+                                 states[static_cast<std::size_t>(u)]);
+      }
+    }
+
+    // Phase 2: SpMV — walk every compressed row; reduce messages from
+    // active sources; apply at the row vertex.
+    next_active.reset();
+    std::uint64_t scanned = 0;
+#pragma omp parallel for schedule(dynamic, 256) reduction(+ : scanned)
+    for (std::int64_t r = 0;
+         r < static_cast<std::int64_t>(a_transpose.num_rows()); ++r) {
+      const auto row = static_cast<std::size_t>(r);
+      const vid_t v = a_transpose.row_id(row);
+      const auto cols = a_transpose.row_cols(row);
+      const auto vals = a_transpose.weighted()
+                            ? a_transpose.row_vals(row)
+                            : std::span<const weight_t>{};
+      auto acc = prog.identity();
+      bool any = false;
+      for (std::size_t i = 0; i < cols.size(); ++i) {
+        ++scanned;
+        const vid_t u = cols[i];
+        if (!active.test(u)) continue;
+        prog.process_message(x[u],
+                             a_transpose.weighted() ? vals[i] : weight_t{1},
+                             acc);
+        any = true;
+      }
+      if (any && prog.apply(acc, states[v])) {
+        next_active.set_atomic(v);
+      }
+    }
+    result.edges_scanned += scanned;
+    ++result.iterations;
+    active.swap(next_active);
+  }
+  return result;
+}
+
+}  // namespace epgs::systems::graphmat_detail

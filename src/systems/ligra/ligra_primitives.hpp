@@ -1,0 +1,169 @@
+// Ligra's two primitives: vertexSubset and edgeMap (Shun & Blelloch,
+// PPoPP'13).
+//
+// The paper cites Ligra as the canonical "framework requiring a
+// shared-memory architecture" and notes easy-parallel-graph-* "is not
+// specific or limited to these graph packages and can be extended to
+// others" — this module is that extension. A vertexSubset is held
+// sparse (vertex list) or dense (bitmap) and converted lazily; edgeMap
+// applies an update functor over the out-edges of the subset, switching
+// between a sparse push traversal and a dense pull traversal on Ligra's
+// |U| + sum deg(U) > m / kDenseThresholdDivisor rule.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/bitmap.hpp"
+#include "graph/csr.hpp"
+
+namespace epgs::systems::ligra_detail {
+
+class VertexSubset {
+ public:
+  explicit VertexSubset(vid_t universe) : universe_(universe) {}
+
+  static VertexSubset single(vid_t universe, vid_t v) {
+    VertexSubset s(universe);
+    s.sparse_ = {v};
+    return s;
+  }
+  static VertexSubset from_sparse(vid_t universe, std::vector<vid_t> vs) {
+    VertexSubset s(universe);
+    s.sparse_ = std::move(vs);
+    return s;
+  }
+  static VertexSubset all(vid_t universe) {
+    VertexSubset s(universe);
+    s.sparse_.resize(universe);
+    for (vid_t v = 0; v < universe; ++v) s.sparse_[v] = v;
+    return s;
+  }
+
+  [[nodiscard]] vid_t universe() const { return universe_; }
+  [[nodiscard]] std::size_t size() const { return sparse_.size(); }
+  [[nodiscard]] bool empty() const { return sparse_.empty(); }
+  [[nodiscard]] const std::vector<vid_t>& vertices() const {
+    return sparse_;
+  }
+
+  /// Dense membership view (built on demand).
+  [[nodiscard]] Bitmap to_dense() const {
+    Bitmap bm(universe_);
+    for (const vid_t v : sparse_) bm.set(v);
+    return bm;
+  }
+
+  /// Total out-degree of the subset.
+  [[nodiscard]] eid_t out_degree(const CSRGraph& g) const {
+    eid_t d = 0;
+    for (const vid_t v : sparse_) d += g.degree(v);
+    return d;
+  }
+
+ private:
+  vid_t universe_;
+  std::vector<vid_t> sparse_;
+};
+
+/// Ligra's default threshold divisor for the sparse->dense switch.
+inline constexpr eid_t kDenseThresholdDivisor = 20;
+
+/// An edgeMap functor provides:
+///   bool update(vid_t s, vid_t d, weight_t w);        // sequential-safe
+///   bool update_atomic(vid_t s, vid_t d, weight_t w); // CAS flavour
+///   bool cond(vid_t d);                               // skip if false
+/// update returns true when d should join the output subset.
+template <typename F>
+VertexSubset edge_map(const CSRGraph& out, const CSRGraph& in,
+                      const VertexSubset& frontier, F&& f,
+                      std::uint64_t& edges_examined) {
+  const vid_t n = out.num_vertices();
+  const bool dense =
+      frontier.size() + frontier.out_degree(out) >
+      out.num_edges() / kDenseThresholdDivisor;
+
+  std::vector<vid_t> next;
+  if (dense) {
+    // Pull: every vertex failing cond is skipped; others scan in-edges
+    // for frontier members.
+    const Bitmap members = frontier.to_dense();
+    std::uint64_t examined = 0;
+#pragma omp parallel
+    {
+      std::vector<vid_t> local;
+      std::uint64_t local_examined = 0;
+#pragma omp for schedule(dynamic, 512) nowait
+      for (std::int64_t vi = 0; vi < static_cast<std::int64_t>(n); ++vi) {
+        const auto v = static_cast<vid_t>(vi);
+        if (!f.cond(v)) continue;
+        const auto nbrs = in.neighbors(v);
+        const auto ws = in.weighted() ? in.edge_weights(v)
+                                      : std::span<const weight_t>{};
+        bool added = false;
+        for (std::size_t i = 0; i < nbrs.size(); ++i) {
+          ++local_examined;
+          if (!members.test(nbrs[i])) continue;
+          if (f.update(nbrs[i], v, in.weighted() ? ws[i] : weight_t{1}) &&
+              !added) {
+            local.push_back(v);
+            added = true;
+          }
+          if (!f.cond(v)) break;  // early exit once satisfied
+        }
+      }
+#pragma omp critical
+      {
+        next.insert(next.end(), local.begin(), local.end());
+        examined += local_examined;
+      }
+    }
+    edges_examined += examined;
+  } else {
+    // Push: scan the out-edges of the frontier with atomic updates.
+    Bitmap in_next(n);
+    std::uint64_t examined = 0;
+#pragma omp parallel
+    {
+      std::vector<vid_t> local;
+      std::uint64_t local_examined = 0;
+#pragma omp for schedule(dynamic, 64) nowait
+      for (std::int64_t i = 0;
+           i < static_cast<std::int64_t>(frontier.size()); ++i) {
+        const vid_t u = frontier.vertices()[static_cast<std::size_t>(i)];
+        const auto nbrs = out.neighbors(u);
+        const auto ws = out.weighted() ? out.edge_weights(u)
+                                       : std::span<const weight_t>{};
+        for (std::size_t e = 0; e < nbrs.size(); ++e) {
+          ++local_examined;
+          const vid_t v = nbrs[e];
+          if (!f.cond(v)) continue;
+          if (f.update_atomic(u, v, out.weighted() ? ws[e] : weight_t{1}) &&
+              in_next.set_atomic(v)) {
+            local.push_back(v);
+          }
+        }
+      }
+#pragma omp critical
+      {
+        next.insert(next.end(), local.begin(), local.end());
+        examined += local_examined;
+      }
+    }
+    edges_examined += examined;
+  }
+  return VertexSubset::from_sparse(n, std::move(next));
+}
+
+/// vertexMap: apply f(v) to every member; keep those where f returns
+/// true.
+template <typename F>
+VertexSubset vertex_map(const VertexSubset& subset, F&& f) {
+  std::vector<vid_t> kept;
+  for (const vid_t v : subset.vertices()) {
+    if (f(v)) kept.push_back(v);
+  }
+  return VertexSubset::from_sparse(subset.universe(), std::move(kept));
+}
+
+}  // namespace epgs::systems::ligra_detail

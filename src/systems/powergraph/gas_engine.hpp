@@ -1,0 +1,357 @@
+// PowerGraph's synchronous Gather-Apply-Scatter engine.
+//
+// Vertex state lives at each vertex's *master* replica; before every
+// superstep the engine broadcasts master state to all mirror replicas
+// (the communication PowerGraph pays for its vertex-cut), then each
+// partition gathers over its local edges into partial accumulators, the
+// master merges partials and applies, and scatter signals neighbours of
+// changed vertices for the next superstep. The per-superstep
+// sync/merge/hash-lookup machinery is the fixed overhead that makes
+// PowerGraph the slowest system on the paper's small graphs while its
+// partitioning wins on dense, high-degree inputs.
+//
+// A Program must define:
+//   using VData  = ...;   // per-vertex state
+//   using Gather = ...;   // accumulator
+//   static constexpr bool gather_both  = ...;  // gather over in+out edges?
+//   static constexpr bool scatter_both = ...;  // signal along both dirs?
+//   Gather gather_init() const;
+//   void gather(const VData& neighbor, weight_t w, Gather& acc) const;
+//   void combine(Gather& into, const Gather& partial) const;
+//   bool apply(VData& v, const Gather& acc, bool any_gather) const;
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "core/bitmap.hpp"
+#include "core/parallel.hpp"
+#include "systems/powergraph/vertex_cut.hpp"
+
+namespace epgs::systems::powergraph_detail {
+
+struct EngineCounters {
+  std::uint64_t gather_edges = 0;
+  std::uint64_t scatter_signals = 0;
+  std::uint64_t sync_copies = 0;
+  int supersteps = 0;
+};
+
+template <typename Program>
+class GasEngine {
+ public:
+  using VData = typename Program::VData;
+  using Gather = typename Program::Gather;
+
+  GasEngine(const VertexCut& vc, Program prog)
+      : vc_(vc), prog_(std::move(prog)), master_(vc.num_vertices()) {
+    build_local_graphs();
+  }
+
+  [[nodiscard]] std::vector<VData>& data() { return master_; }
+  [[nodiscard]] Program& program() { return prog_; }
+  [[nodiscard]] const EngineCounters& counters() const { return counters_; }
+
+  /// Run supersteps from `initial_active` until quiescence or max_iters.
+  int run(std::vector<vid_t> initial_active, int max_iters) {
+    std::vector<vid_t> active = std::move(initial_active);
+    int iters = 0;
+    while (!active.empty() && iters < max_iters) {
+      active = superstep(active);
+      ++iters;
+    }
+    return iters;
+  }
+
+  /// PowerGraph's *asynchronous* engine: no superstep barrier and no
+  /// mirror broadcast — gathers read the master state directly, so
+  /// updates become visible immediately. Only valid for monotone
+  /// programs (SSSP, WCC-style min-propagation), where async and sync
+  /// converge to the same fixpoint; the paper's runs use the sync engine,
+  /// this exists for the sync-vs-async ablation. Returns the number of
+  /// vertex activations processed.
+  std::uint64_t run_async(std::vector<vid_t> initial_active,
+                          std::uint64_t max_activations) {
+    // The async engine's fibers are modelled as a FIFO work queue with a
+    // pending flag per vertex (PowerGraph's scheduler semantics): the
+    // scheduling freedom, not thread-level parallelism, is what
+    // distinguishes it from the sync engine here.
+    std::vector<vid_t> queue = std::move(initial_active);
+    std::vector<std::uint8_t> pending(vc_.num_vertices(), 0);
+    for (const vid_t v : queue) pending[v] = 1;
+
+    std::uint64_t processed = 0;
+    std::size_t head = 0;
+    while (head < queue.size() && processed < max_activations) {
+      const vid_t gv = queue[head++];
+      pending[gv] = 0;
+      Gather acc = prog_.gather_init();
+      bool any = false;
+      for (const std::uint8_t p : vc_.replicas_of(gv)) {
+        auto& lg = locals_[p];
+        const auto it = lg.g2l.find(gv);
+        if (it == lg.g2l.end()) continue;
+        const vid_t lv = it->second;
+        for (eid_t e = lg.in_offsets[lv]; e < lg.in_offsets[lv + 1]; ++e) {
+          prog_.gather(master_[lg.vertices[lg.in_src[e]]], lg.in_w[e],
+                       acc);
+          any = true;
+          ++counters_.gather_edges;
+        }
+        if constexpr (Program::gather_both) {
+          for (eid_t e = lg.out_offsets[lv]; e < lg.out_offsets[lv + 1];
+               ++e) {
+            prog_.gather(master_[lg.vertices[lg.out_dst[e]]], lg.out_w[e],
+                         acc);
+            any = true;
+            ++counters_.gather_edges;
+          }
+        }
+      }
+      ++processed;
+      if (!prog_.apply(master_[gv], acc, any)) continue;
+      // Scatter: enqueue neighbours not already pending.
+      for (const std::uint8_t p : vc_.replicas_of(gv)) {
+        auto& lg = locals_[p];
+        const auto it = lg.g2l.find(gv);
+        if (it == lg.g2l.end()) continue;
+        const vid_t lv = it->second;
+        for (eid_t e = lg.out_offsets[lv]; e < lg.out_offsets[lv + 1];
+             ++e) {
+          const vid_t nbr = lg.vertices[lg.out_dst[e]];
+          ++counters_.scatter_signals;
+          if (!pending[nbr]) {
+            pending[nbr] = 1;
+            queue.push_back(nbr);
+          }
+        }
+        if constexpr (Program::scatter_both) {
+          for (eid_t e = lg.in_offsets[lv]; e < lg.in_offsets[lv + 1];
+               ++e) {
+            const vid_t nbr = lg.vertices[lg.in_src[e]];
+            ++counters_.scatter_signals;
+            if (!pending[nbr]) {
+              pending[nbr] = 1;
+              queue.push_back(nbr);
+            }
+          }
+        }
+      }
+    }
+    return processed;
+  }
+
+  /// One synchronous superstep over `active`; returns the next active set
+  /// (deduplicated, sorted).
+  std::vector<vid_t> superstep(const std::vector<vid_t>& active) {
+    const vid_t n = vc_.num_vertices();
+    const int np = vc_.num_partitions();
+
+    // 1. Master -> mirror broadcast.
+#pragma omp parallel for schedule(dynamic, 1)
+    for (int p = 0; p < np; ++p) {
+      auto& lg = locals_[static_cast<std::size_t>(p)];
+      for (std::size_t i = 0; i < lg.vertices.size(); ++i) {
+        lg.mirror[i] = master_[lg.vertices[i]];
+      }
+    }
+    std::uint64_t syncs = 0;
+    for (int p = 0; p < np; ++p) syncs += locals_[p].vertices.size();
+    counters_.sync_copies += syncs;
+
+    // 2. Per-partition gather into partial accumulators.
+    std::uint64_t gathered = 0;
+#pragma omp parallel for schedule(dynamic, 1) reduction(+ : gathered)
+    for (int p = 0; p < np; ++p) {
+      auto& lg = locals_[static_cast<std::size_t>(p)];
+      lg.acc.assign(lg.vertices.size(), prog_.gather_init());
+      lg.any.assign(lg.vertices.size(), 0);
+      for (const vid_t gv : active) {
+        const auto it = lg.g2l.find(gv);
+        if (it == lg.g2l.end()) continue;
+        const vid_t lv = it->second;
+        for (eid_t e = lg.in_offsets[lv]; e < lg.in_offsets[lv + 1]; ++e) {
+          prog_.gather(lg.mirror[lg.in_src[e]], lg.in_w[e], lg.acc[lv]);
+          lg.any[lv] = 1;
+          ++gathered;
+        }
+        if constexpr (Program::gather_both) {
+          for (eid_t e = lg.out_offsets[lv]; e < lg.out_offsets[lv + 1];
+               ++e) {
+            prog_.gather(lg.mirror[lg.out_dst[e]], lg.out_w[e], lg.acc[lv]);
+            lg.any[lv] = 1;
+            ++gathered;
+          }
+        }
+      }
+    }
+    counters_.gather_edges += gathered;
+
+    // 3. Merge partials at the master and apply.
+    std::vector<vid_t> changed;
+#pragma omp parallel
+    {
+      std::vector<vid_t> local_changed;
+#pragma omp for schedule(dynamic, 64) nowait
+      for (std::int64_t i = 0; i < static_cast<std::int64_t>(active.size());
+           ++i) {
+        const vid_t gv = active[static_cast<std::size_t>(i)];
+        Gather merged = prog_.gather_init();
+        bool any = false;
+        for (const std::uint8_t p : vc_.replicas_of(gv)) {
+          const auto& lg = locals_[p];
+          const auto it = lg.g2l.find(gv);
+          if (it == lg.g2l.end()) continue;
+          if (lg.any[it->second]) {
+            prog_.combine(merged, lg.acc[it->second]);
+            any = true;
+          }
+        }
+        if (prog_.apply(master_[gv], merged, any)) {
+          local_changed.push_back(gv);
+        }
+      }
+#pragma omp critical
+      changed.insert(changed.end(), local_changed.begin(),
+                     local_changed.end());
+    }
+
+    // 4. Scatter: signal neighbours of changed vertices.
+    Bitmap signalled(n);
+    std::uint64_t signals = 0;
+#pragma omp parallel for schedule(dynamic, 1) reduction(+ : signals)
+    for (int p = 0; p < np; ++p) {
+      auto& lg = locals_[static_cast<std::size_t>(p)];
+      for (const vid_t gv : changed) {
+        const auto it = lg.g2l.find(gv);
+        if (it == lg.g2l.end()) continue;
+        const vid_t lv = it->second;
+        for (eid_t e = lg.out_offsets[lv]; e < lg.out_offsets[lv + 1]; ++e) {
+          signalled.set_atomic(lg.vertices[lg.out_dst[e]]);
+          ++signals;
+        }
+        if constexpr (Program::scatter_both) {
+          for (eid_t e = lg.in_offsets[lv]; e < lg.in_offsets[lv + 1]; ++e) {
+            signalled.set_atomic(lg.vertices[lg.in_src[e]]);
+            ++signals;
+          }
+        }
+      }
+    }
+    counters_.scatter_signals += signals;
+    ++counters_.supersteps;
+
+    std::vector<vid_t> next;
+    for (vid_t v = 0; v < n; ++v) {
+      if (signalled.test(v)) next.push_back(v);
+    }
+    return next;
+  }
+
+  /// Scatter-only pass: signal the neighbours of `changed` without
+  /// gathering or applying. Used to seed algorithms whose source vertex
+  /// has nothing to gather (e.g. the SSSP root).
+  [[nodiscard]] std::vector<vid_t> scatter_from(
+      const std::vector<vid_t>& changed) {
+    const vid_t n = vc_.num_vertices();
+    Bitmap signalled(n);
+    std::uint64_t signals = 0;
+    for (int p = 0; p < vc_.num_partitions(); ++p) {
+      auto& lg = locals_[static_cast<std::size_t>(p)];
+      for (const vid_t gv : changed) {
+        const auto it = lg.g2l.find(gv);
+        if (it == lg.g2l.end()) continue;
+        const vid_t lv = it->second;
+        for (eid_t e = lg.out_offsets[lv]; e < lg.out_offsets[lv + 1]; ++e) {
+          signalled.set_atomic(lg.vertices[lg.out_dst[e]]);
+          ++signals;
+        }
+        if constexpr (Program::scatter_both) {
+          for (eid_t e = lg.in_offsets[lv]; e < lg.in_offsets[lv + 1]; ++e) {
+            signalled.set_atomic(lg.vertices[lg.in_src[e]]);
+            ++signals;
+          }
+        }
+      }
+    }
+    counters_.scatter_signals += signals;
+    std::vector<vid_t> next;
+    for (vid_t v = 0; v < n; ++v) {
+      if (signalled.test(v)) next.push_back(v);
+    }
+    return next;
+  }
+
+  /// All vertices, for algorithms that activate everything each round.
+  [[nodiscard]] std::vector<vid_t> all_vertices() const {
+    std::vector<vid_t> v(vc_.num_vertices());
+    for (vid_t i = 0; i < vc_.num_vertices(); ++i) v[i] = i;
+    return v;
+  }
+
+ private:
+  /// Partition-local adjacency with local vertex ids.
+  struct LocalGraph {
+    std::vector<vid_t> vertices;  // global ids present on this partition
+    std::unordered_map<vid_t, vid_t> g2l;
+    std::vector<eid_t> in_offsets, out_offsets;
+    std::vector<vid_t> in_src, out_dst;  // local ids
+    std::vector<weight_t> in_w, out_w;
+    std::vector<VData> mirror;
+    std::vector<Gather> acc;
+    std::vector<std::uint8_t> any;
+  };
+
+  void build_local_graphs() {
+    const int np = vc_.num_partitions();
+    locals_.resize(static_cast<std::size_t>(np));
+    for (int p = 0; p < np; ++p) {
+      auto& lg = locals_[static_cast<std::size_t>(p)];
+      const auto& edges = vc_.edges_of(p);
+
+      for (const auto& e : edges) {
+        if (lg.g2l.emplace(e.src, static_cast<vid_t>(lg.vertices.size()))
+                .second) {
+          lg.vertices.push_back(e.src);
+        }
+        if (lg.g2l.emplace(e.dst, static_cast<vid_t>(lg.vertices.size()))
+                .second) {
+          lg.vertices.push_back(e.dst);
+        }
+      }
+      const auto nl = static_cast<vid_t>(lg.vertices.size());
+      lg.mirror.resize(nl);
+
+      std::vector<eid_t> in_count(nl, 0), out_count(nl, 0);
+      for (const auto& e : edges) {
+        ++out_count[lg.g2l[e.src]];
+        ++in_count[lg.g2l[e.dst]];
+      }
+      exclusive_prefix_sum(in_count, lg.in_offsets);
+      exclusive_prefix_sum(out_count, lg.out_offsets);
+      lg.in_src.resize(edges.size());
+      lg.in_w.resize(edges.size());
+      lg.out_dst.resize(edges.size());
+      lg.out_w.resize(edges.size());
+      std::vector<eid_t> ic(lg.in_offsets.begin(), lg.in_offsets.end() - 1);
+      std::vector<eid_t> oc(lg.out_offsets.begin(),
+                            lg.out_offsets.end() - 1);
+      for (const auto& e : edges) {
+        const vid_t ls = lg.g2l[e.src], ld = lg.g2l[e.dst];
+        lg.in_src[ic[ld]] = ls;
+        lg.in_w[ic[ld]++] = e.w;
+        lg.out_dst[oc[ls]] = ld;
+        lg.out_w[oc[ls]++] = e.w;
+      }
+    }
+  }
+
+  const VertexCut& vc_;
+  Program prog_;
+  std::vector<VData> master_;
+  std::vector<LocalGraph> locals_;
+  EngineCounters counters_;
+};
+
+}  // namespace epgs::systems::powergraph_detail

@@ -1,0 +1,98 @@
+#include "systems/powergraph/vertex_cut.hpp"
+
+#include <algorithm>
+
+#include "core/error.hpp"
+
+namespace epgs::systems::powergraph_detail {
+
+VertexCut VertexCut::build(const EdgeList& el, int num_partitions) {
+  EPGS_CHECK(num_partitions >= 1 && num_partitions <= 255,
+             "partition count must be in [1, 255]");
+  VertexCut vc;
+  vc.n_ = el.num_vertices;
+  vc.weighted_ = el.weighted;
+  vc.part_edges_.resize(static_cast<std::size_t>(num_partitions));
+  vc.replicas_.resize(vc.n_);
+  vc.masters_.assign(vc.n_, 0);
+
+  std::vector<eid_t> load(static_cast<std::size_t>(num_partitions), 0);
+
+  auto has_replica = [&](vid_t v, std::uint8_t p) {
+    const auto& r = vc.replicas_[v];
+    return std::find(r.begin(), r.end(), p) != r.end();
+  };
+  auto least_loaded_of = [&](const std::vector<std::uint8_t>& cands) {
+    std::uint8_t best = cands.front();
+    for (const std::uint8_t p : cands) {
+      if (load[p] < load[best]) best = p;
+    }
+    return best;
+  };
+
+  std::vector<std::uint8_t> cands;
+  for (const auto& e : el.edges) {
+    const auto& ru = vc.replicas_[e.src];
+    const auto& rv = vc.replicas_[e.dst];
+    std::uint8_t target;
+
+    cands.clear();
+    // Case 1: a partition already hosts both endpoints.
+    for (const std::uint8_t p : ru) {
+      if (has_replica(e.dst, p)) cands.push_back(p);
+    }
+    if (!cands.empty()) {
+      target = least_loaded_of(cands);
+    } else if (!ru.empty() || !rv.empty()) {
+      // Case 2: some partition hosts one endpoint; PowerGraph places the
+      // edge with the endpoint that has more unassigned edges — we use
+      // the simpler least-loaded-among-union rule.
+      cands.assign(ru.begin(), ru.end());
+      cands.insert(cands.end(), rv.begin(), rv.end());
+      target = least_loaded_of(cands);
+    } else {
+      // Case 3: fresh edge — globally least loaded partition.
+      std::uint8_t best = 0;
+      for (std::uint8_t p = 1; p < num_partitions; ++p) {
+        if (load[p] < load[best]) best = p;
+      }
+      target = best;
+    }
+
+    vc.part_edges_[target].push_back(e);
+    ++load[target];
+    if (!has_replica(e.src, target)) vc.replicas_[e.src].push_back(target);
+    if (!has_replica(e.dst, target)) vc.replicas_[e.dst].push_back(target);
+  }
+
+  // Master = first replica recorded (stable, deterministic).
+  for (vid_t v = 0; v < vc.n_; ++v) {
+    if (!vc.replicas_[v].empty()) {
+      vc.masters_[v] = vc.replicas_[v].front();
+    }
+  }
+  return vc;
+}
+
+double VertexCut::replication_factor() const {
+  std::uint64_t replicas = 0, present = 0;
+  for (const auto& r : replicas_) {
+    if (!r.empty()) {
+      replicas += r.size();
+      ++present;
+    }
+  }
+  return present == 0 ? 0.0
+                      : static_cast<double>(replicas) /
+                            static_cast<double>(present);
+}
+
+std::size_t VertexCut::bytes() const {
+  std::size_t b = 0;
+  for (const auto& pe : part_edges_) b += pe.size() * sizeof(Edge);
+  for (const auto& r : replicas_) b += r.size() * sizeof(std::uint8_t);
+  b += masters_.size() * sizeof(int);
+  return b;
+}
+
+}  // namespace epgs::systems::powergraph_detail

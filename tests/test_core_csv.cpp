@@ -1,0 +1,77 @@
+#include "core/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+
+namespace epgs {
+namespace {
+
+TEST(Csv, EscapePlainFieldUnchanged) {
+  EXPECT_EQ(CsvWriter::escape("hello"), "hello");
+  EXPECT_EQ(CsvWriter::escape(""), "");
+}
+
+TEST(Csv, EscapeQuotesCommasNewlines) {
+  EXPECT_EQ(CsvWriter::escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(CsvWriter::escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(CsvWriter::escape("line1\nline2"), "\"line1\nline2\"");
+}
+
+TEST(Csv, WriteRow) {
+  std::ostringstream os;
+  CsvWriter w(os);
+  w.write_row({"a", "b,c", "d"});
+  EXPECT_EQ(os.str(), "a,\"b,c\",d\n");
+}
+
+TEST(Csv, ParseSimple) {
+  const auto rows = parse_csv("a,b,c\n1,2,3\n");
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0], (CsvRow{"a", "b", "c"}));
+  EXPECT_EQ(rows[1], (CsvRow{"1", "2", "3"}));
+}
+
+TEST(Csv, ParseQuotedFields) {
+  const auto rows = parse_csv("\"a,b\",\"c\"\"d\",\"e\nf\"\n");
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0], (CsvRow{"a,b", "c\"d", "e\nf"}));
+}
+
+TEST(Csv, ParseMissingTrailingNewline) {
+  const auto rows = parse_csv("x,y");
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0], (CsvRow{"x", "y"}));
+}
+
+TEST(Csv, ParseEmptyFields) {
+  const auto rows = parse_csv(",\na,,b\n");
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0], (CsvRow{"", ""}));
+  EXPECT_EQ(rows[1], (CsvRow{"a", "", "b"}));
+}
+
+TEST(Csv, ParseToleratesCrlf) {
+  const auto rows = parse_csv("a,b\r\nc,d\r\n");
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[1], (CsvRow{"c", "d"}));
+}
+
+TEST(Csv, ParseEmptyDocument) { EXPECT_TRUE(parse_csv("").empty()); }
+
+TEST(Csv, UnterminatedQuoteThrows) {
+  EXPECT_THROW(parse_csv("\"abc"), std::runtime_error);
+}
+
+TEST(Csv, RoundTrip) {
+  const std::vector<CsvRow> rows = {
+      {"dataset", "system", "seconds"},
+      {"kron, s22", "Graph\"Mat\"", "0.149"},
+      {"multi\nline", "", "1.0"},
+  };
+  EXPECT_EQ(parse_csv(to_csv(rows)), rows);
+}
+
+}  // namespace
+}  // namespace epgs

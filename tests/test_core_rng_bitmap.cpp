@@ -1,0 +1,148 @@
+#include <gtest/gtest.h>
+
+#include <omp.h>
+
+#include <set>
+
+#include "core/bitmap.hpp"
+#include "core/parallel.hpp"
+#include "core/rng.hpp"
+#include "core/types.hpp"
+
+namespace epgs {
+namespace {
+
+TEST(Rng, DeterministicPerSeed) {
+  Xoshiro256 a(42), b(42), c(43);
+  bool any_diff = false;
+  for (int i = 0; i < 100; ++i) {
+    const auto va = a.next();
+    EXPECT_EQ(va, b.next());
+    if (va != c.next()) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Xoshiro256 rng(7);
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, UniformU64RespectsBound) {
+  Xoshiro256 rng(1);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 5000; ++i) {
+    const auto v = rng.uniform_u64(7);
+    ASSERT_LT(v, 7u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);  // all residues hit
+  EXPECT_EQ(rng.uniform_u64(0), 0u);
+  EXPECT_EQ(rng.uniform_u64(1), 0u);
+}
+
+TEST(Rng, UniformInInclusive) {
+  Xoshiro256 rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.uniform_in(10, 12);
+    ASSERT_GE(v, 10u);
+    ASSERT_LE(v, 12u);
+  }
+}
+
+TEST(Bitmap, SetTestCount) {
+  Bitmap bm(130);
+  EXPECT_EQ(bm.size(), 130u);
+  EXPECT_EQ(bm.count(), 0u);
+  bm.set(0);
+  bm.set(63);
+  bm.set(64);
+  bm.set(129);
+  EXPECT_TRUE(bm.test(0));
+  EXPECT_TRUE(bm.test(63));
+  EXPECT_TRUE(bm.test(64));
+  EXPECT_TRUE(bm.test(129));
+  EXPECT_FALSE(bm.test(1));
+  EXPECT_EQ(bm.count(), 4u);
+  bm.reset();
+  EXPECT_EQ(bm.count(), 0u);
+}
+
+TEST(Bitmap, AtomicSetReportsFirstSetter) {
+  Bitmap bm(64);
+  EXPECT_TRUE(bm.set_atomic(5));
+  EXPECT_FALSE(bm.set_atomic(5));
+  EXPECT_TRUE(bm.test(5));
+}
+
+TEST(Bitmap, ConcurrentSettersEachBitSetOnce) {
+  constexpr std::size_t kBits = 10000;
+  Bitmap bm(kBits);
+  std::atomic<std::size_t> winners{0};
+#pragma omp parallel for
+  for (std::int64_t i = 0; i < static_cast<std::int64_t>(kBits * 4); ++i) {
+    if (bm.set_atomic(static_cast<std::size_t>(i) % kBits)) {
+      winners.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  EXPECT_EQ(winners.load(), kBits);
+  EXPECT_EQ(bm.count(), kBits);
+}
+
+TEST(Bitmap, Swap) {
+  Bitmap a(10), b(10);
+  a.set(3);
+  a.swap(b);
+  EXPECT_FALSE(a.test(3));
+  EXPECT_TRUE(b.test(3));
+}
+
+TEST(Parallel, AtomicFetchMin) {
+  std::atomic<float> v{10.0f};
+  EXPECT_TRUE(atomic_fetch_min(&v, 5.0f));
+  EXPECT_FLOAT_EQ(v.load(), 5.0f);
+  EXPECT_FALSE(atomic_fetch_min(&v, 7.0f));
+  EXPECT_FLOAT_EQ(v.load(), 5.0f);
+  EXPECT_FALSE(atomic_fetch_min(&v, 5.0f));  // equal is not an improvement
+}
+
+TEST(Parallel, ExclusivePrefixSum) {
+  std::vector<std::uint64_t> in = {3, 0, 2, 5};
+  std::vector<std::uint64_t> out;
+  EXPECT_EQ(exclusive_prefix_sum(in, out), 10u);
+  EXPECT_EQ(out, (std::vector<std::uint64_t>{0, 3, 3, 5, 10}));
+  in.clear();
+  EXPECT_EQ(exclusive_prefix_sum(in, out), 0u);
+  EXPECT_EQ(out, (std::vector<std::uint64_t>{0}));
+}
+
+TEST(Parallel, ThreadScopeRestores) {
+  const int before = omp_get_max_threads();
+  {
+    ThreadScope scope(1);
+    EXPECT_EQ(omp_get_max_threads(), 1);
+  }
+  EXPECT_EQ(omp_get_max_threads(), before);
+}
+
+TEST(Types, FormatBytes) {
+  EXPECT_EQ(format_bytes(512), "512 B");
+  EXPECT_EQ(format_bytes(2048), "2.00 KiB");
+  EXPECT_EQ(format_bytes(3 * 1024 * 1024), "3.00 MiB");
+}
+
+TEST(Types, GraphScale) {
+  GraphScale gs{.scale = 10, .edgefactor = 16};
+  EXPECT_EQ(gs.num_vertices(), 1024u);
+  EXPECT_EQ(gs.num_edges(), 16384u);
+}
+
+}  // namespace
+}  // namespace epgs

@@ -1,0 +1,94 @@
+#include "core/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace epgs {
+namespace {
+
+TEST(Stats, SingleValue) {
+  const auto b = box_stats({3.0});
+  EXPECT_DOUBLE_EQ(b.min, 3.0);
+  EXPECT_DOUBLE_EQ(b.q1, 3.0);
+  EXPECT_DOUBLE_EQ(b.median, 3.0);
+  EXPECT_DOUBLE_EQ(b.q3, 3.0);
+  EXPECT_DOUBLE_EQ(b.max, 3.0);
+  EXPECT_DOUBLE_EQ(b.mean, 3.0);
+  EXPECT_DOUBLE_EQ(b.stddev, 0.0);
+  EXPECT_EQ(b.n, 1u);
+}
+
+TEST(Stats, KnownFiveNumberSummary) {
+  // R: quantile(c(1,2,3,4,5), type=7) -> 25% = 2, 50% = 3, 75% = 4.
+  const auto b = box_stats({5.0, 1.0, 4.0, 2.0, 3.0});
+  EXPECT_DOUBLE_EQ(b.min, 1.0);
+  EXPECT_DOUBLE_EQ(b.q1, 2.0);
+  EXPECT_DOUBLE_EQ(b.median, 3.0);
+  EXPECT_DOUBLE_EQ(b.q3, 4.0);
+  EXPECT_DOUBLE_EQ(b.max, 5.0);
+  EXPECT_DOUBLE_EQ(b.mean, 3.0);
+}
+
+TEST(Stats, EvenSampleInterpolates) {
+  // R: quantile(c(1,2,3,4), type=7) -> 25% = 1.75, 50% = 2.5, 75% = 3.25.
+  const auto b = box_stats({1.0, 2.0, 3.0, 4.0});
+  EXPECT_DOUBLE_EQ(b.q1, 1.75);
+  EXPECT_DOUBLE_EQ(b.median, 2.5);
+  EXPECT_DOUBLE_EQ(b.q3, 3.25);
+}
+
+TEST(Stats, SampleStddev) {
+  const auto b = box_stats({2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0});
+  EXPECT_DOUBLE_EQ(b.mean, 5.0);
+  EXPECT_NEAR(b.stddev, 2.13809, 1e-5);  // sqrt(32/7)
+  EXPECT_NEAR(b.relative_stddev(), 2.13809 / 5.0, 1e-5);
+}
+
+TEST(Stats, EmptySampleThrows) {
+  EXPECT_THROW(box_stats({}), std::invalid_argument);
+}
+
+TEST(Stats, QuantileBounds) {
+  const std::vector<double> s = {1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(quantile_sorted(s, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile_sorted(s, 1.0), 3.0);
+  EXPECT_THROW(quantile_sorted(s, -0.1), std::invalid_argument);
+  EXPECT_THROW(quantile_sorted(s, 1.1), std::invalid_argument);
+  EXPECT_THROW(quantile_sorted({}, 0.5), std::invalid_argument);
+}
+
+TEST(Stats, MeanOfEmptyIsZero) { EXPECT_DOUBLE_EQ(mean_of({}), 0.0); }
+
+TEST(Stats, SpeedupAndEfficiency) {
+  EXPECT_DOUBLE_EQ(speedup(10.0, 2.5), 4.0);
+  EXPECT_DOUBLE_EQ(efficiency(10.0, 4, 2.5), 1.0);   // ideal
+  EXPECT_DOUBLE_EQ(efficiency(10.0, 8, 2.5), 0.5);   // half efficient
+}
+
+TEST(Stats, RelativeStddevZeroMean) {
+  BoxStats b;
+  b.mean = 0.0;
+  b.stddev = 1.0;
+  EXPECT_DOUBLE_EQ(b.relative_stddev(), 0.0);
+}
+
+class QuantileMonotoneTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(QuantileMonotoneTest, WithinRangeAndMonotone) {
+  const std::vector<double> s = {0.5, 1.5, 2.0, 8.0, 9.0, 12.0, 20.0};
+  const double q = GetParam();
+  const double v = quantile_sorted(s, q);
+  EXPECT_GE(v, s.front());
+  EXPECT_LE(v, s.back());
+  if (q >= 0.1) {
+    EXPECT_LE(quantile_sorted(s, q - 0.1), v);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, QuantileMonotoneTest,
+                         ::testing::Values(0.0, 0.1, 0.25, 0.5, 0.75, 0.9,
+                                           1.0));
+
+}  // namespace
+}  // namespace epgs

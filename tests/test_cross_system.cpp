@@ -1,0 +1,238 @@
+// Cross-system agreement: every system under test must produce results
+// equivalent to the serial reference oracles on a battery of graphs —
+// the property that makes the paper's runtime comparison meaningful at
+// all (same problem, same answer, different machinery).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "gen/datasets.hpp"
+#include "gen/kronecker.hpp"
+#include "graph/csr.hpp"
+#include "graph/transforms.hpp"
+#include "systems/common/reference.hpp"
+#include "systems/common/registry.hpp"
+#include "systems/common/validation.hpp"
+#include "test_util.hpp"
+
+namespace epgs {
+namespace {
+
+struct GraphCase {
+  std::string name;
+  EdgeList edges;
+};
+
+// ctest runs every parameterized case in its own process, so building
+// the whole battery eagerly would regenerate all nine graphs per test.
+// Keep (name, generator) specs and materialise only the requested case.
+struct GraphCaseSpec {
+  const char* name;
+  EdgeList (*make)();
+};
+
+const std::vector<GraphCaseSpec>& battery_specs() {
+  static const std::vector<GraphCaseSpec> specs = {
+      {"two_triangles", [] { return test::two_triangles(); }},
+      {"line16w", [] { return test::line_graph(16, /*weighted=*/true); }},
+      {"star12", [] { return test::star_graph(12); }},
+      {"cycle9", [] { return test::cycle_graph(9); }},
+      {"directed_pr", [] { return test::pagerank_graph(); }},
+      {"kron_s8",
+       [] {
+         gen::KroneckerParams p;
+         p.scale = 8;
+         p.edgefactor = 8;
+         return with_random_weights(dedupe(symmetrize(gen::kronecker(p))),
+                                    7, 15);
+       }},
+      {"loops_dupes",
+       [] {
+         // Self loops and parallel edges: systems must agree on the
+         // messy input too (the raw Kronecker stream contains both).
+         EdgeList el;
+         el.num_vertices = 6;
+         el.weighted = true;
+         el.edges = {Edge{0, 0, 3.0f}, Edge{0, 1, 2.0f}, Edge{1, 0, 2.0f},
+                     Edge{0, 1, 5.0f}, Edge{1, 0, 5.0f}, Edge{1, 2, 1.0f},
+                     Edge{2, 1, 1.0f}, Edge{2, 2, 1.0f}, Edge{3, 4, 4.0f},
+                     Edge{4, 3, 4.0f}, Edge{3, 4, 4.0f}, Edge{4, 3, 4.0f}};
+         return el;
+       }},
+      {"patents_like",
+       [] {
+         gen::PatentsLikeParams p;
+         p.fraction = 0.0004;  // ~1.5k vertices, directed
+         return gen::patents_like(p);
+       }},
+      {"dota_like",
+       [] {
+         gen::DotaLikeParams p;
+         p.fraction = 0.004;  // ~250 vertices, dense weighted
+         return gen::dota_like(p);
+       }},
+  };
+  return specs;
+}
+
+class CrossSystem
+    : public ::testing::TestWithParam<std::tuple<std::string, std::size_t>> {
+ protected:
+  void SetUp() override {
+    const auto& [system_name, case_index] = GetParam();
+    const auto& spec = battery_specs()[case_index];
+    graph_ = GraphCase{spec.name, spec.make()};
+    sys_ = make_system(system_name);
+    sys_->set_edges(graph_.edges);
+    sys_->build();
+    out_ = CSRGraph::from_edges(graph_.edges);
+    in_ = CSRGraph::from_edges(graph_.edges, true);
+  }
+
+  vid_t pick_root() const {
+    // Any vertex with an out-edge, preferring a high-degree one.
+    vid_t best = 0;
+    for (vid_t v = 0; v < out_.num_vertices(); ++v) {
+      if (out_.degree(v) > out_.degree(best)) best = v;
+    }
+    return best;
+  }
+
+  GraphCase graph_{};
+  std::unique_ptr<System> sys_;
+  CSRGraph out_, in_;
+};
+
+TEST_P(CrossSystem, BfsProducesValidShortestTree) {
+  if (!sys_->capabilities().bfs) GTEST_SKIP() << "no BFS toolkit";
+  const vid_t root = pick_root();
+  const auto result = sys_->bfs(root);
+  const auto err = validate_bfs(out_, result);
+  EXPECT_FALSE(err.has_value()) << sys_->name() << " on " << graph_.name
+                                << ": " << err.value_or("");
+}
+
+TEST_P(CrossSystem, SsspMatchesDijkstraExactly) {
+  if (!sys_->capabilities().sssp) GTEST_SKIP() << "no SSSP toolkit";
+  const vid_t root = pick_root();
+  const auto result = sys_->sssp(root);
+  const auto truth = ref::dijkstra(out_, root);
+  ASSERT_EQ(result.dist.size(), truth.size());
+  for (vid_t v = 0; v < truth.size(); ++v) {
+    EXPECT_EQ(result.dist[v], truth[v])
+        << sys_->name() << " on " << graph_.name << " vertex " << v;
+  }
+}
+
+TEST_P(CrossSystem, PageRankMatchesReference) {
+  if (!sys_->capabilities().pagerank) GTEST_SKIP() << "no PageRank";
+  PageRankParams params;
+  const auto result = sys_->pagerank(params);
+  const auto err = validate_pagerank(result, 1e-4);
+  EXPECT_FALSE(err.has_value()) << err.value_or("");
+
+  const auto truth = ref::pagerank(out_, in_, params);
+  // GraphMat's single-precision ranks and its different stopping
+  // criterion warrant a looser tolerance.
+  const double rel_tol = sys_->name() == "GraphMat" ? 1e-3 : 1e-6;
+  ASSERT_EQ(result.rank.size(), truth.rank.size());
+  const double uniform = 1.0 / static_cast<double>(result.rank.size());
+  for (std::size_t v = 0; v < truth.rank.size(); ++v) {
+    EXPECT_NEAR(result.rank[v], truth.rank[v],
+                rel_tol * (uniform + truth.rank[v]))
+        << sys_->name() << " on " << graph_.name << " vertex " << v;
+  }
+}
+
+TEST_P(CrossSystem, CdlpMatchesReference) {
+  if (!sys_->capabilities().cdlp) GTEST_SKIP() << "no CDLP";
+  const auto result = sys_->cdlp(10);
+  const auto truth = ref::cdlp(out_, in_, 10);
+  EXPECT_EQ(result.label, truth.label)
+      << sys_->name() << " on " << graph_.name;
+}
+
+TEST_P(CrossSystem, LccMatchesReference) {
+  if (!sys_->capabilities().lcc) GTEST_SKIP() << "no LCC";
+  const auto result = sys_->lcc();
+  const auto truth = ref::lcc(out_, in_);
+  ASSERT_EQ(result.coefficient.size(), truth.coefficient.size());
+  for (std::size_t v = 0; v < truth.coefficient.size(); ++v) {
+    EXPECT_NEAR(result.coefficient[v], truth.coefficient[v], 1e-12)
+        << sys_->name() << " on " << graph_.name << " vertex " << v;
+  }
+}
+
+TEST_P(CrossSystem, TriangleCountMatchesReference) {
+  if (!sys_->capabilities().tc) GTEST_SKIP() << "no TC toolkit";
+  const auto result = sys_->tc();
+  const auto truth = ref::triangle_count(out_, in_);
+  EXPECT_EQ(result.triangles, truth.triangles)
+      << sys_->name() << " on " << graph_.name;
+}
+
+TEST_P(CrossSystem, BetweennessMatchesBrandes) {
+  if (!sys_->capabilities().bc) GTEST_SKIP() << "no BC toolkit";
+  const vid_t source = pick_root();
+  const auto result = sys_->bc(source);
+  const auto truth = ref::brandes_bc(out_, in_, source);
+  ASSERT_EQ(result.dependency.size(), truth.dependency.size());
+  for (std::size_t v = 0; v < truth.dependency.size(); ++v) {
+    EXPECT_NEAR(result.dependency[v], truth.dependency[v],
+                1e-9 * (1.0 + truth.dependency[v]))
+        << sys_->name() << " on " << graph_.name << " vertex " << v;
+  }
+}
+
+TEST_P(CrossSystem, WccMatchesReferenceAndValidates) {
+  if (!sys_->capabilities().wcc) GTEST_SKIP() << "no WCC";
+  const auto result = sys_->wcc();
+  const auto truth = ref::wcc(graph_.edges);
+  EXPECT_EQ(result.component, truth.component)
+      << sys_->name() << " on " << graph_.name;
+  EXPECT_FALSE(validate_wcc(graph_.edges, result).has_value());
+}
+
+std::vector<std::tuple<std::string, std::size_t>> all_cases() {
+  std::vector<std::tuple<std::string, std::size_t>> cases;
+  auto names = all_system_names();
+  const auto ext = extension_system_names();
+  names.insert(names.end(), ext.begin(), ext.end());
+  for (const auto sys : names) {
+    for (std::size_t g = 0; g < battery_specs().size(); ++g) {
+      cases.emplace_back(std::string(sys), g);
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSystemsAllGraphs, CrossSystem, ::testing::ValuesIn(all_cases()),
+    [](const auto& info) {
+      return std::get<0>(info.param) + "_" +
+             battery_specs()[std::get<1>(info.param)].name;
+    });
+
+// Every system must agree with every *other* system on BFS level sets
+// (parent trees may differ; levels may not).
+TEST(CrossSystemPairwise, BfsLevelSetsAgree) {
+  const auto el = dedupe(symmetrize([] {
+    gen::KroneckerParams p;
+    p.scale = 7;
+    return gen::kronecker(p);
+  }()));
+  const auto csr = CSRGraph::from_edges(el);
+  const auto truth = ref::bfs_levels(csr, 1);
+
+  for (const auto name : all_system_names()) {
+    auto sys = make_system(name);
+    if (!sys->capabilities().bfs) continue;
+    sys->set_edges(el);
+    sys->build();
+    const auto levels = sys->bfs(1).levels();
+    EXPECT_EQ(levels, truth) << name;
+  }
+}
+
+}  // namespace
+}  // namespace epgs

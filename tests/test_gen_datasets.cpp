@@ -1,0 +1,159 @@
+#include "gen/datasets.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/error.hpp"
+#include "graph/transforms.hpp"
+
+namespace epgs::gen {
+namespace {
+
+TEST(PatentsLike, SizesScaleWithFraction) {
+  PatentsLikeParams p;
+  p.fraction = 0.001;
+  const auto el = patents_like(p);
+  const auto expect_n = static_cast<double>(
+      PatentsLikeParams::kPaperVertices) * p.fraction;
+  EXPECT_NEAR(static_cast<double>(el.num_vertices), expect_n, 2.0);
+  // Edge counts are stochastic; the average out-degree must stay near the
+  // paper's ~4.38.
+  const double avg_deg =
+      static_cast<double>(el.num_edges()) / el.num_vertices;
+  EXPECT_GT(avg_deg, 3.0);
+  EXPECT_LT(avg_deg, 6.0);
+}
+
+TEST(PatentsLike, CitationsPointBackwards) {
+  PatentsLikeParams p;
+  p.fraction = 0.0005;
+  const auto el = patents_like(p);
+  ASSERT_TRUE(el.directed);
+  EXPECT_FALSE(el.weighted);
+  for (const auto& e : el.edges) {
+    EXPECT_LT(e.dst, e.src) << "a patent can only cite earlier patents";
+  }
+}
+
+TEST(PatentsLike, Deterministic) {
+  PatentsLikeParams p;
+  p.fraction = 0.0005;
+  EXPECT_EQ(patents_like(p).edges, patents_like(p).edges);
+  PatentsLikeParams q = p;
+  q.seed = 99;
+  EXPECT_NE(patents_like(p).edges, patents_like(q).edges);
+}
+
+TEST(PatentsLike, HeavyTailedInDegree) {
+  PatentsLikeParams p;
+  p.fraction = 0.002;
+  const auto el = patents_like(p);
+  const auto in = in_degrees(el);
+  const auto max_in = *std::max_element(in.begin(), in.end());
+  const double avg_in =
+      static_cast<double>(el.num_edges()) / el.num_vertices;
+  EXPECT_GT(static_cast<double>(max_in), 20.0 * avg_in)
+      << "copy model should create citation hubs";
+}
+
+TEST(PatentsLike, NoDuplicateCitationsFromOneVertex) {
+  PatentsLikeParams p;
+  p.fraction = 0.0005;
+  auto el = patents_like(p);
+  auto edges = el.edges;
+  std::sort(edges.begin(), edges.end(), [](const Edge& a, const Edge& b) {
+    return a.src != b.src ? a.src < b.src : a.dst < b.dst;
+  });
+  const auto dup = std::adjacent_find(
+      edges.begin(), edges.end(), [](const Edge& a, const Edge& b) {
+        return a.src == b.src && a.dst == b.dst;
+      });
+  EXPECT_EQ(dup, edges.end());
+}
+
+TEST(PatentsLike, InvalidFractionThrows) {
+  PatentsLikeParams p;
+  p.fraction = 0.0;
+  EXPECT_THROW(patents_like(p), EpgsError);
+  p.fraction = 1.5;
+  EXPECT_THROW(patents_like(p), EpgsError);
+}
+
+TEST(DotaLike, DenseWeightedSymmetric) {
+  DotaLikeParams p;
+  p.fraction = 0.02;  // ~1200 vertices
+  const auto el = dota_like(p);
+  ASSERT_TRUE(el.weighted);
+  EXPECT_FALSE(el.directed);
+
+  // Every edge must appear in both directions with equal weight.
+  auto edges = el.edges;
+  std::sort(edges.begin(), edges.end(), [](const Edge& a, const Edge& b) {
+    return a.src != b.src ? a.src < b.src : a.dst < b.dst;
+  });
+  for (const auto& e : el.edges) {
+    const Edge rev{e.dst, e.src, e.w};
+    const auto it = std::lower_bound(
+        edges.begin(), edges.end(), rev, [](const Edge& a, const Edge& b) {
+          return a.src != b.src ? a.src < b.src : a.dst < b.dst;
+        });
+    ASSERT_NE(it, edges.end());
+    EXPECT_EQ(it->src, rev.src);
+    EXPECT_EQ(it->dst, rev.dst);
+    EXPECT_FLOAT_EQ(it->w, rev.w);
+  }
+}
+
+TEST(DotaLike, MuchDenserThanPatents) {
+  DotaLikeParams p;
+  p.fraction = 0.02;
+  const auto el = dota_like(p);
+  const double avg_deg =
+      static_cast<double>(el.num_edges()) / el.num_vertices;
+  EXPECT_GT(avg_deg, 50.0) << "dota-league stand-in must be dense";
+}
+
+TEST(DotaLike, SkewedActivityCreatesHubs) {
+  // Use a fraction where the half-complete-graph density cap does not
+  // bind, so hub degrees can stand out from the average.
+  DotaLikeParams p;
+  p.fraction = 0.05;
+  const auto el = dota_like(p);
+  const auto deg = out_degrees(el);
+  const auto max_deg = *std::max_element(deg.begin(), deg.end());
+  const double avg =
+      static_cast<double>(el.num_edges()) / el.num_vertices;
+  EXPECT_GT(static_cast<double>(max_deg), 2.0 * avg);
+}
+
+TEST(DotaLike, Deterministic) {
+  DotaLikeParams p;
+  p.fraction = 0.01;
+  EXPECT_EQ(dota_like(p).edges, dota_like(p).edges);
+}
+
+TEST(DotaLike, WeightsArePositiveIntegers) {
+  DotaLikeParams p;
+  p.fraction = 0.01;
+  const auto el = dota_like(p);
+  bool any_above_one = false;
+  for (const auto& e : el.edges) {
+    EXPECT_GE(e.w, 1.0f);
+    EXPECT_EQ(e.w, static_cast<float>(static_cast<int>(e.w)));
+    any_above_one |= e.w > 1.0f;
+  }
+  EXPECT_TRUE(any_above_one) << "repeated co-play should raise weights";
+}
+
+TEST(DotaLike, InvalidParamsThrow) {
+  DotaLikeParams p;
+  p.fraction = -1.0;
+  EXPECT_THROW(dota_like(p), EpgsError);
+  p.fraction = 0.01;
+  p.players_per_match = 1;
+  EXPECT_THROW(dota_like(p), EpgsError);
+}
+
+}  // namespace
+}  // namespace epgs::gen

@@ -1,0 +1,105 @@
+#include "gen/kronecker.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/error.hpp"
+#include "graph/transforms.hpp"
+
+namespace epgs::gen {
+namespace {
+
+TEST(Kronecker, SizesMatchSpec) {
+  KroneckerParams p;
+  p.scale = 8;
+  p.edgefactor = 16;
+  const auto el = kronecker(p);
+  EXPECT_EQ(el.num_vertices, 256u);
+  EXPECT_EQ(el.num_edges(), 256u * 16u);
+  for (const auto& e : el.edges) {
+    EXPECT_LT(e.src, el.num_vertices);
+    EXPECT_LT(e.dst, el.num_vertices);
+  }
+}
+
+TEST(Kronecker, DeterministicPerSeed) {
+  KroneckerParams p;
+  p.scale = 7;
+  const auto a = kronecker(p);
+  const auto b = kronecker(p);
+  EXPECT_EQ(a.edges, b.edges);
+
+  p.seed ^= 1;
+  const auto c = kronecker(p);
+  EXPECT_NE(a.edges, c.edges);
+}
+
+TEST(Kronecker, SkewedDegreesVsUniform) {
+  // With A=0.57 the degree distribution must be heavily skewed: the max
+  // degree far exceeds the average (16).
+  KroneckerParams p;
+  p.scale = 10;
+  const auto el = kronecker(p);
+  const auto deg = total_degrees(el);
+  const auto max_deg = *std::max_element(deg.begin(), deg.end());
+  EXPECT_GT(max_deg, 150u) << "expected heavy-tailed degrees";
+}
+
+TEST(Kronecker, UniformInitiatorIsNotSkewed) {
+  KroneckerParams p;
+  p.scale = 10;
+  p.a = p.b = p.c = 0.25;  // Erdos-Renyi-ish corner case
+  const auto el = kronecker(p);
+  const auto deg = total_degrees(el);
+  const auto max_deg = *std::max_element(deg.begin(), deg.end());
+  EXPECT_LT(max_deg, 120u);
+}
+
+TEST(Kronecker, PermutationOffStillDeterministic) {
+  KroneckerParams p;
+  p.scale = 6;
+  p.permute_vertices = false;
+  p.shuffle_edges = false;
+  const auto a = kronecker(p);
+  const auto b = kronecker(p);
+  EXPECT_EQ(a.edges, b.edges);
+}
+
+TEST(Kronecker, PermutationChangesLabelsNotCount) {
+  KroneckerParams p;
+  p.scale = 6;
+  p.permute_vertices = false;
+  p.shuffle_edges = false;
+  const auto plain = kronecker(p);
+  p.permute_vertices = true;
+  const auto permuted = kronecker(p);
+  EXPECT_EQ(plain.num_edges(), permuted.num_edges());
+  EXPECT_NE(plain.edges, permuted.edges);
+}
+
+TEST(Kronecker, InvalidParamsThrow) {
+  KroneckerParams p;
+  p.scale = 0;
+  EXPECT_THROW(kronecker(p), EpgsError);
+  p.scale = 8;
+  p.a = 0.8;
+  p.b = 0.3;  // a+b+c > 1
+  EXPECT_THROW(kronecker(p), EpgsError);
+}
+
+class KroneckerScaleSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(KroneckerScaleSweep, EdgeFactorHolds) {
+  KroneckerParams p;
+  p.scale = GetParam();
+  const auto el = kronecker(p);
+  EXPECT_EQ(el.num_edges(),
+            static_cast<eid_t>(p.edgefactor) << p.scale);
+}
+
+INSTANTIATE_TEST_SUITE_P(Scales, KroneckerScaleSweep,
+                         ::testing::Values(4, 6, 8, 10, 12));
+
+}  // namespace
+}  // namespace epgs::gen

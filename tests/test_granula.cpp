@@ -1,0 +1,98 @@
+#include "graphalytics/granula.hpp"
+
+#include <gtest/gtest.h>
+
+#include "systems/common/registry.hpp"
+#include "test_util.hpp"
+
+namespace epgs::graphalytics {
+namespace {
+
+PhaseLog sample_log() {
+  PhaseLog log;
+  log.add(std::string(phase::kFileRead), 2.0,
+          WorkStats{.edges_processed = 100});
+  log.add(std::string(phase::kBuild), 3.0,
+          WorkStats{.edges_processed = 100, .bytes_touched = 4096});
+  log.add(std::string(phase::kEngineInit), 0.5);
+  log.add(std::string(phase::kAlgorithm), 1.5,
+          WorkStats{.edges_processed = 300, .vertex_updates = 40});
+  log.add(std::string(phase::kAlgorithm), 2.5,
+          WorkStats{.edges_processed = 500, .vertex_updates = 60});
+  return log;
+}
+
+TEST(Granula, EvaluatesHierarchy) {
+  const auto report = evaluate(default_operation_model(), sample_log());
+  EXPECT_EQ(report.label, "Job");
+  EXPECT_DOUBLE_EQ(report.seconds, 2.0 + 3.0 + 0.5 + 1.5 + 2.5);
+  EXPECT_DOUBLE_EQ(report.self_seconds, 0.0);  // pure container
+  ASSERT_EQ(report.children.size(), 4u);
+
+  const auto& ingest = report.children[0];
+  EXPECT_EQ(ingest.label, "Ingest");
+  EXPECT_DOUBLE_EQ(ingest.seconds, 2.0);
+  EXPECT_EQ(ingest.occurrences, 1);
+
+  const auto& setup = report.children[1];
+  EXPECT_EQ(setup.label, "Setup");
+  EXPECT_DOUBLE_EQ(setup.seconds, 3.5);
+  ASSERT_EQ(setup.children.size(), 2u);
+  EXPECT_DOUBLE_EQ(setup.children[0].seconds, 3.0);
+  EXPECT_DOUBLE_EQ(setup.children[1].seconds, 0.5);
+
+  const auto& processing = report.children[2];
+  EXPECT_EQ(processing.occurrences, 2);
+  EXPECT_DOUBLE_EQ(processing.seconds, 4.0);
+  EXPECT_EQ(processing.work.edges_processed, 800u);
+  EXPECT_EQ(processing.work.vertex_updates, 100u);
+  EXPECT_DOUBLE_EQ(processing.edges_per_second, 200.0);
+}
+
+TEST(Granula, WorkAggregatesUpward) {
+  const auto report = evaluate(default_operation_model(), sample_log());
+  EXPECT_EQ(report.work.edges_processed, 100u + 100u + 800u);
+  EXPECT_EQ(report.work.bytes_touched, 4096u);
+}
+
+TEST(Granula, EmptyLogYieldsZeroReport) {
+  const auto report = evaluate(default_operation_model(), PhaseLog{});
+  EXPECT_DOUBLE_EQ(report.seconds, 0.0);
+  for (const auto& child : report.children) {
+    EXPECT_EQ(child.occurrences, 0);
+  }
+}
+
+TEST(Granula, CustomModel) {
+  OperationSpec spec{.label = "OnlyAlgorithms",
+                     .phase_name = std::string(phase::kAlgorithm),
+                     .children = {}};
+  const auto report = evaluate(spec, sample_log());
+  EXPECT_EQ(report.occurrences, 2);
+  EXPECT_DOUBLE_EQ(report.seconds, 4.0);
+}
+
+TEST(Granula, RenderShowsTreeAndThroughput) {
+  const auto text =
+      render_report(evaluate(default_operation_model(), sample_log()));
+  EXPECT_NE(text.find("Job"), std::string::npos);
+  EXPECT_NE(text.find("  Ingest"), std::string::npos);
+  EXPECT_NE(text.find("    BuildGraph"), std::string::npos);
+  EXPECT_NE(text.find("edges/s"), std::string::npos);
+}
+
+TEST(Granula, WorksOnRealSystemLog) {
+  auto sys = make_system("PowerGraph");
+  sys->set_edges(test::two_triangles());
+  sys->build();
+  (void)sys->wcc();
+  const auto report = evaluate(default_operation_model(), sys->log());
+  // PowerGraph: fused build + engine init + algorithm all present.
+  EXPECT_GT(report.seconds, 0.0);
+  EXPECT_GT(report.children[1].children[1].occurrences, 0)
+      << "EngineInit must be visible in the operation tree";
+  EXPECT_GT(report.children[2].occurrences, 0);
+}
+
+}  // namespace
+}  // namespace epgs::graphalytics

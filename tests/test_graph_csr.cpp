@@ -1,0 +1,107 @@
+#include "graph/csr.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/error.hpp"
+#include "test_util.hpp"
+
+namespace epgs {
+namespace {
+
+EdgeList small_directed() {
+  EdgeList el;
+  el.num_vertices = 4;
+  el.directed = true;
+  el.edges = {Edge{0, 2, 1.0f}, Edge{0, 1, 1.0f}, Edge{1, 3, 1.0f},
+              Edge{2, 3, 1.0f}, Edge{3, 0, 1.0f}};
+  return el;
+}
+
+TEST(Csr, BuildsOutAdjacency) {
+  const auto g = CSRGraph::from_edges(small_directed());
+  EXPECT_EQ(g.num_vertices(), 4u);
+  EXPECT_EQ(g.num_edges(), 5u);
+  const auto n0 = g.neighbors(0);
+  ASSERT_EQ(n0.size(), 2u);
+  EXPECT_EQ(n0[0], 1u);  // sorted
+  EXPECT_EQ(n0[1], 2u);
+  EXPECT_EQ(g.degree(3), 1u);
+  EXPECT_EQ(g.neighbors(3)[0], 0u);
+}
+
+TEST(Csr, TransposeBuildsInAdjacency) {
+  const auto g = CSRGraph::from_edges(small_directed(), /*transpose=*/true);
+  const auto in3 = g.neighbors(3);
+  ASSERT_EQ(in3.size(), 2u);
+  EXPECT_EQ(in3[0], 1u);
+  EXPECT_EQ(in3[1], 2u);
+  EXPECT_EQ(g.degree(0), 1u);  // only 3 -> 0
+}
+
+TEST(Csr, WeightsFollowSort) {
+  EdgeList el;
+  el.num_vertices = 3;
+  el.weighted = true;
+  el.edges = {Edge{0, 2, 20.0f}, Edge{0, 1, 10.0f}};
+  const auto g = CSRGraph::from_edges(el);
+  ASSERT_TRUE(g.weighted());
+  const auto nbrs = g.neighbors(0);
+  const auto ws = g.edge_weights(0);
+  ASSERT_EQ(nbrs.size(), 2u);
+  EXPECT_EQ(nbrs[0], 1u);
+  EXPECT_FLOAT_EQ(ws[0], 10.0f);
+  EXPECT_EQ(nbrs[1], 2u);
+  EXPECT_FLOAT_EQ(ws[1], 20.0f);
+}
+
+TEST(Csr, HasEdge) {
+  const auto g = CSRGraph::from_edges(small_directed());
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(3, 0));
+  EXPECT_FALSE(g.has_edge(1, 0));
+  EXPECT_FALSE(g.has_edge(0, 3));
+}
+
+TEST(Csr, EmptyGraph) {
+  EdgeList el;
+  el.num_vertices = 3;
+  const auto g = CSRGraph::from_edges(el);
+  EXPECT_EQ(g.num_edges(), 0u);
+  EXPECT_EQ(g.degree(0), 0u);
+  EXPECT_TRUE(g.neighbors(2).empty());
+}
+
+TEST(Csr, OutOfRangeEndpointThrows) {
+  EdgeList el;
+  el.num_vertices = 2;
+  el.edges = {Edge{0, 5, 1.0f}};
+  EXPECT_THROW(CSRGraph::from_edges(el), EpgsError);
+}
+
+TEST(Csr, OffsetsAreMonotone) {
+  const auto g = CSRGraph::from_edges(test::two_triangles());
+  const auto& off = g.offsets();
+  ASSERT_EQ(off.size(), g.num_vertices() + 1u);
+  EXPECT_EQ(off.front(), 0u);
+  EXPECT_EQ(off.back(), g.num_edges());
+  EXPECT_TRUE(std::is_sorted(off.begin(), off.end()));
+}
+
+TEST(Csr, BytesAccountsForStorage) {
+  const auto g = CSRGraph::from_edges(test::line_graph(10));
+  EXPECT_GT(g.bytes(), 0u);
+  EXPECT_GE(g.bytes(), g.num_edges() * sizeof(vid_t));
+}
+
+TEST(Csr, ParallelEdgesPreserved) {
+  EdgeList el;
+  el.num_vertices = 2;
+  el.edges = {Edge{0, 1, 1.0f}, Edge{0, 1, 1.0f}};
+  const auto g = CSRGraph::from_edges(el);
+  EXPECT_EQ(g.degree(0), 2u);
+}
+
+}  // namespace
+}  // namespace epgs

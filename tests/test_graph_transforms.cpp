@@ -1,0 +1,96 @@
+#include "graph/transforms.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "test_util.hpp"
+
+namespace epgs {
+namespace {
+
+TEST(Transforms, SymmetrizeDoublesEdges) {
+  EdgeList el;
+  el.num_vertices = 3;
+  el.directed = true;
+  el.edges = {Edge{0, 1, 5.0f}, Edge{1, 2, 7.0f}};
+  const auto sym = symmetrize(el);
+  EXPECT_EQ(sym.num_edges(), 4u);
+  EXPECT_FALSE(sym.directed);
+  // Reverse edges carry the same weight.
+  EXPECT_NE(std::find(sym.edges.begin(), sym.edges.end(), Edge{1, 0, 5.0f}),
+            sym.edges.end());
+  EXPECT_NE(std::find(sym.edges.begin(), sym.edges.end(), Edge{2, 1, 7.0f}),
+            sym.edges.end());
+}
+
+TEST(Transforms, SymmetrizeDoesNotDuplicateSelfLoops) {
+  EdgeList el;
+  el.num_vertices = 2;
+  el.edges = {Edge{0, 0, 1.0f}, Edge{0, 1, 1.0f}};
+  const auto sym = symmetrize(el);
+  EXPECT_EQ(sym.num_edges(), 3u);  // loop once + both directions of (0,1)
+}
+
+TEST(Transforms, DedupeRemovesDuplicatesAndLoops) {
+  EdgeList el;
+  el.num_vertices = 3;
+  el.edges = {Edge{0, 1, 3.0f}, Edge{0, 1, 2.0f}, Edge{1, 1, 1.0f},
+              Edge{2, 0, 4.0f}};
+  const auto d = dedupe(el);
+  EXPECT_EQ(d.num_edges(), 2u);
+  // Keeps the minimum weight among duplicates.
+  EXPECT_EQ(d.edges[0], (Edge{0, 1, 2.0f}));
+  EXPECT_EQ(d.edges[1], (Edge{2, 0, 4.0f}));
+}
+
+TEST(Transforms, DedupeMayKeepSelfLoops) {
+  EdgeList el;
+  el.num_vertices = 2;
+  el.edges = {Edge{1, 1, 1.0f}, Edge{1, 1, 1.0f}};
+  const auto d = dedupe(el, /*drop_self_loops=*/false);
+  EXPECT_EQ(d.num_edges(), 1u);
+  EXPECT_EQ(d.edges[0].src, d.edges[0].dst);
+}
+
+TEST(Transforms, RandomWeightsDeterministicAndInRange) {
+  const auto base = test::line_graph(50);
+  const auto w1 = with_random_weights(base, 123, 10);
+  const auto w2 = with_random_weights(base, 123, 10);
+  const auto w3 = with_random_weights(base, 124, 10);
+  ASSERT_TRUE(w1.weighted);
+  EXPECT_EQ(w1.edges, w2.edges);
+  EXPECT_NE(w1.edges, w3.edges);
+  for (const auto& e : w1.edges) {
+    EXPECT_GE(e.w, 1.0f);
+    EXPECT_LE(e.w, 10.0f);
+    EXPECT_EQ(e.w, static_cast<float>(static_cast<int>(e.w)))
+        << "weights must be integer-valued for cross-system exactness";
+  }
+}
+
+TEST(Transforms, UnweightedViewClearsWeights) {
+  const auto w = with_random_weights(test::line_graph(4), 1, 9);
+  const auto u = unweighted_view(w);
+  EXPECT_FALSE(u.weighted);
+  for (const auto& e : u.edges) EXPECT_FLOAT_EQ(e.w, 1.0f);
+}
+
+TEST(Transforms, Degrees) {
+  EdgeList el;
+  el.num_vertices = 3;
+  el.edges = {Edge{0, 1, 1.0f}, Edge{0, 2, 1.0f}, Edge{1, 2, 1.0f}};
+  EXPECT_EQ(out_degrees(el), (std::vector<eid_t>{2, 1, 0}));
+  EXPECT_EQ(in_degrees(el), (std::vector<eid_t>{0, 1, 2}));
+  EXPECT_EQ(total_degrees(el), (std::vector<eid_t>{2, 2, 2}));
+}
+
+TEST(Transforms, CountVerticesWithDegreeAbove) {
+  const auto star = test::star_graph(5);  // center degree 8, leaves 2
+  EXPECT_EQ(count_vertices_with_degree_above(star, 1), 5u);
+  EXPECT_EQ(count_vertices_with_degree_above(star, 2), 1u);
+  EXPECT_EQ(count_vertices_with_degree_above(star, 100), 0u);
+}
+
+}  // namespace
+}  // namespace epgs

@@ -1,0 +1,116 @@
+#include "harness/analysis.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/error.hpp"
+#include "systems/common/system.hpp"
+
+namespace epgs::harness {
+namespace {
+
+ExperimentResult synthetic_result() {
+  ExperimentResult r;
+  auto add = [&](std::string system, std::string alg, int trial,
+                 double seconds, std::uint64_t edges) {
+    RunRecord rec;
+    rec.dataset = "synthetic";
+    rec.system = std::move(system);
+    rec.algorithm = std::move(alg);
+    rec.threads = 32;
+    rec.trial = trial;
+    rec.phase = std::string(phase::kAlgorithm);
+    rec.seconds = seconds;
+    rec.work.edges_processed = edges;
+    rec.work.bytes_touched = edges * 8;
+    r.records.push_back(std::move(rec));
+  };
+  // "GAP": fast; "GraphBIG": 100x slower, fewer edges/sec.
+  for (int t = 0; t < 4; ++t) {
+    add("GAP", "BFS", t, 0.016 + 0.001 * t, 30'000'000);
+    add("GraphBIG", "BFS", t, 1.6 + 0.1 * t, 30'000'000);
+  }
+  return r;
+}
+
+TEST(Analysis, PhaseStatsComputesBox) {
+  const auto result = synthetic_result();
+  const auto b = phase_stats(result, "GAP", phase::kAlgorithm, "BFS");
+  EXPECT_EQ(b.n, 4u);
+  EXPECT_DOUBLE_EQ(b.min, 0.016);
+  EXPECT_DOUBLE_EQ(b.max, 0.019);
+  EXPECT_TRUE(has_records(result, "GAP", phase::kAlgorithm));
+  EXPECT_FALSE(has_records(result, "GAP", phase::kBuild));
+  EXPECT_THROW(phase_stats(result, "GAP", phase::kBuild), EpgsError);
+}
+
+TEST(Analysis, EnergyTableShape) {
+  const auto result = synthetic_result();
+  const power::MachineModel machine;
+  const auto rows = energy_table(result, machine, "BFS");
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0].system, "GAP");
+  EXPECT_EQ(rows[1].system, "GraphBIG");
+
+  for (const auto& row : rows) {
+    EXPECT_GT(row.avg_cpu_power_w, machine.cpu_idle_w);
+    EXPECT_GT(row.energy_per_root_j, 0.0);
+    EXPECT_GT(row.sleep_energy_j, 0.0);
+    EXPECT_GT(row.increase_over_sleep, 1.0)
+        << "doing work must cost more than sleeping";
+  }
+  // Table III shape: the fastest code is also the most energy efficient.
+  EXPECT_LT(rows[0].energy_per_root_j, rows[1].energy_per_root_j);
+  // The faster system has the higher edge throughput, hence higher power.
+  EXPECT_GT(rows[0].avg_cpu_power_w, rows[1].avg_cpu_power_w);
+}
+
+TEST(Analysis, PerTrialPowerOnePerRecord) {
+  const auto result = synthetic_result();
+  const auto est =
+      per_trial_power(result, "GAP", "BFS", power::MachineModel{});
+  EXPECT_EQ(est.size(), 4u);
+  for (const auto& e : est) {
+    EXPECT_GT(e.cpu_watts, 0.0);
+    EXPECT_GE(e.ram_watts, 0.0);
+  }
+}
+
+TEST(Analysis, ScalabilitySweepProducesCurves) {
+  ExperimentConfig cfg;
+  cfg.graph.kind = GraphSpec::Kind::kKronecker;
+  cfg.graph.scale = 7;
+  cfg.graph.edgefactor = 8;
+  cfg.systems = {"GAP", "Graph500"};
+  cfg.algorithms = {Algorithm::kBfs};
+  cfg.num_roots = 2;
+  cfg.reconstruct_per_trial = false;
+
+  const auto curves = scalability_sweep(cfg, {1, 2});
+  ASSERT_EQ(curves.size(), 2u);
+  for (const auto& curve : curves) {
+    ASSERT_EQ(curve.points.size(), 2u);
+    EXPECT_EQ(curve.points[0].threads, 1);
+    EXPECT_DOUBLE_EQ(curve.points[0].speedup, 1.0);
+    EXPECT_DOUBLE_EQ(curve.points[0].efficiency, 1.0);
+    EXPECT_GT(curve.points[1].mean_seconds, 0.0);
+    // efficiency = speedup / threads by definition.
+    EXPECT_NEAR(curve.points[1].efficiency,
+                curve.points[1].speedup / curve.points[1].threads, 1e-12);
+  }
+}
+
+TEST(Analysis, ScalabilityRejectsEmptyLadder) {
+  ExperimentConfig cfg;
+  cfg.systems = {"GAP"};
+  cfg.algorithms = {Algorithm::kBfs};
+  EXPECT_THROW(scalability_sweep(cfg, {}), EpgsError);
+}
+
+TEST(Analysis, EnergyTableEmptyForUnknownAlgorithm) {
+  const auto rows = energy_table(synthetic_result(), power::MachineModel{},
+                                 "PageRank");
+  EXPECT_TRUE(rows.empty());
+}
+
+}  // namespace
+}  // namespace epgs::harness

@@ -1,0 +1,89 @@
+#include "harness/tuning.hpp"
+
+#include "harness/experiment.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/error.hpp"
+#include "gen/kronecker.hpp"
+#include "graph/transforms.hpp"
+#include "test_util.hpp"
+
+namespace epgs::harness {
+namespace {
+
+EdgeList tuning_graph() {
+  gen::KroneckerParams p;
+  p.scale = 9;
+  p.edgefactor = 8;
+  return dedupe(symmetrize(gen::kronecker(p)));
+}
+
+TEST(TuneBfs, BestComesFromGridAndMatchesMeasurements) {
+  const auto graph = tuning_graph();
+  const auto roots = select_roots(graph, 3, 11);
+  const auto grid = default_bfs_grid();
+  const auto result = tune_bfs(graph, roots, grid);
+
+  ASSERT_EQ(result.mean_seconds.size(), grid.size());
+  const auto min_it = std::min_element(result.mean_seconds.begin(),
+                                       result.mean_seconds.end());
+  EXPECT_DOUBLE_EQ(result.best_mean_seconds, *min_it);
+  const auto idx =
+      static_cast<std::size_t>(min_it - result.mean_seconds.begin());
+  EXPECT_DOUBLE_EQ(result.best.alpha, grid[idx].alpha);
+  EXPECT_DOUBLE_EQ(result.best.beta, grid[idx].beta);
+  for (const double s : result.mean_seconds) EXPECT_GT(s, 0.0);
+}
+
+TEST(TuneBfs, SingleCandidateGrid) {
+  const auto graph = test::cycle_graph(64);
+  const auto roots = select_roots(graph, 2, 3);
+  const auto result = tune_bfs(graph, roots, {{7.0, 9.0}});
+  EXPECT_DOUBLE_EQ(result.best.alpha, 7.0);
+  EXPECT_DOUBLE_EQ(result.best.beta, 9.0);
+  EXPECT_EQ(result.mean_seconds.size(), 1u);
+}
+
+TEST(TuneBfs, RejectsEmptyInputs) {
+  const auto graph = test::cycle_graph(8);
+  EXPECT_THROW(tune_bfs(graph, {}, default_bfs_grid()), EpgsError);
+  EXPECT_THROW(tune_bfs(graph, {0}, {}), EpgsError);
+}
+
+TEST(TuneDelta, BestComesFromGrid) {
+  const auto graph = with_random_weights(tuning_graph(), 3, 63);
+  const auto roots = select_roots(graph, 3, 11);
+  const auto deltas = default_delta_grid();
+  const auto result = tune_delta(graph, roots, deltas);
+
+  ASSERT_EQ(result.mean_seconds.size(), deltas.size());
+  EXPECT_NE(std::find(deltas.begin(), deltas.end(), result.best_delta),
+            deltas.end());
+  EXPECT_DOUBLE_EQ(
+      result.best_mean_seconds,
+      *std::min_element(result.mean_seconds.begin(),
+                        result.mean_seconds.end()));
+}
+
+TEST(TuneDelta, RequiresWeightedGraph) {
+  const auto graph = test::cycle_graph(16);  // unweighted
+  EXPECT_THROW(tune_delta(graph, {0}), EpgsError);
+}
+
+TEST(DefaultGrids, BracketPaperDefaults) {
+  // The grids must contain GAP's documented defaults so "tuned" can
+  // never be worse than "untuned" in expectation.
+  bool has_default = false;
+  for (const auto& c : default_bfs_grid()) {
+    has_default |= c.alpha == 15.0 && c.beta == 18.0;
+  }
+  EXPECT_TRUE(has_default);
+  const auto deltas = default_delta_grid();
+  EXPECT_NE(std::find(deltas.begin(), deltas.end(), 2.0f), deltas.end());
+}
+
+}  // namespace
+}  // namespace epgs::harness

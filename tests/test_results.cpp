@@ -1,0 +1,68 @@
+#include "systems/common/results.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/error.hpp"
+
+namespace epgs {
+namespace {
+
+TEST(BfsLevels, ChainAndUnreached) {
+  BfsResult r;
+  r.root = 0;
+  r.parent = {0, 0, 1, 2, kNoVertex};
+  EXPECT_EQ(r.levels(), (std::vector<vid_t>{0, 1, 2, 3, kNoVertex}));
+}
+
+TEST(BfsLevels, DeepChainNoRecursionLimit) {
+  constexpr vid_t n = 100000;
+  BfsResult r;
+  r.root = 0;
+  r.parent.resize(n);
+  r.parent[0] = 0;
+  for (vid_t v = 1; v < n; ++v) r.parent[v] = v - 1;
+  const auto levels = r.levels();
+  EXPECT_EQ(levels[n - 1], n - 1);
+}
+
+TEST(BfsLevels, BranchingTree) {
+  BfsResult r;
+  r.root = 2;
+  r.parent = {2, 2, 2, 0, 0, 1};
+  const auto levels = r.levels();
+  EXPECT_EQ(levels, (std::vector<vid_t>{1, 1, 0, 2, 2, 2}));
+}
+
+TEST(BfsLevels, CycleDetected) {
+  BfsResult r;
+  r.root = 0;
+  r.parent = {0, 2, 1};
+  EXPECT_THROW(r.levels(), EpgsError);
+}
+
+TEST(BfsLevels, ParentChainsToUnreachable) {
+  BfsResult r;
+  r.root = 0;
+  r.parent = {0, kNoVertex, 1};  // 2's parent is unreached
+  EXPECT_THROW(r.levels(), EpgsError);
+}
+
+TEST(BfsLevels, RootWithoutSelfParentHasNoLevelZero) {
+  BfsResult r;
+  r.root = 0;
+  r.parent = {kNoVertex, kNoVertex};
+  const auto levels = r.levels();
+  EXPECT_EQ(levels[0], kNoVertex);
+  EXPECT_EQ(levels[1], kNoVertex);
+}
+
+TEST(WccNumComponents, CountsRepresentatives) {
+  WccResult r;
+  r.component = {0, 0, 2, 2, 4};
+  EXPECT_EQ(r.num_components(), 3u);
+  WccResult empty;
+  EXPECT_EQ(empty.num_components(), 0u);
+}
+
+}  // namespace
+}  // namespace epgs

@@ -1,0 +1,95 @@
+// Graph500-specific behaviour: the two-kernel structure and BFS-only
+// capability surface.
+#include "systems/graph500/graph500_system.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gen/kronecker.hpp"
+#include "graph/transforms.hpp"
+#include "systems/common/validation.hpp"
+#include "test_util.hpp"
+
+namespace epgs::systems {
+namespace {
+
+TEST(Graph500, CapabilitiesAreBfsOnly) {
+  Graph500System sys;
+  const auto caps = sys.capabilities();
+  EXPECT_TRUE(caps.bfs);
+  EXPECT_FALSE(caps.sssp);
+  EXPECT_FALSE(caps.pagerank);
+  EXPECT_FALSE(caps.cdlp);
+  EXPECT_FALSE(caps.lcc);
+  EXPECT_FALSE(caps.wcc);
+  EXPECT_FALSE(caps.tc);
+  EXPECT_FALSE(caps.bc);
+  EXPECT_TRUE(caps.separate_construction);
+}
+
+TEST(Graph500, Kernel1BuildsCsr) {
+  Graph500System sys;
+  sys.set_edges(test::line_graph(5));
+  sys.build();
+  EXPECT_EQ(sys.csr().num_vertices(), 5u);
+  EXPECT_EQ(sys.csr().num_edges(), 8u);
+}
+
+TEST(Graph500, Kernel2PassesSpecValidation) {
+  gen::KroneckerParams p;
+  p.scale = 9;
+  p.edgefactor = 16;
+  const auto el = dedupe(symmetrize(gen::kronecker(p)));
+  Graph500System sys;
+  sys.set_edges(el);
+  sys.build();
+  const auto csr = CSRGraph::from_edges(el);
+  for (const vid_t root : {vid_t{1}, vid_t{17}, vid_t{333}}) {
+    const auto r = sys.bfs(root);
+    const auto err = validate_bfs(csr, r);
+    EXPECT_FALSE(err.has_value()) << "root " << root << ": "
+                                  << err.value_or("");
+  }
+}
+
+TEST(Graph500, SelfLoopsAndDuplicatesTolerated) {
+  // The spec requires the BFS to cope with the raw generator output,
+  // which contains self loops and duplicate edges.
+  gen::KroneckerParams p;
+  p.scale = 7;
+  const auto el = symmetrize(gen::kronecker(p));  // NOT deduplicated
+  Graph500System sys;
+  sys.set_edges(el);
+  sys.build();
+  const auto csr = CSRGraph::from_edges(el);
+  const auto r = sys.bfs(3);
+  EXPECT_FALSE(validate_bfs(csr, r).has_value());
+}
+
+TEST(Graph500, WorkCountersTrackScannedEdges) {
+  Graph500System sys;
+  const auto el = test::complete_graph(16);
+  sys.set_edges(el);
+  sys.build();
+  (void)sys.bfs(0);
+  const auto alg = sys.log().find(phase::kAlgorithm);
+  ASSERT_TRUE(alg.has_value());
+  // Top-down BFS on K16 from any root scans every edge of the frontier
+  // levels: at least n-1 and at most m edges.
+  EXPECT_GE(alg->work.edges_processed, 15u);
+  EXPECT_LE(alg->work.edges_processed, el.num_edges());
+}
+
+TEST(Graph500, RepeatedRootsIndependent) {
+  Graph500System sys;
+  sys.set_edges(test::cycle_graph(12));
+  sys.build();
+  const auto a = sys.bfs(0);
+  const auto b = sys.bfs(6);
+  const auto c = sys.bfs(0);
+  // Parent choice may vary with thread interleaving; level sets may not.
+  EXPECT_EQ(a.levels(), c.levels());
+  EXPECT_NE(a.levels(), b.levels());
+}
+
+}  // namespace
+}  // namespace epgs::systems

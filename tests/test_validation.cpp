@@ -1,0 +1,169 @@
+#include "systems/common/validation.hpp"
+
+#include <gtest/gtest.h>
+
+#include "systems/common/reference.hpp"
+#include "test_util.hpp"
+
+namespace epgs {
+namespace {
+
+BfsResult good_bfs(const CSRGraph& g, vid_t root) {
+  // Build a valid parent tree from reference levels.
+  const auto levels = ref::bfs_levels(g, root);
+  BfsResult r;
+  r.root = root;
+  r.parent.assign(g.num_vertices(), kNoVertex);
+  r.parent[root] = root;
+  for (vid_t v = 0; v < g.num_vertices(); ++v) {
+    if (v == root || levels[v] == kNoVertex) continue;
+    for (const vid_t u : g.neighbors(v)) {
+      if (levels[u] + 1 == levels[v]) {
+        r.parent[v] = u;
+        break;
+      }
+    }
+  }
+  return r;
+}
+
+TEST(ValidateBfs, AcceptsValidTree) {
+  const auto g = CSRGraph::from_edges(test::two_triangles());
+  EXPECT_FALSE(validate_bfs(g, good_bfs(g, 0)).has_value());
+}
+
+TEST(ValidateBfs, RejectsWrongRootParent) {
+  const auto g = CSRGraph::from_edges(test::line_graph(4));
+  auto r = good_bfs(g, 0);
+  r.parent[0] = 1;
+  const auto err = validate_bfs(g, r);
+  ASSERT_TRUE(err.has_value());
+  EXPECT_NE(err->find("rule 1"), std::string::npos);
+}
+
+TEST(ValidateBfs, RejectsNonEdgeParent) {
+  const auto g = CSRGraph::from_edges(test::line_graph(4));
+  auto r = good_bfs(g, 0);
+  r.parent[3] = 0;  // (0,3) is not an edge
+  const auto err = validate_bfs(g, r);
+  ASSERT_TRUE(err.has_value());
+  EXPECT_NE(err->find("rule"), std::string::npos);
+}
+
+TEST(ValidateBfs, RejectsMissedReachableVertex) {
+  const auto g = CSRGraph::from_edges(test::line_graph(4));
+  auto r = good_bfs(g, 0);
+  r.parent[3] = kNoVertex;
+  const auto err = validate_bfs(g, r);
+  ASSERT_TRUE(err.has_value());
+  EXPECT_NE(err->find("rule 4"), std::string::npos);
+}
+
+TEST(ValidateBfs, RejectsPhantomReachability) {
+  const auto g = CSRGraph::from_edges(test::two_triangles());
+  auto r = good_bfs(g, 0);
+  r.parent[4] = 3;  // component of 3 is not reachable from 0
+  const auto err = validate_bfs(g, r);
+  ASSERT_TRUE(err.has_value());
+}
+
+TEST(ValidateBfs, RejectsNonShortestTree) {
+  const auto g = CSRGraph::from_edges(test::cycle_graph(6));
+  auto r = good_bfs(g, 0);
+  // Detour: hang vertex 1 off the far side (1's other neighbor is 2).
+  r.parent[1] = 2;
+  const auto err = validate_bfs(g, r);
+  ASSERT_TRUE(err.has_value());
+}
+
+TEST(ValidateBfs, RejectsCyclicParentArray) {
+  const auto g = CSRGraph::from_edges(test::cycle_graph(4));
+  BfsResult r;
+  r.root = 0;
+  r.parent = {0, 2, 1, 0};  // 1 <-> 2 cycle
+  const auto err = validate_bfs(g, r);
+  ASSERT_TRUE(err.has_value());
+}
+
+TEST(ValidateBfs, RejectsSizeMismatch) {
+  const auto g = CSRGraph::from_edges(test::line_graph(4));
+  BfsResult r;
+  r.root = 0;
+  r.parent = {0, 0};
+  EXPECT_TRUE(validate_bfs(g, r).has_value());
+}
+
+TEST(ValidateSssp, AcceptsDijkstra) {
+  const auto g =
+      CSRGraph::from_edges(test::line_graph(6, /*weighted=*/true));
+  SsspResult r;
+  r.root = 0;
+  r.dist = ref::dijkstra(g, 0);
+  EXPECT_FALSE(validate_sssp(g, r).has_value());
+}
+
+TEST(ValidateSssp, RejectsUnrelaxedEdge) {
+  const auto g =
+      CSRGraph::from_edges(test::line_graph(4, /*weighted=*/true));
+  SsspResult r;
+  r.root = 0;
+  r.dist = ref::dijkstra(g, 0);
+  r.dist[2] += 5.0f;
+  const auto err = validate_sssp(g, r);
+  ASSERT_TRUE(err.has_value());
+  EXPECT_NE(err->find("relaxed"), std::string::npos);
+}
+
+TEST(ValidateSssp, RejectsTooSmallDistance) {
+  const auto g =
+      CSRGraph::from_edges(test::line_graph(4, /*weighted=*/true));
+  SsspResult r;
+  r.root = 0;
+  r.dist = ref::dijkstra(g, 0);
+  r.dist[3] = 0.5f;  // all edges still relaxed, but not the true distance
+  EXPECT_TRUE(validate_sssp(g, r).has_value());
+}
+
+TEST(ValidateSssp, RejectsNonZeroRoot) {
+  const auto g = CSRGraph::from_edges(test::line_graph(3));
+  SsspResult r;
+  r.root = 0;
+  r.dist = {1.0f, 1.0f, 2.0f};
+  EXPECT_TRUE(validate_sssp(g, r).has_value());
+}
+
+TEST(ValidatePagerank, AcceptsNormalizedPositive) {
+  PageRankResult r;
+  r.rank = {0.25, 0.25, 0.5};
+  EXPECT_FALSE(validate_pagerank(r).has_value());
+}
+
+TEST(ValidatePagerank, RejectsBadSumOrSign) {
+  PageRankResult r;
+  r.rank = {0.9, 0.9};
+  EXPECT_TRUE(validate_pagerank(r).has_value());
+  r.rank = {1.5, -0.5};
+  EXPECT_TRUE(validate_pagerank(r).has_value());
+}
+
+TEST(ValidateWcc, AcceptsReference) {
+  const auto el = test::two_triangles();
+  EXPECT_FALSE(validate_wcc(el, ref::wcc(el)).has_value());
+}
+
+TEST(ValidateWcc, RejectsSplitEdge) {
+  const auto el = test::line_graph(4);
+  auto r = ref::wcc(el);
+  r.component[3] = 3;
+  EXPECT_TRUE(validate_wcc(el, r).has_value());
+}
+
+TEST(ValidateWcc, RejectsNonMinRepresentative) {
+  const auto el = test::two_triangles();
+  auto r = ref::wcc(el);
+  for (vid_t v = 3; v <= 5; ++v) r.component[v] = 4;  // 4 is not the min
+  EXPECT_TRUE(validate_wcc(el, r).has_value());
+}
+
+}  // namespace
+}  // namespace epgs
