@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_future_tc_bc.cpp" "bench/CMakeFiles/bench_future_tc_bc.dir/bench_future_tc_bc.cpp.o" "gcc" "bench/CMakeFiles/bench_future_tc_bc.dir/bench_future_tc_bc.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/epgs_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/epgs_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/gen/CMakeFiles/epgs_gen.dir/DependInfo.cmake"
+  "/root/repo/build/src/systems/CMakeFiles/epgs_systems.dir/DependInfo.cmake"
+  "/root/repo/build/src/harness/CMakeFiles/epgs_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/epgs_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/graphalytics/CMakeFiles/epgs_graphalytics.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

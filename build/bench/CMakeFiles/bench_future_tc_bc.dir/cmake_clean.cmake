@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_future_tc_bc.dir/bench_future_tc_bc.cpp.o"
+  "CMakeFiles/bench_future_tc_bc.dir/bench_future_tc_bc.cpp.o.d"
+  "bench_future_tc_bc"
+  "bench_future_tc_bc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_future_tc_bc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

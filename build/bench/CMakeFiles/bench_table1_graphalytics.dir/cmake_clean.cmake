@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_graphalytics.dir/bench_table1_graphalytics.cpp.o"
+  "CMakeFiles/bench_table1_graphalytics.dir/bench_table1_graphalytics.cpp.o.d"
+  "bench_table1_graphalytics"
+  "bench_table1_graphalytics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_graphalytics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_graphalytics_kron.dir/bench_table2_graphalytics_kron.cpp.o"
+  "CMakeFiles/bench_table2_graphalytics_kron.dir/bench_table2_graphalytics_kron.cpp.o.d"
+  "bench_table2_graphalytics_kron"
+  "bench_table2_graphalytics_kron.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_graphalytics_kron.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_energy.dir/bench_table3_energy.cpp.o"
+  "CMakeFiles/bench_table3_energy.dir/bench_table3_energy.cpp.o.d"
+  "bench_table3_energy"
+  "bench_table3_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

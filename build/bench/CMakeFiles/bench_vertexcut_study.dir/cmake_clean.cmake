@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_vertexcut_study.dir/bench_vertexcut_study.cpp.o"
+  "CMakeFiles/bench_vertexcut_study.dir/bench_vertexcut_study.cpp.o.d"
+  "bench_vertexcut_study"
+  "bench_vertexcut_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_vertexcut_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/epg.dir/main.cpp.o"
+  "CMakeFiles/epg.dir/main.cpp.o.d"
+  "epg"
+  "epg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/epg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/epgs_cli.dir/args.cpp.o"
+  "CMakeFiles/epgs_cli.dir/args.cpp.o.d"
+  "CMakeFiles/epgs_cli.dir/commands.cpp.o"
+  "CMakeFiles/epgs_cli.dir/commands.cpp.o.d"
+  "libepgs_cli.a"
+  "libepgs_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/epgs_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

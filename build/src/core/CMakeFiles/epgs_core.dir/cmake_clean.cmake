@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/epgs_core.dir/csv.cpp.o"
+  "CMakeFiles/epgs_core.dir/csv.cpp.o.d"
+  "CMakeFiles/epgs_core.dir/phase_log.cpp.o"
+  "CMakeFiles/epgs_core.dir/phase_log.cpp.o.d"
+  "CMakeFiles/epgs_core.dir/stats.cpp.o"
+  "CMakeFiles/epgs_core.dir/stats.cpp.o.d"
+  "CMakeFiles/epgs_core.dir/types.cpp.o"
+  "CMakeFiles/epgs_core.dir/types.cpp.o.d"
+  "libepgs_core.a"
+  "libepgs_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/epgs_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libepgs_core.a"
+)

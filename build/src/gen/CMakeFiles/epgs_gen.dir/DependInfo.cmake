@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gen/datasets.cpp" "src/gen/CMakeFiles/epgs_gen.dir/datasets.cpp.o" "gcc" "src/gen/CMakeFiles/epgs_gen.dir/datasets.cpp.o.d"
+  "/root/repo/src/gen/kronecker.cpp" "src/gen/CMakeFiles/epgs_gen.dir/kronecker.cpp.o" "gcc" "src/gen/CMakeFiles/epgs_gen.dir/kronecker.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/epgs_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/epgs_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/epgs_gen.dir/datasets.cpp.o"
+  "CMakeFiles/epgs_gen.dir/datasets.cpp.o.d"
+  "CMakeFiles/epgs_gen.dir/kronecker.cpp.o"
+  "CMakeFiles/epgs_gen.dir/kronecker.cpp.o.d"
+  "libepgs_gen.a"
+  "libepgs_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/epgs_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

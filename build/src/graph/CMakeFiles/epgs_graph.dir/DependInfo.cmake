@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/csr.cpp" "src/graph/CMakeFiles/epgs_graph.dir/csr.cpp.o" "gcc" "src/graph/CMakeFiles/epgs_graph.dir/csr.cpp.o.d"
+  "/root/repo/src/graph/edge_list.cpp" "src/graph/CMakeFiles/epgs_graph.dir/edge_list.cpp.o" "gcc" "src/graph/CMakeFiles/epgs_graph.dir/edge_list.cpp.o.d"
+  "/root/repo/src/graph/homogenizer.cpp" "src/graph/CMakeFiles/epgs_graph.dir/homogenizer.cpp.o" "gcc" "src/graph/CMakeFiles/epgs_graph.dir/homogenizer.cpp.o.d"
+  "/root/repo/src/graph/snap_io.cpp" "src/graph/CMakeFiles/epgs_graph.dir/snap_io.cpp.o" "gcc" "src/graph/CMakeFiles/epgs_graph.dir/snap_io.cpp.o.d"
+  "/root/repo/src/graph/statistics.cpp" "src/graph/CMakeFiles/epgs_graph.dir/statistics.cpp.o" "gcc" "src/graph/CMakeFiles/epgs_graph.dir/statistics.cpp.o.d"
+  "/root/repo/src/graph/transforms.cpp" "src/graph/CMakeFiles/epgs_graph.dir/transforms.cpp.o" "gcc" "src/graph/CMakeFiles/epgs_graph.dir/transforms.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/epgs_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

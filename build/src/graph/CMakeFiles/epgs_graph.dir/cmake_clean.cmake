@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/epgs_graph.dir/csr.cpp.o"
+  "CMakeFiles/epgs_graph.dir/csr.cpp.o.d"
+  "CMakeFiles/epgs_graph.dir/edge_list.cpp.o"
+  "CMakeFiles/epgs_graph.dir/edge_list.cpp.o.d"
+  "CMakeFiles/epgs_graph.dir/homogenizer.cpp.o"
+  "CMakeFiles/epgs_graph.dir/homogenizer.cpp.o.d"
+  "CMakeFiles/epgs_graph.dir/snap_io.cpp.o"
+  "CMakeFiles/epgs_graph.dir/snap_io.cpp.o.d"
+  "CMakeFiles/epgs_graph.dir/statistics.cpp.o"
+  "CMakeFiles/epgs_graph.dir/statistics.cpp.o.d"
+  "CMakeFiles/epgs_graph.dir/transforms.cpp.o"
+  "CMakeFiles/epgs_graph.dir/transforms.cpp.o.d"
+  "libepgs_graph.a"
+  "libepgs_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/epgs_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

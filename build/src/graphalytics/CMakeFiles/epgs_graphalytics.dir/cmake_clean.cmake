@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/epgs_graphalytics.dir/comparator.cpp.o"
+  "CMakeFiles/epgs_graphalytics.dir/comparator.cpp.o.d"
+  "CMakeFiles/epgs_graphalytics.dir/granula.cpp.o"
+  "CMakeFiles/epgs_graphalytics.dir/granula.cpp.o.d"
+  "libepgs_graphalytics.a"
+  "libepgs_graphalytics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/epgs_graphalytics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

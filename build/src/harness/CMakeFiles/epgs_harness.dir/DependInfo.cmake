@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/harness/analysis.cpp" "src/harness/CMakeFiles/epgs_harness.dir/analysis.cpp.o" "gcc" "src/harness/CMakeFiles/epgs_harness.dir/analysis.cpp.o.d"
+  "/root/repo/src/harness/experiment.cpp" "src/harness/CMakeFiles/epgs_harness.dir/experiment.cpp.o" "gcc" "src/harness/CMakeFiles/epgs_harness.dir/experiment.cpp.o.d"
+  "/root/repo/src/harness/predictor.cpp" "src/harness/CMakeFiles/epgs_harness.dir/predictor.cpp.o" "gcc" "src/harness/CMakeFiles/epgs_harness.dir/predictor.cpp.o.d"
+  "/root/repo/src/harness/runner.cpp" "src/harness/CMakeFiles/epgs_harness.dir/runner.cpp.o" "gcc" "src/harness/CMakeFiles/epgs_harness.dir/runner.cpp.o.d"
+  "/root/repo/src/harness/tuning.cpp" "src/harness/CMakeFiles/epgs_harness.dir/tuning.cpp.o" "gcc" "src/harness/CMakeFiles/epgs_harness.dir/tuning.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/epgs_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/epgs_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/gen/CMakeFiles/epgs_gen.dir/DependInfo.cmake"
+  "/root/repo/build/src/systems/CMakeFiles/epgs_systems.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/epgs_power.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

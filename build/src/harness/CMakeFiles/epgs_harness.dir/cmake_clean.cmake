@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/epgs_harness.dir/analysis.cpp.o"
+  "CMakeFiles/epgs_harness.dir/analysis.cpp.o.d"
+  "CMakeFiles/epgs_harness.dir/experiment.cpp.o"
+  "CMakeFiles/epgs_harness.dir/experiment.cpp.o.d"
+  "CMakeFiles/epgs_harness.dir/predictor.cpp.o"
+  "CMakeFiles/epgs_harness.dir/predictor.cpp.o.d"
+  "CMakeFiles/epgs_harness.dir/runner.cpp.o"
+  "CMakeFiles/epgs_harness.dir/runner.cpp.o.d"
+  "CMakeFiles/epgs_harness.dir/tuning.cpp.o"
+  "CMakeFiles/epgs_harness.dir/tuning.cpp.o.d"
+  "libepgs_harness.a"
+  "libepgs_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/epgs_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/epgs_power.dir/model.cpp.o"
+  "CMakeFiles/epgs_power.dir/model.cpp.o.d"
+  "CMakeFiles/epgs_power.dir/rapl.cpp.o"
+  "CMakeFiles/epgs_power.dir/rapl.cpp.o.d"
+  "libepgs_power.a"
+  "libepgs_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/epgs_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

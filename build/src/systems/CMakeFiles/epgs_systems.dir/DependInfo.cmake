@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/systems/common/reference.cpp" "src/systems/CMakeFiles/epgs_systems.dir/common/reference.cpp.o" "gcc" "src/systems/CMakeFiles/epgs_systems.dir/common/reference.cpp.o.d"
+  "/root/repo/src/systems/common/registry.cpp" "src/systems/CMakeFiles/epgs_systems.dir/common/registry.cpp.o" "gcc" "src/systems/CMakeFiles/epgs_systems.dir/common/registry.cpp.o.d"
+  "/root/repo/src/systems/common/results.cpp" "src/systems/CMakeFiles/epgs_systems.dir/common/results.cpp.o" "gcc" "src/systems/CMakeFiles/epgs_systems.dir/common/results.cpp.o.d"
+  "/root/repo/src/systems/common/system.cpp" "src/systems/CMakeFiles/epgs_systems.dir/common/system.cpp.o" "gcc" "src/systems/CMakeFiles/epgs_systems.dir/common/system.cpp.o.d"
+  "/root/repo/src/systems/common/validation.cpp" "src/systems/CMakeFiles/epgs_systems.dir/common/validation.cpp.o" "gcc" "src/systems/CMakeFiles/epgs_systems.dir/common/validation.cpp.o.d"
+  "/root/repo/src/systems/gap/gap_system.cpp" "src/systems/CMakeFiles/epgs_systems.dir/gap/gap_system.cpp.o" "gcc" "src/systems/CMakeFiles/epgs_systems.dir/gap/gap_system.cpp.o.d"
+  "/root/repo/src/systems/graph500/graph500_system.cpp" "src/systems/CMakeFiles/epgs_systems.dir/graph500/graph500_system.cpp.o" "gcc" "src/systems/CMakeFiles/epgs_systems.dir/graph500/graph500_system.cpp.o.d"
+  "/root/repo/src/systems/graphbig/graphbig_system.cpp" "src/systems/CMakeFiles/epgs_systems.dir/graphbig/graphbig_system.cpp.o" "gcc" "src/systems/CMakeFiles/epgs_systems.dir/graphbig/graphbig_system.cpp.o.d"
+  "/root/repo/src/systems/graphbig/property_graph.cpp" "src/systems/CMakeFiles/epgs_systems.dir/graphbig/property_graph.cpp.o" "gcc" "src/systems/CMakeFiles/epgs_systems.dir/graphbig/property_graph.cpp.o.d"
+  "/root/repo/src/systems/graphmat/dcsr.cpp" "src/systems/CMakeFiles/epgs_systems.dir/graphmat/dcsr.cpp.o" "gcc" "src/systems/CMakeFiles/epgs_systems.dir/graphmat/dcsr.cpp.o.d"
+  "/root/repo/src/systems/graphmat/graphmat_system.cpp" "src/systems/CMakeFiles/epgs_systems.dir/graphmat/graphmat_system.cpp.o" "gcc" "src/systems/CMakeFiles/epgs_systems.dir/graphmat/graphmat_system.cpp.o.d"
+  "/root/repo/src/systems/ligra/ligra_system.cpp" "src/systems/CMakeFiles/epgs_systems.dir/ligra/ligra_system.cpp.o" "gcc" "src/systems/CMakeFiles/epgs_systems.dir/ligra/ligra_system.cpp.o.d"
+  "/root/repo/src/systems/powergraph/powergraph_system.cpp" "src/systems/CMakeFiles/epgs_systems.dir/powergraph/powergraph_system.cpp.o" "gcc" "src/systems/CMakeFiles/epgs_systems.dir/powergraph/powergraph_system.cpp.o.d"
+  "/root/repo/src/systems/powergraph/vertex_cut.cpp" "src/systems/CMakeFiles/epgs_systems.dir/powergraph/vertex_cut.cpp.o" "gcc" "src/systems/CMakeFiles/epgs_systems.dir/powergraph/vertex_cut.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/epgs_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/epgs_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/epgs_systems.dir/common/reference.cpp.o"
+  "CMakeFiles/epgs_systems.dir/common/reference.cpp.o.d"
+  "CMakeFiles/epgs_systems.dir/common/registry.cpp.o"
+  "CMakeFiles/epgs_systems.dir/common/registry.cpp.o.d"
+  "CMakeFiles/epgs_systems.dir/common/results.cpp.o"
+  "CMakeFiles/epgs_systems.dir/common/results.cpp.o.d"
+  "CMakeFiles/epgs_systems.dir/common/system.cpp.o"
+  "CMakeFiles/epgs_systems.dir/common/system.cpp.o.d"
+  "CMakeFiles/epgs_systems.dir/common/validation.cpp.o"
+  "CMakeFiles/epgs_systems.dir/common/validation.cpp.o.d"
+  "CMakeFiles/epgs_systems.dir/gap/gap_system.cpp.o"
+  "CMakeFiles/epgs_systems.dir/gap/gap_system.cpp.o.d"
+  "CMakeFiles/epgs_systems.dir/graph500/graph500_system.cpp.o"
+  "CMakeFiles/epgs_systems.dir/graph500/graph500_system.cpp.o.d"
+  "CMakeFiles/epgs_systems.dir/graphbig/graphbig_system.cpp.o"
+  "CMakeFiles/epgs_systems.dir/graphbig/graphbig_system.cpp.o.d"
+  "CMakeFiles/epgs_systems.dir/graphbig/property_graph.cpp.o"
+  "CMakeFiles/epgs_systems.dir/graphbig/property_graph.cpp.o.d"
+  "CMakeFiles/epgs_systems.dir/graphmat/dcsr.cpp.o"
+  "CMakeFiles/epgs_systems.dir/graphmat/dcsr.cpp.o.d"
+  "CMakeFiles/epgs_systems.dir/graphmat/graphmat_system.cpp.o"
+  "CMakeFiles/epgs_systems.dir/graphmat/graphmat_system.cpp.o.d"
+  "CMakeFiles/epgs_systems.dir/ligra/ligra_system.cpp.o"
+  "CMakeFiles/epgs_systems.dir/ligra/ligra_system.cpp.o.d"
+  "CMakeFiles/epgs_systems.dir/powergraph/powergraph_system.cpp.o"
+  "CMakeFiles/epgs_systems.dir/powergraph/powergraph_system.cpp.o.d"
+  "CMakeFiles/epgs_systems.dir/powergraph/vertex_cut.cpp.o"
+  "CMakeFiles/epgs_systems.dir/powergraph/vertex_cut.cpp.o.d"
+  "libepgs_systems.a"
+  "libepgs_systems.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/epgs_systems.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,60 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_cli.cpp" "tests/CMakeFiles/epgs_tests.dir/test_cli.cpp.o" "gcc" "tests/CMakeFiles/epgs_tests.dir/test_cli.cpp.o.d"
+  "/root/repo/tests/test_core_csv.cpp" "tests/CMakeFiles/epgs_tests.dir/test_core_csv.cpp.o" "gcc" "tests/CMakeFiles/epgs_tests.dir/test_core_csv.cpp.o.d"
+  "/root/repo/tests/test_core_phase_log.cpp" "tests/CMakeFiles/epgs_tests.dir/test_core_phase_log.cpp.o" "gcc" "tests/CMakeFiles/epgs_tests.dir/test_core_phase_log.cpp.o.d"
+  "/root/repo/tests/test_core_rng_bitmap.cpp" "tests/CMakeFiles/epgs_tests.dir/test_core_rng_bitmap.cpp.o" "gcc" "tests/CMakeFiles/epgs_tests.dir/test_core_rng_bitmap.cpp.o.d"
+  "/root/repo/tests/test_core_stats.cpp" "tests/CMakeFiles/epgs_tests.dir/test_core_stats.cpp.o" "gcc" "tests/CMakeFiles/epgs_tests.dir/test_core_stats.cpp.o.d"
+  "/root/repo/tests/test_cross_system.cpp" "tests/CMakeFiles/epgs_tests.dir/test_cross_system.cpp.o" "gcc" "tests/CMakeFiles/epgs_tests.dir/test_cross_system.cpp.o.d"
+  "/root/repo/tests/test_failure_injection.cpp" "tests/CMakeFiles/epgs_tests.dir/test_failure_injection.cpp.o" "gcc" "tests/CMakeFiles/epgs_tests.dir/test_failure_injection.cpp.o.d"
+  "/root/repo/tests/test_gas_engine.cpp" "tests/CMakeFiles/epgs_tests.dir/test_gas_engine.cpp.o" "gcc" "tests/CMakeFiles/epgs_tests.dir/test_gas_engine.cpp.o.d"
+  "/root/repo/tests/test_gen_datasets.cpp" "tests/CMakeFiles/epgs_tests.dir/test_gen_datasets.cpp.o" "gcc" "tests/CMakeFiles/epgs_tests.dir/test_gen_datasets.cpp.o.d"
+  "/root/repo/tests/test_gen_kronecker.cpp" "tests/CMakeFiles/epgs_tests.dir/test_gen_kronecker.cpp.o" "gcc" "tests/CMakeFiles/epgs_tests.dir/test_gen_kronecker.cpp.o.d"
+  "/root/repo/tests/test_granula.cpp" "tests/CMakeFiles/epgs_tests.dir/test_granula.cpp.o" "gcc" "tests/CMakeFiles/epgs_tests.dir/test_granula.cpp.o.d"
+  "/root/repo/tests/test_graph_csr.cpp" "tests/CMakeFiles/epgs_tests.dir/test_graph_csr.cpp.o" "gcc" "tests/CMakeFiles/epgs_tests.dir/test_graph_csr.cpp.o.d"
+  "/root/repo/tests/test_graph_homogenizer.cpp" "tests/CMakeFiles/epgs_tests.dir/test_graph_homogenizer.cpp.o" "gcc" "tests/CMakeFiles/epgs_tests.dir/test_graph_homogenizer.cpp.o.d"
+  "/root/repo/tests/test_graph_snap_io.cpp" "tests/CMakeFiles/epgs_tests.dir/test_graph_snap_io.cpp.o" "gcc" "tests/CMakeFiles/epgs_tests.dir/test_graph_snap_io.cpp.o.d"
+  "/root/repo/tests/test_graph_statistics.cpp" "tests/CMakeFiles/epgs_tests.dir/test_graph_statistics.cpp.o" "gcc" "tests/CMakeFiles/epgs_tests.dir/test_graph_statistics.cpp.o.d"
+  "/root/repo/tests/test_graph_transforms.cpp" "tests/CMakeFiles/epgs_tests.dir/test_graph_transforms.cpp.o" "gcc" "tests/CMakeFiles/epgs_tests.dir/test_graph_transforms.cpp.o.d"
+  "/root/repo/tests/test_graphalytics.cpp" "tests/CMakeFiles/epgs_tests.dir/test_graphalytics.cpp.o" "gcc" "tests/CMakeFiles/epgs_tests.dir/test_graphalytics.cpp.o.d"
+  "/root/repo/tests/test_harness_analysis.cpp" "tests/CMakeFiles/epgs_tests.dir/test_harness_analysis.cpp.o" "gcc" "tests/CMakeFiles/epgs_tests.dir/test_harness_analysis.cpp.o.d"
+  "/root/repo/tests/test_harness_experiment.cpp" "tests/CMakeFiles/epgs_tests.dir/test_harness_experiment.cpp.o" "gcc" "tests/CMakeFiles/epgs_tests.dir/test_harness_experiment.cpp.o.d"
+  "/root/repo/tests/test_harness_predictor.cpp" "tests/CMakeFiles/epgs_tests.dir/test_harness_predictor.cpp.o" "gcc" "tests/CMakeFiles/epgs_tests.dir/test_harness_predictor.cpp.o.d"
+  "/root/repo/tests/test_harness_runner.cpp" "tests/CMakeFiles/epgs_tests.dir/test_harness_runner.cpp.o" "gcc" "tests/CMakeFiles/epgs_tests.dir/test_harness_runner.cpp.o.d"
+  "/root/repo/tests/test_harness_tuning.cpp" "tests/CMakeFiles/epgs_tests.dir/test_harness_tuning.cpp.o" "gcc" "tests/CMakeFiles/epgs_tests.dir/test_harness_tuning.cpp.o.d"
+  "/root/repo/tests/test_power.cpp" "tests/CMakeFiles/epgs_tests.dir/test_power.cpp.o" "gcc" "tests/CMakeFiles/epgs_tests.dir/test_power.cpp.o.d"
+  "/root/repo/tests/test_property_sweep.cpp" "tests/CMakeFiles/epgs_tests.dir/test_property_sweep.cpp.o" "gcc" "tests/CMakeFiles/epgs_tests.dir/test_property_sweep.cpp.o.d"
+  "/root/repo/tests/test_reference.cpp" "tests/CMakeFiles/epgs_tests.dir/test_reference.cpp.o" "gcc" "tests/CMakeFiles/epgs_tests.dir/test_reference.cpp.o.d"
+  "/root/repo/tests/test_results.cpp" "tests/CMakeFiles/epgs_tests.dir/test_results.cpp.o" "gcc" "tests/CMakeFiles/epgs_tests.dir/test_results.cpp.o.d"
+  "/root/repo/tests/test_system_common.cpp" "tests/CMakeFiles/epgs_tests.dir/test_system_common.cpp.o" "gcc" "tests/CMakeFiles/epgs_tests.dir/test_system_common.cpp.o.d"
+  "/root/repo/tests/test_system_gap.cpp" "tests/CMakeFiles/epgs_tests.dir/test_system_gap.cpp.o" "gcc" "tests/CMakeFiles/epgs_tests.dir/test_system_gap.cpp.o.d"
+  "/root/repo/tests/test_system_graph500.cpp" "tests/CMakeFiles/epgs_tests.dir/test_system_graph500.cpp.o" "gcc" "tests/CMakeFiles/epgs_tests.dir/test_system_graph500.cpp.o.d"
+  "/root/repo/tests/test_system_graphbig.cpp" "tests/CMakeFiles/epgs_tests.dir/test_system_graphbig.cpp.o" "gcc" "tests/CMakeFiles/epgs_tests.dir/test_system_graphbig.cpp.o.d"
+  "/root/repo/tests/test_system_graphmat.cpp" "tests/CMakeFiles/epgs_tests.dir/test_system_graphmat.cpp.o" "gcc" "tests/CMakeFiles/epgs_tests.dir/test_system_graphmat.cpp.o.d"
+  "/root/repo/tests/test_system_ligra.cpp" "tests/CMakeFiles/epgs_tests.dir/test_system_ligra.cpp.o" "gcc" "tests/CMakeFiles/epgs_tests.dir/test_system_ligra.cpp.o.d"
+  "/root/repo/tests/test_system_powergraph.cpp" "tests/CMakeFiles/epgs_tests.dir/test_system_powergraph.cpp.o" "gcc" "tests/CMakeFiles/epgs_tests.dir/test_system_powergraph.cpp.o.d"
+  "/root/repo/tests/test_validation.cpp" "tests/CMakeFiles/epgs_tests.dir/test_validation.cpp.o" "gcc" "tests/CMakeFiles/epgs_tests.dir/test_validation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/epgs_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/epgs_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/gen/CMakeFiles/epgs_gen.dir/DependInfo.cmake"
+  "/root/repo/build/src/systems/CMakeFiles/epgs_systems.dir/DependInfo.cmake"
+  "/root/repo/build/src/harness/CMakeFiles/epgs_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/epgs_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/graphalytics/CMakeFiles/epgs_graphalytics.dir/DependInfo.cmake"
+  "/root/repo/build/src/cli/CMakeFiles/epgs_cli.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
