@@ -6,8 +6,11 @@
 // cost/quality, DCSR construction, and the harness's parsing layers.
 #include <benchmark/benchmark.h>
 
+#include <numeric>
 #include <sstream>
 
+#include "core/frontier.hpp"
+#include "core/parallel.hpp"
 #include "core/phase_log.hpp"
 #include "gen/kronecker.hpp"
 #include "graph/csr.hpp"
@@ -44,15 +47,146 @@ void BM_KroneckerGenerate(benchmark::State& state) {
 }
 BENCHMARK(BM_KroneckerGenerate)->Arg(10)->Arg(12)->Arg(14);
 
+// Kernel 1 old vs new: the seed's sequential CSR build against the
+// parallel degree-count / prefix-sum / atomic-scatter build, at a given
+// thread count (second arg). The benchmark trajectory records both, so
+// the construction-phase speedup is visible in the JSON output.
+void BM_CsrBuildSerial(benchmark::State& state) {
+  const auto el = bench_graph(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(CSRGraph::from_edges_serial(el));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(el.num_edges()));
+}
+BENCHMARK(BM_CsrBuildSerial)->Arg(10)->Arg(12);
+
 void BM_CsrBuild(benchmark::State& state) {
   const auto el = bench_graph(static_cast<int>(state.range(0)));
+  ThreadScope threads(static_cast<int>(state.range(1)));
   for (auto _ : state) {
     benchmark::DoNotOptimize(CSRGraph::from_edges(el));
   }
   state.SetItemsProcessed(state.iterations() *
                           static_cast<std::int64_t>(el.num_edges()));
 }
-BENCHMARK(BM_CsrBuild)->Arg(10)->Arg(12);
+BENCHMARK(BM_CsrBuild)
+    ->Args({10, 8})
+    ->Args({12, 1})
+    ->Args({12, 2})
+    ->Args({12, 4})
+    ->Args({12, 8});
+
+// Frontier merge old vs new, isolated from traversal work: every thread
+// produces a slice of `range(0)` vertex ids and the variants differ only
+// in how per-thread output reaches the shared next-frontier — the seed's
+// `#pragma omp critical` concatenation vs LocalBuffer flushes into a
+// SlidingQueue (one fetch-add per 1024-element flush).
+void BM_FrontierMergeCritical(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  ThreadScope threads(static_cast<int>(state.range(1)));
+  for (auto _ : state) {
+    std::vector<vid_t> next;
+#pragma omp parallel
+    {
+      std::vector<vid_t> local;
+#pragma omp for schedule(dynamic, 64) nowait
+      for (std::int64_t i = 0; i < static_cast<std::int64_t>(n); ++i) {
+        local.push_back(static_cast<vid_t>(i));
+      }
+#pragma omp critical
+      next.insert(next.end(), local.begin(), local.end());
+    }
+    benchmark::DoNotOptimize(next);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_FrontierMergeCritical)
+    ->Args({1 << 20, 1})
+    ->Args({1 << 20, 8});
+
+void BM_FrontierMergeSlidingQueue(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  ThreadScope threads(static_cast<int>(state.range(1)));
+  for (auto _ : state) {
+    SlidingQueue<vid_t> queue(n);
+#pragma omp parallel
+    {
+      LocalBuffer<vid_t> local(queue);
+#pragma omp for schedule(dynamic, 64) nowait
+      for (std::int64_t i = 0; i < static_cast<std::int64_t>(n); ++i) {
+        local.push_back(static_cast<vid_t>(i));
+      }
+    }
+    queue.slide_window();
+    benchmark::DoNotOptimize(queue);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_FrontierMergeSlidingQueue)
+    ->Args({1 << 20, 1})
+    ->Args({1 << 20, 8});
+
+// Exclusive prefix sum old vs new over a degree-array-sized input.
+void BM_PrefixSumSerial(benchmark::State& state) {
+  std::vector<eid_t> in(static_cast<std::size_t>(state.range(0)), 3);
+  std::vector<eid_t> out;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(exclusive_prefix_sum(in, out));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(in.size()));
+}
+BENCHMARK(BM_PrefixSumSerial)->Arg(1 << 22);
+
+void BM_PrefixSumParallel(benchmark::State& state) {
+  std::vector<eid_t> in(static_cast<std::size_t>(state.range(0)), 3);
+  std::vector<eid_t> out;
+  ThreadScope threads(static_cast<int>(state.range(1)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(parallel_exclusive_prefix_sum(in, out));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(in.size()));
+}
+BENCHMARK(BM_PrefixSumParallel)
+    ->Args({1 << 22, 1})
+    ->Args({1 << 22, 8});
+
+// Bitmap -> queue compaction (the bottom-up -> top-down switch in GAP's
+// BFS and the GAS engine's active-set extraction): serial scan vs the
+// popcount/prefix-sum pack.
+void BM_BitmapCompactSerial(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Bitmap bm(n);
+  for (std::size_t i = 0; i < n; i += 3) bm.set(i);
+  for (auto _ : state) {
+    std::vector<vid_t> out;
+    for (std::size_t v = 0; v < n; ++v) {
+      if (bm.test(v)) out.push_back(static_cast<vid_t>(v));
+    }
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_BitmapCompactSerial)->Arg(1 << 22);
+
+void BM_BitmapCompactParallel(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Bitmap bm(n);
+  for (std::size_t i = 0; i < n; i += 3) bm.set(i);
+  ThreadScope threads(static_cast<int>(state.range(1)));
+  for (auto _ : state) {
+    SlidingQueue<vid_t> queue(bm.count());
+    bitmap_to_queue(bm, queue);
+    queue.slide_window();
+    benchmark::DoNotOptimize(queue);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_BitmapCompactParallel)
+    ->Args({1 << 22, 1})
+    ->Args({1 << 22, 8});
 
 void BM_DcsrBuild(benchmark::State& state) {
   const auto el = bench_graph(static_cast<int>(state.range(0)));
@@ -83,11 +217,19 @@ void BM_BfsTopDownOnly(benchmark::State& state) {
   systems::GapSystem sys(opts);
   sys.set_edges(bench_graph(static_cast<int>(state.range(0))));
   sys.build();
+  ThreadScope threads(static_cast<int>(state.range(1)));
   for (auto _ : state) {
     benchmark::DoNotOptimize(sys.bfs(1));
   }
 }
-BENCHMARK(BM_BfsTopDownOnly)->Arg(12)->Arg(14);
+// Thread sweep: pure top-down BFS is all frontier expansion + merge, so
+// this curve is the end-to-end view of the sliding-queue migration.
+BENCHMARK(BM_BfsTopDownOnly)
+    ->Args({12, 1})
+    ->Args({12, 2})
+    ->Args({12, 4})
+    ->Args({12, 8})
+    ->Args({14, 8});
 
 void BM_BfsGraph500(benchmark::State& state) {
   systems::Graph500System sys;

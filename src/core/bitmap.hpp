@@ -55,6 +55,15 @@ class Bitmap {
     return c;
   }
 
+  /// Number of backing 64-bit words.
+  [[nodiscard]] std::size_t num_words() const { return words_.size(); }
+
+  /// Raw word `w` (bits w*64 .. w*64+63). Not synchronised with writers;
+  /// word-granular readers (parallel compaction) run after a barrier.
+  [[nodiscard]] std::uint64_t word(std::size_t w) const {
+    return words_[w].load(std::memory_order_relaxed);
+  }
+
   void swap(Bitmap& other) noexcept {
     words_.swap(other.words_);
     std::swap(num_bits_, other.num_bits_);

@@ -18,11 +18,17 @@ class CSRGraph {
  public:
   CSRGraph() = default;
 
-  /// Build an out-neighborhood CSR from an edge list.
+  /// Build an out-neighborhood CSR from an edge list (parallel Kernel-1
+  /// semantics: parallel degree count, prefix sum, scatter, row sort).
   /// If `transpose` is true, builds the in-neighborhood (CSC of the
   /// original): row u lists vertices with an edge into u.
   /// Adjacency of every row is sorted by target id.
   static CSRGraph from_edges(const EdgeList& el, bool transpose = false);
+
+  /// The seed's sequential build, kept as the equivalence oracle for
+  /// tests and the baseline for the CSR-build microbenchmark.
+  static CSRGraph from_edges_serial(const EdgeList& el,
+                                    bool transpose = false);
 
   [[nodiscard]] vid_t num_vertices() const { return n_; }
   [[nodiscard]] eid_t num_edges() const { return m_; }

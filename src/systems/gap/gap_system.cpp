@@ -6,6 +6,7 @@
 #include <numeric>
 
 #include "core/bitmap.hpp"
+#include "core/frontier.hpp"
 #include "core/parallel.hpp"
 
 namespace epgs::systems {
@@ -47,35 +48,45 @@ BfsResult GapSystem::do_bfs(vid_t root) {
   }
   parent[root].store(root, std::memory_order_relaxed);
 
-  std::vector<vid_t> frontier{root};
+  // Every vertex enters the queue at most once (CAS-claimed in top-down
+  // steps, bitmap-compacted after bottom-up steps), so num_vertices
+  // bounds the queue's lifetime appends.
+  SlidingQueue<vid_t> queue(static_cast<std::size_t>(n));
+  queue.push_back(root);
+  queue.slide_window();
   Bitmap front_bm(n), next_bm(n);
   bool bottom_up = false;
+  // Live frontier size, valid in both representations — replaces the
+  // seed's fake one-element queue that kept the loop alive during
+  // bottom-up phases.
+  std::size_t awake = 1;
   // Edges not yet examined; drives the alpha heuristic.
   std::int64_t edges_remaining = static_cast<std::int64_t>(out_.num_edges());
   std::uint64_t edges_scanned = 0;
 
-  auto frontier_out_degree = [&](const std::vector<vid_t>& f) {
+  auto frontier_out_degree = [&] {
     std::int64_t d = 0;
-    for (const vid_t u : f) d += static_cast<std::int64_t>(out_.degree(u));
+    for (const vid_t u : queue) d += static_cast<std::int64_t>(out_.degree(u));
     return d;
   };
 
-  while (!frontier.empty()) {
+  while (awake > 0) {
     if (!bottom_up) {
-      const std::int64_t scout = frontier_out_degree(frontier);
+      const std::int64_t scout = frontier_out_degree();
       if (static_cast<double>(scout) >
           static_cast<double>(edges_remaining) / opts_.alpha) {
         bottom_up = true;
         front_bm.reset();
-        for (const vid_t u : frontier) front_bm.set(u);
+        for (const vid_t u : queue) front_bm.set(u);
       }
     }
 
     if (bottom_up) {
       next_bm.reset();
-      std::atomic<vid_t> awake{0};
+      std::size_t woke = 0;
       std::uint64_t scanned = 0;
-#pragma omp parallel for schedule(dynamic, 1024) reduction(+ : scanned)
+#pragma omp parallel for schedule(dynamic, 1024) \
+    reduction(+ : scanned, woke)
       for (std::int64_t v = 0; v < static_cast<std::int64_t>(n); ++v) {
         if (parent[v].load(std::memory_order_relaxed) != kNoVertex) continue;
         for (const vid_t u : in_.neighbors(static_cast<vid_t>(v))) {
@@ -83,55 +94,50 @@ BfsResult GapSystem::do_bfs(vid_t root) {
           if (front_bm.test(u)) {
             parent[v].store(u, std::memory_order_relaxed);
             next_bm.set_atomic(static_cast<std::size_t>(v));
-            awake.fetch_add(1, std::memory_order_relaxed);
+            ++woke;
             break;
           }
         }
       }
       edges_scanned += scanned;
-      const vid_t nf = awake.load();
       edges_remaining -= static_cast<std::int64_t>(scanned);
-      if (nf == 0) break;
-      if (static_cast<double>(nf) < static_cast<double>(n) / opts_.beta) {
-        // Shrunk again: convert bitmap back to a queue and go top-down.
-        frontier.clear();
-        for (vid_t v = 0; v < n; ++v) {
-          if (next_bm.test(v)) frontier.push_back(v);
-        }
+      awake = woke;
+      if (awake == 0) break;
+      if (static_cast<double>(awake) < static_cast<double>(n) / opts_.beta) {
+        // Shrunk again: parallel-compact the bitmap into the queue and
+        // go top-down.
+        bitmap_to_queue(next_bm, queue);
+        queue.slide_window();
         bottom_up = false;
       } else {
         front_bm.swap(next_bm);
-        frontier.assign(1, root);  // placeholder to keep the loop alive
-        continue;
       }
     } else {
-      std::vector<vid_t> next;
 #pragma omp parallel
       {
-        std::vector<vid_t> local;
+        LocalBuffer<vid_t> next(queue);
         std::uint64_t scanned = 0;
 #pragma omp for schedule(dynamic, 64) nowait
-        for (std::int64_t i = 0; i < static_cast<std::int64_t>(
-                                         frontier.size());
-             ++i) {
-          const vid_t u = frontier[static_cast<std::size_t>(i)];
+        for (std::int64_t i = 0;
+             i < static_cast<std::int64_t>(queue.size()); ++i) {
+          const vid_t u = queue.begin()[i];
           for (const vid_t v : out_.neighbors(u)) {
             ++scanned;
             vid_t expected = kNoVertex;
             if (parent[v].compare_exchange_strong(
                     expected, u, std::memory_order_relaxed)) {
-              local.push_back(v);
+              next.push_back(v);
             }
           }
         }
-#pragma omp critical
-        {
-          next.insert(next.end(), local.begin(), local.end());
-          edges_scanned += scanned;
-          edges_remaining -= static_cast<std::int64_t>(scanned);
-        }
+        next.flush();
+#pragma omp atomic
+        edges_scanned += scanned;
+#pragma omp atomic
+        edges_remaining -= static_cast<std::int64_t>(scanned);
       }
-      frontier.swap(next);
+      queue.slide_window();
+      awake = queue.size();
     }
   }
 
@@ -166,23 +172,51 @@ SsspResult GapSystem::do_sssp(vid_t root) {
   auto bucket_index = [&](weight_t d) {
     return static_cast<std::size_t>(d / delta);
   };
-  auto push_bucket = [&](std::vector<std::vector<vid_t>>& bs, vid_t v,
-                         weight_t d) {
+
+  // Per-thread bucket bins (GAP's local_bins): each thread stages its
+  // relaxation pushes privately, then the bins are merged bucket-by-
+  // bucket with prefix-sum slot reservation — no critical section on
+  // the relaxation hot path.
+  const auto nt = static_cast<std::size_t>(max_threads());
+  std::vector<std::vector<std::vector<vid_t>>> thread_bins(nt);
+  auto push_local = [&](std::vector<std::vector<vid_t>>& bins, vid_t v,
+                        weight_t d) {
     const std::size_t b = bucket_index(d);
-    if (b >= bs.size()) bs.resize(b + 1);
-    bs[b].push_back(v);
+    if (b >= bins.size()) bins.resize(b + 1);
+    bins[b].push_back(v);
+  };
+  // Merge every thread's bin `b` (b >= floor) into the shared buckets.
+  std::vector<std::vector<vid_t>> merge_parts(nt);
+  auto merge_bins = [&](std::size_t floor) {
+    std::size_t max_bins = 0;
+    for (const auto& bins : thread_bins) {
+      max_bins = std::max(max_bins, bins.size());
+    }
+    if (max_bins > buckets.size()) buckets.resize(max_bins);
+    for (std::size_t b = floor; b < max_bins; ++b) {
+      for (std::size_t t = 0; t < nt; ++t) {
+        merge_parts[t] = b < thread_bins[t].size()
+                             ? std::move(thread_bins[t][b])
+                             : std::vector<vid_t>{};
+      }
+      parallel_append(buckets[b], merge_parts);
+    }
+    for (auto& bins : thread_bins) bins.clear();
   };
 
   for (std::size_t i = 0; i < buckets.size(); ++i) {
     std::vector<vid_t> deleted;
+    std::vector<std::vector<vid_t>> thread_deleted(nt);
     while (!buckets[i].empty()) {
       std::vector<vid_t> current;
       current.swap(buckets[i]);
-#pragma omp parallel
+      std::uint64_t relaxed = 0;
+#pragma omp parallel reduction(+ : relaxed)
       {
-        std::vector<std::pair<vid_t, weight_t>> local_pushes;
-        std::vector<vid_t> local_deleted;
-        std::uint64_t local_relax = 0;
+        auto& bins = thread_bins[static_cast<std::size_t>(
+            omp_get_thread_num())];
+        auto& local_deleted = thread_deleted[static_cast<std::size_t>(
+            omp_get_thread_num())];
 #pragma omp for schedule(dynamic, 64) nowait
         for (std::int64_t k = 0; k < static_cast<std::int64_t>(
                                          current.size());
@@ -197,27 +231,27 @@ SsspResult GapSystem::do_sssp(vid_t root) {
           for (std::size_t e = 0; e < nbrs.size(); ++e) {
             const weight_t w = out_.weighted() ? ws[e] : 1.0f;
             if (w > delta) continue;  // light edges only in this pass
-            ++local_relax;
+            ++relaxed;
             const weight_t nd = du + w;
             if (atomic_fetch_min(&dist[nbrs[e]], nd)) {
-              local_pushes.emplace_back(nbrs[e], nd);
+              push_local(bins, nbrs[e], nd);
             }
           }
         }
-#pragma omp critical
-        {
-          for (const auto& [v, d] : local_pushes) push_bucket(buckets, v, d);
-          deleted.insert(deleted.end(), local_deleted.begin(),
-                         local_deleted.end());
-          relaxations += local_relax;
-        }
       }
+      relaxations += relaxed;
+      merge_bins(i);
     }
+    for (std::size_t t = 0; t < nt; ++t) {
+      merge_parts[t] = std::move(thread_deleted[t]);
+    }
+    parallel_append(deleted, merge_parts);
     // Heavy edges of every vertex settled in this bucket.
-#pragma omp parallel
+    std::uint64_t relaxed = 0;
+#pragma omp parallel reduction(+ : relaxed)
     {
-      std::vector<std::pair<vid_t, weight_t>> local_pushes;
-      std::uint64_t local_relax = 0;
+      auto& bins =
+          thread_bins[static_cast<std::size_t>(omp_get_thread_num())];
 #pragma omp for schedule(dynamic, 64) nowait
       for (std::int64_t k = 0; k < static_cast<std::int64_t>(deleted.size());
            ++k) {
@@ -229,19 +263,16 @@ SsspResult GapSystem::do_sssp(vid_t root) {
         for (std::size_t e = 0; e < nbrs.size(); ++e) {
           const weight_t w = out_.weighted() ? ws[e] : 1.0f;
           if (w <= delta) continue;
-          ++local_relax;
+          ++relaxed;
           const weight_t nd = du + w;
           if (atomic_fetch_min(&dist[nbrs[e]], nd)) {
-            local_pushes.emplace_back(nbrs[e], nd);
+            push_local(bins, nbrs[e], nd);
           }
         }
       }
-#pragma omp critical
-      {
-        for (const auto& [v, d] : local_pushes) push_bucket(buckets, v, d);
-        relaxations += local_relax;
-      }
     }
+    relaxations += relaxed;
+    merge_bins(i + 1);
   }
 
   r.dist.resize(n);

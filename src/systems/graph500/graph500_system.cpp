@@ -3,6 +3,7 @@
 #include <atomic>
 
 #include "core/bitmap.hpp"
+#include "core/frontier.hpp"
 #include "core/parallel.hpp"
 
 namespace epgs::systems {
@@ -32,19 +33,22 @@ BfsResult Graph500System::do_bfs(vid_t root) {
   Bitmap visited(n);
   visited.set(root);
 
-  std::vector<vid_t> frontier{root};
+  // CAS claims each vertex exactly once, so num_vertices bounds the
+  // queue's lifetime appends.
+  SlidingQueue<vid_t> queue(static_cast<std::size_t>(n));
+  queue.push_back(root);
+  queue.slide_window();
   std::uint64_t edges_scanned = 0;
 
-  while (!frontier.empty()) {
-    std::vector<vid_t> next;
+  while (!queue.empty()) {
 #pragma omp parallel
     {
-      std::vector<vid_t> local;
+      LocalBuffer<vid_t> next(queue);
       std::uint64_t scanned = 0;
 #pragma omp for schedule(dynamic, 64) nowait
       for (std::int64_t i = 0;
-           i < static_cast<std::int64_t>(frontier.size()); ++i) {
-        const vid_t u = frontier[static_cast<std::size_t>(i)];
+           i < static_cast<std::int64_t>(queue.size()); ++i) {
+        const vid_t u = queue.begin()[i];
         for (const vid_t v : csr_.neighbors(u)) {
           ++scanned;
           if (visited.test(v)) continue;  // cheap pre-check
@@ -52,17 +56,15 @@ BfsResult Graph500System::do_bfs(vid_t root) {
           if (parent[v].compare_exchange_strong(expected, u,
                                                 std::memory_order_relaxed)) {
             visited.set_atomic(v);
-            local.push_back(v);
+            next.push_back(v);
           }
         }
       }
-#pragma omp critical
-      {
-        next.insert(next.end(), local.begin(), local.end());
-        edges_scanned += scanned;
-      }
+      next.flush();
+#pragma omp atomic
+      edges_scanned += scanned;
     }
-    frontier.swap(next);
+    queue.slide_window();
   }
 
   for (vid_t v = 0; v < n; ++v) {

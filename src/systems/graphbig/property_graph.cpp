@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "core/frontier.hpp"
+
 namespace epgs::systems::graphbig_detail {
 
 void PropertyGraph::load(const EdgeList& el) {
@@ -32,31 +34,36 @@ void PropertyGraph::load(const EdgeList& el) {
 std::vector<vid_t> PropertyGraph::expand(const std::vector<vid_t>& frontier,
                                          EdgeVisitor& visitor,
                                          std::uint64_t& edges_examined) {
-  std::vector<vid_t> next;
+  // The visitor decides admission, so the only a-priori bound on the
+  // output is the frontier's total out-degree; size the queue by a
+  // cheap parallel degree reduction, then merge per-thread discoveries
+  // through LocalBuffer fetch-add flushes instead of a critical section.
+  std::size_t out_degree = 0;
+#pragma omp parallel for schedule(static) reduction(+ : out_degree)
+  for (std::int64_t i = 0; i < static_cast<std::int64_t>(frontier.size());
+       ++i) {
+    out_degree +=
+        vertices_[frontier[static_cast<std::size_t>(i)]].out_edges.size();
+  }
+  SlidingQueue<vid_t> queue(out_degree);
   std::uint64_t examined = 0;
-#pragma omp parallel
+#pragma omp parallel reduction(+ : examined)
   {
-    std::vector<vid_t> local;
-    std::uint64_t local_examined = 0;
+    LocalBuffer<vid_t> local(queue);
 #pragma omp for schedule(dynamic, 64) nowait
     for (std::int64_t i = 0; i < static_cast<std::int64_t>(frontier.size());
          ++i) {
       VertexObj& src = vertices_[frontier[static_cast<std::size_t>(i)]];
       for (EdgeObj& e : src.out_edges) {
-        ++local_examined;
+        ++examined;
         if (visitor.examine(src, e, vertices_[e.target])) {
           local.push_back(e.target);
         }
       }
     }
-#pragma omp critical
-    {
-      next.insert(next.end(), local.begin(), local.end());
-      examined += local_examined;
-    }
   }
   edges_examined += examined;
-  return next;
+  return queue.take_appended();
 }
 
 std::uint64_t PropertyGraph::for_each_edge(EdgeVisitor& visitor) {

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "core/bitmap.hpp"
+#include "core/frontier.hpp"
 #include "graph/csr.hpp"
 
 namespace epgs::systems::ligra_detail {
@@ -83,16 +84,19 @@ VertexSubset edge_map(const CSRGraph& out, const CSRGraph& in,
       frontier.size() + frontier.out_degree(out) >
       out.num_edges() / kDenseThresholdDivisor;
 
-  std::vector<vid_t> next;
+  // Both traversals emit each destination at most once (the `added`
+  // flag in pull, the in_next bitmap in push), so num_vertices bounds
+  // the output and per-thread LocalBuffers can flush into one shared
+  // queue with a fetch-add reservation instead of a critical section.
+  SlidingQueue<vid_t> queue(static_cast<std::size_t>(n));
   if (dense) {
     // Pull: every vertex failing cond is skipped; others scan in-edges
     // for frontier members.
     const Bitmap members = frontier.to_dense();
     std::uint64_t examined = 0;
-#pragma omp parallel
+#pragma omp parallel reduction(+ : examined)
     {
-      std::vector<vid_t> local;
-      std::uint64_t local_examined = 0;
+      LocalBuffer<vid_t> local(queue);
 #pragma omp for schedule(dynamic, 512) nowait
       for (std::int64_t vi = 0; vi < static_cast<std::int64_t>(n); ++vi) {
         const auto v = static_cast<vid_t>(vi);
@@ -102,7 +106,7 @@ VertexSubset edge_map(const CSRGraph& out, const CSRGraph& in,
                                       : std::span<const weight_t>{};
         bool added = false;
         for (std::size_t i = 0; i < nbrs.size(); ++i) {
-          ++local_examined;
+          ++examined;
           if (!members.test(nbrs[i])) continue;
           if (f.update(nbrs[i], v, in.weighted() ? ws[i] : weight_t{1}) &&
               !added) {
@@ -112,21 +116,15 @@ VertexSubset edge_map(const CSRGraph& out, const CSRGraph& in,
           if (!f.cond(v)) break;  // early exit once satisfied
         }
       }
-#pragma omp critical
-      {
-        next.insert(next.end(), local.begin(), local.end());
-        examined += local_examined;
-      }
     }
     edges_examined += examined;
   } else {
     // Push: scan the out-edges of the frontier with atomic updates.
     Bitmap in_next(n);
     std::uint64_t examined = 0;
-#pragma omp parallel
+#pragma omp parallel reduction(+ : examined)
     {
-      std::vector<vid_t> local;
-      std::uint64_t local_examined = 0;
+      LocalBuffer<vid_t> local(queue);
 #pragma omp for schedule(dynamic, 64) nowait
       for (std::int64_t i = 0;
            i < static_cast<std::int64_t>(frontier.size()); ++i) {
@@ -135,7 +133,7 @@ VertexSubset edge_map(const CSRGraph& out, const CSRGraph& in,
         const auto ws = out.weighted() ? out.edge_weights(u)
                                        : std::span<const weight_t>{};
         for (std::size_t e = 0; e < nbrs.size(); ++e) {
-          ++local_examined;
+          ++examined;
           const vid_t v = nbrs[e];
           if (!f.cond(v)) continue;
           if (f.update_atomic(u, v, out.weighted() ? ws[e] : weight_t{1}) &&
@@ -144,15 +142,10 @@ VertexSubset edge_map(const CSRGraph& out, const CSRGraph& in,
           }
         }
       }
-#pragma omp critical
-      {
-        next.insert(next.end(), local.begin(), local.end());
-        examined += local_examined;
-      }
     }
     edges_examined += examined;
   }
-  return VertexSubset::from_sparse(n, std::move(next));
+  return VertexSubset::from_sparse(n, queue.take_appended());
 }
 
 /// vertexMap: apply f(v) to every member; keep those where f returns

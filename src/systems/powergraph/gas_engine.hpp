@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "core/bitmap.hpp"
+#include "core/frontier.hpp"
 #include "core/parallel.hpp"
 #include "systems/powergraph/vertex_cut.hpp"
 
@@ -188,11 +189,13 @@ class GasEngine {
     }
     counters_.gather_edges += gathered;
 
-    // 3. Merge partials at the master and apply.
-    std::vector<vid_t> changed;
+    // 3. Merge partials at the master and apply. Each active vertex is
+    // applied exactly once, so active.size() bounds the changed set and
+    // per-thread LocalBuffers can flush into a shared queue lock-free.
+    SlidingQueue<vid_t> changed_q(active.size());
 #pragma omp parallel
     {
-      std::vector<vid_t> local_changed;
+      LocalBuffer<vid_t> local_changed(changed_q);
 #pragma omp for schedule(dynamic, 64) nowait
       for (std::int64_t i = 0; i < static_cast<std::int64_t>(active.size());
            ++i) {
@@ -212,10 +215,8 @@ class GasEngine {
           local_changed.push_back(gv);
         }
       }
-#pragma omp critical
-      changed.insert(changed.end(), local_changed.begin(),
-                     local_changed.end());
     }
+    const std::vector<vid_t> changed = changed_q.take_appended();
 
     // 4. Scatter: signal neighbours of changed vertices.
     Bitmap signalled(n);
@@ -242,11 +243,10 @@ class GasEngine {
     counters_.scatter_signals += signals;
     ++counters_.supersteps;
 
-    std::vector<vid_t> next;
-    for (vid_t v = 0; v < n; ++v) {
-      if (signalled.test(v)) next.push_back(v);
-    }
-    return next;
+    // Parallel bitmap -> sorted active-list compaction.
+    SlidingQueue<vid_t> next(signalled.count());
+    bitmap_to_queue(signalled, next);
+    return next.take_appended();
   }
 
   /// Scatter-only pass: signal the neighbours of `changed` without
@@ -276,11 +276,9 @@ class GasEngine {
       }
     }
     counters_.scatter_signals += signals;
-    std::vector<vid_t> next;
-    for (vid_t v = 0; v < n; ++v) {
-      if (signalled.test(v)) next.push_back(v);
-    }
-    return next;
+    SlidingQueue<vid_t> next(signalled.count());
+    bitmap_to_queue(signalled, next);
+    return next.take_appended();
   }
 
   /// All vertices, for algorithms that activate everything each round.
@@ -328,8 +326,8 @@ class GasEngine {
         ++out_count[lg.g2l[e.src]];
         ++in_count[lg.g2l[e.dst]];
       }
-      exclusive_prefix_sum(in_count, lg.in_offsets);
-      exclusive_prefix_sum(out_count, lg.out_offsets);
+      parallel_exclusive_prefix_sum(in_count, lg.in_offsets);
+      parallel_exclusive_prefix_sum(out_count, lg.out_offsets);
       lg.in_src.resize(edges.size());
       lg.in_w.resize(edges.size());
       lg.out_dst.resize(edges.size());

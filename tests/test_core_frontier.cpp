@@ -1,0 +1,239 @@
+// Unit tests for the lock-free frontier machinery (core/frontier.hpp):
+// SlidingQueue windows, LocalBuffer flush batching, the parallel
+// exclusive prefix sum, bitmap compaction, and parallel_append. These
+// are the tests meant to run under ThreadSanitizer (ctest -L frontier
+// with -DEPGS_SANITIZE=thread) to prove the merges are race-free.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "core/bitmap.hpp"
+#include "core/frontier.hpp"
+#include "core/parallel.hpp"
+#include "core/types.hpp"
+
+namespace epgs {
+namespace {
+
+TEST(SlidingQueue, StartsEmpty) {
+  SlidingQueue<vid_t> q(16);
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.size(), 0u);
+  q.slide_window();  // sliding an empty queue stays empty
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(SlidingQueue, SingleElementWindow) {
+  SlidingQueue<vid_t> q(4);
+  q.push_back(7);
+  EXPECT_TRUE(q.empty());  // not visible until slide
+  q.slide_window();
+  ASSERT_EQ(q.size(), 1u);
+  EXPECT_EQ(*q.begin(), 7u);
+  q.slide_window();  // nothing new appended -> empty window
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(SlidingQueue, WindowsArePublishedGenerations) {
+  SlidingQueue<int> q(8);
+  q.push_back(1);
+  q.slide_window();
+  // Append the "next frontier" while the current one is readable.
+  q.push_back(2);
+  q.push_back(3);
+  EXPECT_EQ(q.size(), 1u);
+  q.slide_window();
+  EXPECT_EQ(q.size(), 2u);
+  EXPECT_EQ(std::vector<int>(q.begin(), q.end()), (std::vector<int>{2, 3}));
+}
+
+TEST(SlidingQueue, ResetDropsEverything) {
+  SlidingQueue<int> q(8);
+  q.push_back(1);
+  q.slide_window();
+  q.reset();
+  EXPECT_TRUE(q.empty());
+  q.push_back(5);
+  q.slide_window();
+  EXPECT_EQ(*q.begin(), 5);
+}
+
+TEST(SlidingQueue, TakeAppendedReturnsAllAppends) {
+  SlidingQueue<int> q(8);
+  q.push_back(3);
+  q.push_back(1);
+  q.slide_window();
+  q.push_back(2);
+  auto all = q.take_appended();
+  std::sort(all.begin(), all.end());
+  EXPECT_EQ(all, (std::vector<int>{1, 2, 3}));
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(LocalBuffer, FlushesOnDestruction) {
+  SlidingQueue<vid_t> q(100);
+  {
+    LocalBuffer<vid_t> lb(q);
+    for (vid_t v = 0; v < 100; ++v) lb.push_back(v);
+    EXPECT_EQ(lb.pending(), 100u);
+  }
+  q.slide_window();
+  EXPECT_EQ(q.size(), 100u);
+}
+
+TEST(LocalBuffer, FlushesWhenFull) {
+  // Capacity 4 forces internal flushes long before the destructor.
+  SlidingQueue<vid_t> q(100);
+  LocalBuffer<vid_t, 4> lb(q);
+  for (vid_t v = 0; v < 10; ++v) lb.push_back(v);
+  EXPECT_EQ(lb.pending(), 2u);  // 8 already flushed
+  lb.flush();
+  q.slide_window();
+  std::vector<vid_t> got(q.begin(), q.end());
+  std::sort(got.begin(), got.end());
+  std::vector<vid_t> want(10);
+  std::iota(want.begin(), want.end(), 0u);
+  EXPECT_EQ(got, want);
+}
+
+// Per-thread producer body for ConcurrentProducersLoseNothing. Fully
+// TSan-instrumented; the region wrapper below is not (OpenMP closure
+// handoff — see core/parallel.hpp). The OmpHbEdge calls re-declare the
+// region's fork/join edges, which TSan cannot see through
+// uninstrumented libgomp.
+EPGS_TSAN_NOINLINE void concurrent_produce_body(SlidingQueue<vid_t>& q,
+                                                vid_t n, OmpHbEdge& hb_fork,
+                                                OmpHbEdge& hb_join) {
+  hb_fork.acquire();
+  {
+    LocalBuffer<vid_t, 64> lb(q);
+#pragma omp for schedule(dynamic, 37) nowait
+    for (std::int64_t v = 0; v < static_cast<std::int64_t>(n); ++v) {
+      lb.push_back(static_cast<vid_t>(v));
+    }
+  }  // LocalBuffer destructor flushes before the join edge
+  hb_join.release();
+}
+
+EPGS_NO_SANITIZE_THREAD void run_concurrent_producers(SlidingQueue<vid_t>& q,
+                                                      vid_t n) {
+  OmpHbEdge hb_fork, hb_join;
+  hb_fork.release();
+#pragma omp parallel
+  concurrent_produce_body(q, n, hb_fork, hb_join);
+  hb_join.acquire();
+}
+
+TEST(SlidingQueue, ConcurrentProducersLoseNothing) {
+  // The BFS merge pattern: many threads, small buffers, one queue.
+  constexpr vid_t kN = 100000;
+  SlidingQueue<vid_t> q(kN);
+  run_concurrent_producers(q, kN);
+  q.slide_window();
+  ASSERT_EQ(q.size(), static_cast<std::size_t>(kN));
+  std::vector<vid_t> got(q.begin(), q.end());
+  std::sort(got.begin(), got.end());
+  for (vid_t v = 0; v < kN; ++v) {
+    ASSERT_EQ(got[v], v) << "lost or duplicated vertex";
+  }
+}
+
+TEST(ParallelPrefixSum, MatchesSerialOnEdgeCases) {
+  const std::vector<std::size_t> sizes = {
+      0, 1, 2, 63, 64, 65, 1000,
+      kParallelScanThreshold - 1, kParallelScanThreshold,
+      kParallelScanThreshold + 1, 3 * kParallelScanThreshold + 17};
+  for (const std::size_t n : sizes) {
+    std::vector<eid_t> in(n);
+    for (std::size_t i = 0; i < n; ++i) in[i] = (i * 7 + 3) % 11;
+    std::vector<eid_t> want, got;
+    const eid_t want_total = exclusive_prefix_sum(in, want);
+    const eid_t got_total = parallel_exclusive_prefix_sum(in, got);
+    EXPECT_EQ(got_total, want_total) << "n=" << n;
+    EXPECT_EQ(got, want) << "n=" << n;
+  }
+}
+
+TEST(ParallelPrefixSum, SingleElement) {
+  std::vector<eid_t> in{42};
+  std::vector<eid_t> out;
+  EXPECT_EQ(parallel_exclusive_prefix_sum(in, out), 42u);
+  EXPECT_EQ(out, (std::vector<eid_t>{0, 42}));
+}
+
+TEST(ParallelPrefixSum, Empty) {
+  std::vector<eid_t> in;
+  std::vector<eid_t> out;
+  EXPECT_EQ(parallel_exclusive_prefix_sum(in, out), 0u);
+  EXPECT_EQ(out, (std::vector<eid_t>{0}));
+}
+
+TEST(BitmapToQueue, EmptyBitmap) {
+  Bitmap bm(256);
+  SlidingQueue<vid_t> q(256);
+  EXPECT_EQ(bitmap_to_queue(bm, q), 0u);
+  q.slide_window();
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(BitmapToQueue, SingleBit) {
+  Bitmap bm(256);
+  bm.set(129);
+  SlidingQueue<vid_t> q(1);
+  EXPECT_EQ(bitmap_to_queue(bm, q), 1u);
+  q.slide_window();
+  ASSERT_EQ(q.size(), 1u);
+  EXPECT_EQ(*q.begin(), 129u);
+}
+
+TEST(BitmapToQueue, ProducesSortedVerticesAcrossWordBoundaries) {
+  constexpr std::size_t kN = 100000;  // > one parallel chunk of words
+  Bitmap bm(kN);
+  std::vector<vid_t> want;
+  for (std::size_t v = 0; v < kN; ++v) {
+    if (v % 7 == 0 || v % 64 == 63) {
+      bm.set(v);
+      want.push_back(static_cast<vid_t>(v));
+    }
+  }
+  SlidingQueue<vid_t> q(want.size());
+  EXPECT_EQ(bitmap_to_queue(bm, q), want.size());
+  q.slide_window();
+  EXPECT_EQ(std::vector<vid_t>(q.begin(), q.end()), want);
+}
+
+TEST(ParallelAppend, EmptyParts) {
+  std::vector<int> out{9};
+  parallel_append(out, {});
+  EXPECT_EQ(out, (std::vector<int>{9}));
+  parallel_append(out, {{}, {}, {}});
+  EXPECT_EQ(out, (std::vector<int>{9}));
+}
+
+TEST(ParallelAppend, DeterministicThreadOrder) {
+  std::vector<int> out{0};
+  parallel_append(out, {{1, 2}, {}, {3}, {4, 5, 6}});
+  EXPECT_EQ(out, (std::vector<int>{0, 1, 2, 3, 4, 5, 6}));
+}
+
+TEST(ParallelAppend, LargePartsSurviveRoundTrip) {
+  const auto nt = static_cast<std::size_t>(max_threads());
+  std::vector<std::vector<int>> parts(std::max<std::size_t>(nt, 4));
+  std::size_t total = 0;
+  for (std::size_t p = 0; p < parts.size(); ++p) {
+    parts[p].resize(10000 + p * 31);
+    std::iota(parts[p].begin(), parts[p].end(), static_cast<int>(total));
+    total += parts[p].size();
+  }
+  std::vector<int> out;
+  parallel_append(out, parts);
+  ASSERT_EQ(out.size(), total);
+  for (std::size_t i = 0; i < total; ++i) {
+    ASSERT_EQ(out[i], static_cast<int>(i));
+  }
+}
+
+}  // namespace
+}  // namespace epgs

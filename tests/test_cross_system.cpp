@@ -6,6 +6,7 @@
 
 #include <cmath>
 
+#include "core/parallel.hpp"
 #include "gen/datasets.hpp"
 #include "gen/kronecker.hpp"
 #include "graph/csr.hpp"
@@ -212,6 +213,77 @@ INSTANTIATE_TEST_SUITE_P(
       return std::get<0>(info.param) + "_" +
              battery_specs()[std::get<1>(info.param)].name;
     });
+
+// Thread-count sweep: the lock-free frontier machinery must produce
+// results equivalent to the serial references at every parallelism
+// level the paper sweeps (Fig 5/6). BFS parent trees are validated
+// structurally (any valid shortest-path tree is accepted), SSSP
+// distances and PageRank ranks must match the oracles exactly /
+// within tolerance.
+class CrossSystemThreads : public ::testing::TestWithParam<int> {};
+
+TEST_P(CrossSystemThreads, BfsSsspPageRankEquivalentAtEveryThreadCount) {
+  const int num_threads = GetParam();
+  ThreadScope scope(num_threads);
+
+  const auto el = with_random_weights(dedupe(symmetrize([] {
+                                       gen::KroneckerParams p;
+                                       p.scale = 8;
+                                       p.edgefactor = 8;
+                                       return gen::kronecker(p);
+                                     }())),
+                                      3, 12);
+  const auto out = CSRGraph::from_edges(el);
+  const auto in = CSRGraph::from_edges(el, true);
+  const vid_t root = 1;
+  const auto bfs_truth = ref::bfs_levels(out, root);
+  const auto sssp_truth = ref::dijkstra(out, root);
+  PageRankParams pr_params;
+  const auto pr_truth = ref::pagerank(out, in, pr_params);
+
+  auto names = all_system_names();
+  const auto ext = extension_system_names();
+  names.insert(names.end(), ext.begin(), ext.end());
+  for (const auto name : names) {
+    auto sys = make_system(name);
+    sys->set_edges(el);
+    sys->build();
+    const auto caps = sys->capabilities();
+    if (caps.bfs) {
+      const auto r = sys->bfs(root);
+      const auto err = validate_bfs(out, r);
+      EXPECT_FALSE(err.has_value())
+          << name << " BFS @" << num_threads << "t: " << err.value_or("");
+      EXPECT_EQ(r.levels(), bfs_truth)
+          << name << " BFS levels @" << num_threads << "t";
+    }
+    if (caps.sssp) {
+      const auto r = sys->sssp(root);
+      ASSERT_EQ(r.dist.size(), sssp_truth.size()) << name;
+      for (vid_t v = 0; v < sssp_truth.size(); ++v) {
+        ASSERT_EQ(r.dist[v], sssp_truth[v])
+            << name << " SSSP @" << num_threads << "t vertex " << v;
+      }
+    }
+    if (caps.pagerank) {
+      const auto r = sys->pagerank(pr_params);
+      ASSERT_EQ(r.rank.size(), pr_truth.rank.size()) << name;
+      const double rel_tol = sys->name() == "GraphMat" ? 1e-3 : 1e-6;
+      const double uniform = 1.0 / static_cast<double>(r.rank.size());
+      for (std::size_t v = 0; v < pr_truth.rank.size(); ++v) {
+        ASSERT_NEAR(r.rank[v], pr_truth.rank[v],
+                    rel_tol * (uniform + pr_truth.rank[v]))
+            << name << " PageRank @" << num_threads << "t vertex " << v;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ThreadSweep, CrossSystemThreads,
+                         ::testing::Values(1, 2, 4, 8),
+                         [](const auto& info) {
+                           return "threads_" + std::to_string(info.param);
+                         });
 
 // Every system must agree with every *other* system on BFS level sets
 // (parent trees may differ; levels may not).

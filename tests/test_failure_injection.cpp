@@ -2,9 +2,11 @@
 // format; all readers must fail loudly (EpgsError) rather than return
 // garbage — the harness depends on files it did not write.
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <filesystem>
 #include <fstream>
+#include <string>
 
 #include "core/error.hpp"
 #include "graph/homogenizer.hpp"
@@ -20,7 +22,11 @@ namespace fs = std::filesystem;
 class FormatCorruption : public ::testing::Test {
  protected:
   void SetUp() override {
-    dir_ = fs::temp_directory_path() / "epgs_failinj";
+    // PID-unique dir: ctest -j runs several of these tests in separate
+    // processes concurrently, and a shared path makes SetUp/TearDown
+    // of one test delete another's files mid-run.
+    dir_ = fs::temp_directory_path() /
+           ("epgs_failinj_" + std::to_string(::getpid()));
     fs::create_directories(dir_);
     ds_ = homogenize(test::line_graph(10, /*weighted=*/true), "g", dir_);
   }

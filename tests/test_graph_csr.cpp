@@ -5,6 +5,9 @@
 #include <algorithm>
 
 #include "core/error.hpp"
+#include "core/parallel.hpp"
+#include "gen/kronecker.hpp"
+#include "graph/transforms.hpp"
 #include "test_util.hpp"
 
 namespace epgs {
@@ -101,6 +104,36 @@ TEST(Csr, ParallelEdgesPreserved) {
   el.edges = {Edge{0, 1, 1.0f}, Edge{0, 1, 1.0f}};
   const auto g = CSRGraph::from_edges(el);
   EXPECT_EQ(g.degree(0), 2u);
+}
+
+TEST(Csr, ParallelBuildMatchesSerialBuild) {
+  // The parallel Kernel-1 build must be bit-identical to the seed's
+  // sequential build: same offsets, same sorted targets, and weights
+  // permuted identically (row sort is stable on (target, weight) pairs).
+  gen::KroneckerParams p;
+  p.scale = 9;
+  p.edgefactor = 8;
+  const auto base = gen::kronecker(p);
+  const auto weighted = with_random_weights(base, 1, 15);
+  // Force a team: from_edges dispatches to the serial build when
+  // max_threads() == 1, which would make this test vacuous on 1-core CI.
+  ThreadScope threads(8);
+  for (const auto* el : {&base, &weighted}) {
+    for (const bool transpose : {false, true}) {
+      const auto par = CSRGraph::from_edges(*el, transpose);
+      const auto ser = CSRGraph::from_edges_serial(*el, transpose);
+      EXPECT_EQ(par.offsets(), ser.offsets()) << transpose;
+      EXPECT_EQ(par.targets(), ser.targets()) << transpose;
+      EXPECT_EQ(par.weights(), ser.weights()) << transpose;
+    }
+  }
+}
+
+TEST(Csr, SerialBuildRejectsOutOfRange) {
+  EdgeList el;
+  el.num_vertices = 2;
+  el.edges = {Edge{0, 5, 1.0f}};
+  EXPECT_THROW(CSRGraph::from_edges_serial(el), EpgsError);
 }
 
 }  // namespace
