@@ -100,7 +100,8 @@ int cmd_run(const Args& args, std::ostream& out) {
                      "seed", "no-symmetrize", "no-dedupe", "weights",
                      "max-weight", "systems", "algorithms", "roots",
                      "threads", "validate", "csv", "logdir",
-                     "no-reconstruct"});
+                     "no-reconstruct", "timeout", "retries", "isolate",
+                     "journal", "resume", "allow-dnf"});
   harness::ExperimentConfig cfg;
   cfg.graph = spec_from_args(args);
   cfg.systems = args.get_list("systems");
@@ -122,6 +123,13 @@ int cmd_run(const Args& args, std::ostream& out) {
   cfg.threads = args.get_int("threads", 0);
   cfg.validate = args.has("validate");
   cfg.reconstruct_per_trial = !args.has("no-reconstruct");
+  cfg.supervisor.timeout_seconds = args.get_double("timeout", 0.0);
+  cfg.supervisor.max_retries = args.get_int("retries", 0);
+  cfg.supervisor.isolate = args.has("isolate");
+  cfg.supervisor.journal_path = args.get("journal");
+  cfg.supervisor.resume = args.has("resume");
+  EPGS_CHECK(!cfg.supervisor.resume || !cfg.supervisor.journal_path.empty(),
+             "--resume requires --journal <file>");
   if (cfg.algorithms.size() == 1 &&
       cfg.algorithms[0] == harness::Algorithm::kSssp) {
     cfg.graph.add_weights = true;
@@ -147,6 +155,20 @@ int cmd_run(const Args& args, std::ostream& out) {
   csv << harness::records_to_csv(result.records);
   out << "wrote " << result.records.size() << " records to " << csv_path
       << "\n";
+
+  const auto summary = harness::outcome_summary(result.records);
+  out << "\noutcomes:\n" << harness::render_outcome_table(summary);
+  int failures = 0;
+  for (const auto& row : summary) failures += row.failures();
+  if (failures > 0) {
+    out << failures << " trial(s) did not finish"
+        << (args.has("allow-dnf") ? " (tolerated by --allow-dnf)" : "")
+        << "\n";
+    // A sweep with DNFs is distinct both from success (0) and from a
+    // configuration/usage error (1/2): scripts chaining runs must be able
+    // to tell "data is partial" apart from "nothing ran".
+    if (!args.has("allow-dnf")) return 3;
+  }
   return 0;
 }
 
@@ -391,6 +413,9 @@ std::string usage() {
       "              [--systems A,B,...] [--algorithms BFS,SSSP,...]\n"
       "              [--roots N] [--threads N] [--validate]\n"
       "              [--no-reconstruct] [--csv out.csv] [--logdir DIR]\n"
+      "              [--timeout SEC] [--retries N] [--isolate]\n"
+      "              [--journal FILE [--resume]] [--allow-dnf]\n"
+      "              exit 3 when any trial DNFs (unless --allow-dnf)\n"
       "  parse       --logdir DIR [--csv out.csv] [--threads N]\n"
       "  analyze     [--csv results.csv] [--out PREFIX]\n"
       "  tune        [--kind ...] [--roots N]   (GAP alpha/beta + Delta)\n"

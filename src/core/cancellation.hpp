@@ -1,0 +1,39 @@
+// Cooperative cancellation.
+//
+// The trial supervisor cannot preempt a hung algorithm from outside (the
+// systems under test run in-process), so cancellation is cooperative: the
+// watchdog thread flips an atomic flag at its monotonic deadline, and the
+// running system polls the flag at iteration boundaries — frontier swaps,
+// PageRank iterations, delta-stepping epochs — via checkpoint(), which
+// throws CancelledError to unwind the trial. Checkpoints live only in the
+// serial sections between parallel regions: throwing out of an OpenMP
+// worker would terminate the process, exactly what the supervisor exists
+// to prevent.
+#pragma once
+
+#include <atomic>
+
+#include "core/error.hpp"
+
+namespace epgs {
+
+class CancellationToken {
+ public:
+  void cancel() noexcept { cancelled_.store(true, std::memory_order_release); }
+
+  [[nodiscard]] bool cancelled() const noexcept {
+    return cancelled_.load(std::memory_order_acquire);
+  }
+
+  /// Throws CancelledError once cancel() has been called.
+  void checkpoint() const {
+    if (cancelled()) {
+      throw CancelledError("trial cancelled at watchdog deadline");
+    }
+  }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+};
+
+}  // namespace epgs

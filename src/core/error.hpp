@@ -1,9 +1,11 @@
-// Error handling: a checked-precondition macro and the library exception.
+// Error handling: a checked-precondition macro, the library exception
+// hierarchy, and the trial-outcome taxonomy the supervisor records.
 #pragma once
 
 #include <sstream>
 #include <stdexcept>
 #include <string>
+#include <string_view>
 
 namespace epgs {
 
@@ -13,6 +15,66 @@ class EpgsError : public std::runtime_error {
  public:
   using std::runtime_error::runtime_error;
 };
+
+/// Thrown by a cancellation checkpoint after the watchdog cancelled the
+/// trial's token; the supervisor classifies it as Outcome::kTimeout.
+class CancelledError : public EpgsError {
+ public:
+  using EpgsError::EpgsError;
+};
+
+/// A failure worth retrying (flaky I/O, injected transient faults). The
+/// supervisor retries these with exponential backoff before recording
+/// Outcome::kTransient.
+class TransientError : public EpgsError {
+ public:
+  using EpgsError::EpgsError;
+};
+
+/// A system produced output that the reference oracles reject; recorded
+/// as Outcome::kValidationFailed. (Distinct from the optional<string>
+/// alias epgs::ValidationError returned by the validators themselves.)
+class ValidationFailedError : public EpgsError {
+ public:
+  using EpgsError::EpgsError;
+};
+
+/// How one supervised (system, algorithm, trial) unit ended. Failures are
+/// first-class data — comparative studies report OOMs/timeouts per system
+/// (Ammar & Özsu, VLDB'18) and Graphalytics marks runs DNF rather than
+/// aborting the sweep — so every record and CSV row carries one of these.
+enum class Outcome {
+  kSuccess,           ///< ran to completion (and validated, if requested)
+  kTimeout,           ///< cancelled by the watchdog at its deadline
+  kCrash,             ///< process death / abort / uncontained exception
+  kTransient,         ///< retryable failure that exhausted its retries
+  kValidationFailed,  ///< output rejected by the reference oracles
+  kConfig,            ///< misconfiguration (e.g. unknown system name)
+  kUnsupported,       ///< capability advertised but not implemented
+};
+
+inline constexpr int kNumOutcomes = 7;
+
+[[nodiscard]] constexpr std::string_view outcome_name(Outcome o) {
+  switch (o) {
+    case Outcome::kSuccess: return "success";
+    case Outcome::kTimeout: return "timeout";
+    case Outcome::kCrash: return "crash";
+    case Outcome::kTransient: return "transient";
+    case Outcome::kValidationFailed: return "validation-failed";
+    case Outcome::kConfig: return "config";
+    case Outcome::kUnsupported: return "unsupported";
+  }
+  return "?";
+}
+
+[[nodiscard]] inline Outcome outcome_from_name(std::string_view name) {
+  for (int i = 0; i < kNumOutcomes; ++i) {
+    const auto o = static_cast<Outcome>(i);
+    if (outcome_name(o) == name) return o;
+  }
+  throw EpgsError("unknown outcome: '" + std::string(name) + "'");
+}
 
 namespace detail {
 [[noreturn]] inline void throw_check_failure(const char* expr,

@@ -21,6 +21,69 @@ bool has_records(const ExperimentResult& result, std::string_view system,
   return !result.seconds_of(system, phase, algorithm).empty();
 }
 
+int OutcomeSummary::total() const {
+  int t = 0;
+  for (const int c : counts) t += c;
+  return t;
+}
+
+int OutcomeSummary::failures() const {
+  return total() - counts[static_cast<std::size_t>(Outcome::kSuccess)];
+}
+
+std::vector<OutcomeSummary> outcome_summary(
+    const std::vector<RunRecord>& records) {
+  std::vector<OutcomeSummary> rows;
+  for (const auto& r : records) {
+    OutcomeSummary* row = nullptr;
+    for (auto& existing : rows) {
+      if (existing.system == r.system) row = &existing;
+    }
+    if (row == nullptr) {
+      rows.push_back(OutcomeSummary{r.system, {}});
+      row = &rows.back();
+    }
+    ++row->counts[static_cast<std::size_t>(r.outcome)];
+  }
+  return rows;
+}
+
+std::string render_outcome_table(const std::vector<OutcomeSummary>& rows) {
+  // Show "success" always; other columns only when some system hit them.
+  std::array<bool, static_cast<std::size_t>(kNumOutcomes)> show{};
+  show[static_cast<std::size_t>(Outcome::kSuccess)] = true;
+  std::size_t name_w = std::string_view("system").size();
+  for (const auto& row : rows) {
+    name_w = std::max(name_w, row.system.size());
+    for (std::size_t i = 0; i < show.size(); ++i) {
+      if (row.counts[i] != 0) show[i] = true;
+    }
+  }
+
+  std::string out;
+  auto pad = [&](std::string_view s, std::size_t w) {
+    out += s;
+    for (std::size_t i = s.size(); i < w; ++i) out += ' ';
+  };
+  pad("system", name_w + 2);
+  for (std::size_t i = 0; i < show.size(); ++i) {
+    if (!show[i]) continue;
+    pad(outcome_name(static_cast<Outcome>(i)),
+        outcome_name(static_cast<Outcome>(i)).size() + 2);
+  }
+  out += '\n';
+  for (const auto& row : rows) {
+    pad(row.system, name_w + 2);
+    for (std::size_t i = 0; i < show.size(); ++i) {
+      if (!show[i]) continue;
+      pad(std::to_string(row.counts[i]),
+          outcome_name(static_cast<Outcome>(i)).size() + 2);
+    }
+    out += '\n';
+  }
+  return out;
+}
+
 std::vector<ScalabilityCurve> scalability_sweep(
     ExperimentConfig base, const std::vector<int>& ladder) {
   EPGS_CHECK(!ladder.empty(), "empty thread ladder");

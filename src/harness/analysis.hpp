@@ -3,6 +3,8 @@
 // scripts produced are computed natively.
 #pragma once
 
+#include <array>
+#include <cstddef>
 #include <string>
 #include <vector>
 
@@ -20,6 +22,28 @@ BoxStats phase_stats(const ExperimentResult& result, std::string_view system,
 /// True when the group has at least one record.
 bool has_records(const ExperimentResult& result, std::string_view system,
                  std::string_view phase, std::string_view algorithm = {});
+
+// --- Outcome accounting -----------------------------------------------
+
+/// Per-system outcome counts (indexed by Outcome), for the end-of-sweep
+/// summary table: comparative studies report DNFs per system rather than
+/// hiding them.
+struct OutcomeSummary {
+  std::string system;
+  std::array<int, static_cast<std::size_t>(kNumOutcomes)> counts{};
+
+  [[nodiscard]] int total() const;
+  [[nodiscard]] int failures() const;  ///< total() minus successes
+};
+
+/// One row per system, in first-seen record order.
+std::vector<OutcomeSummary> outcome_summary(
+    const std::vector<RunRecord>& records);
+
+/// Render the summary as an aligned text table. Always renders every row
+/// (a clean sweep shows its all-success counts), but columns whose count
+/// is zero for every system are elided to keep the table narrow.
+std::string render_outcome_table(const std::vector<OutcomeSummary>& rows);
 
 // --- Scalability (Figs 5 and 6) ---------------------------------------
 

@@ -49,6 +49,32 @@ struct GraphSpec {
 /// Generate/load the graph and apply the configured preprocessing.
 EdgeList materialize(const GraphSpec& spec);
 
+/// Fault-tolerance knobs for the trial supervisor. The defaults disable
+/// every mechanism, so an unconfigured sweep behaves like the original
+/// unsupervised runner (modulo per-unit error containment).
+struct SupervisorOptions {
+  /// Wall-clock deadline per attempt; 0 disables the watchdog. Measured
+  /// against std::chrono::steady_clock, never the system clock.
+  double timeout_seconds = 0.0;
+  /// Extra attempts granted to Outcome::kTransient failures only.
+  int max_retries = 0;
+  /// Exponential backoff: base * 2^(attempt-1) * (1 + U[0,1)) seconds,
+  /// clamped to backoff_max_seconds.
+  double backoff_base_seconds = 0.05;
+  double backoff_max_seconds = 2.0;
+  std::uint64_t backoff_seed = 1;  ///< jitter RNG seed (deterministic tests)
+  /// fork() every unit into a throwaway child so aborts/corruption cannot
+  /// take down the sweep. Children run single-threaded: libgomp's thread
+  /// pool does not survive fork(), so a multi-threaded OpenMP region in
+  /// the child would deadlock.
+  bool isolate = false;
+  /// Append-only experiment journal; empty disables journaling.
+  std::string journal_path;
+  /// Replay an existing journal instead of truncating it: units it
+  /// records as finished (any outcome) are emitted without re-execution.
+  bool resume = false;
+};
+
 struct ExperimentConfig {
   GraphSpec graph;
   std::vector<std::string> systems;      ///< names from the registry
@@ -64,6 +90,8 @@ struct ExperimentConfig {
   bool reconstruct_per_trial = true;
   /// Validate every result against the serial reference oracles.
   bool validate = false;
+  /// Watchdog / retry / isolation / journal configuration.
+  SupervisorOptions supervisor;
 };
 
 /// Pick `count` distinct roots with total degree > min_degree (the paper

@@ -12,12 +12,16 @@
 #include <string>
 #include <vector>
 
+#include "core/csv.hpp"
+#include "core/error.hpp"
 #include "core/phase_log.hpp"
 #include "harness/experiment.hpp"
 
 namespace epgs::harness {
 
-/// One timed phase of one trial: a row of the phase-4 CSV.
+/// One timed phase of one trial: a row of the phase-4 CSV. A non-success
+/// outcome row is a DNF marker: its phase names what was attempted, its
+/// seconds are the time lost, and extra["error"] carries the message.
 struct RunRecord {
   std::string dataset;
   std::string system;
@@ -28,6 +32,7 @@ struct RunRecord {
   double seconds = 0.0;
   WorkStats work;
   std::map<std::string, std::string> extra;  ///< e.g. iterations
+  Outcome outcome = Outcome::kSuccess;
 };
 
 /// Result of a full experiment.
@@ -38,13 +43,13 @@ struct ExperimentResult {
   /// inspection, keyed by system name.
   std::map<std::string, std::string> raw_logs;
 
-  /// Seconds of every record matching the given keys (empty algorithm
-  /// matches any).
+  /// Seconds of every successful record matching the given keys (empty
+  /// algorithm matches any). DNF rows never contribute samples.
   [[nodiscard]] std::vector<double> seconds_of(
       std::string_view system, std::string_view phase,
       std::string_view algorithm = {}) const;
 
-  /// Sum of iterations extra over matching records (e.g. PageRank).
+  /// Sum of iterations extra over matching successful records.
   [[nodiscard]] std::vector<double> iterations_of(
       std::string_view system, std::string_view algorithm) const;
 };
@@ -57,7 +62,14 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg);
 /// Phase-4 output: render records as CSV (with header).
 std::string records_to_csv(const std::vector<RunRecord>& records);
 
-/// Parse a phase-4 CSV back into records (round-trip tested).
+/// Parse a phase-4 CSV back into records (round-trip tested). Throws
+/// EpgsError on an unrecognised header, a wrong column count, or a field
+/// that fails to parse as its column's type.
 std::vector<RunRecord> records_from_csv(const std::string& csv);
+
+/// Single-row forms, shared by records_to_csv/records_from_csv and the
+/// supervisor's journal (which stores one CSV row per journaled record).
+CsvRow record_to_csv_row(const RunRecord& r);
+RunRecord record_from_csv_row(const CsvRow& row);
 
 }  // namespace epgs::harness

@@ -1,0 +1,405 @@
+#include "harness/supervisor.hpp"
+
+#include <poll.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <condition_variable>
+#include <csignal>
+#include <cstdio>
+#include <fstream>
+#include <mutex>
+#include <optional>
+#include <sstream>
+#include <thread>
+
+#include "core/csv.hpp"
+#include "core/parallel.hpp"
+#include "core/timer.hpp"
+
+namespace epgs::harness {
+namespace {
+
+/// Deadline thread for one attempt. Waits on a condition_variable against
+/// a steady_clock deadline; cancels the token if the deadline passes
+/// before disarm(). Destructor always disarms and joins, so the token it
+/// cancels provably outlives it.
+class Watchdog {
+ public:
+  Watchdog(CancellationToken& token, double seconds)
+      : deadline_(std::chrono::steady_clock::now() +
+                  std::chrono::duration_cast<
+                      std::chrono::steady_clock::duration>(
+                      std::chrono::duration<double>(seconds))) {
+    thread_ = std::thread([this, &token] {
+      std::unique_lock<std::mutex> lk(mutex_);
+      while (!done_ && std::chrono::steady_clock::now() < deadline_) {
+        cv_.wait_until(lk, deadline_);
+      }
+      if (!done_) token.cancel();
+    });
+  }
+
+  ~Watchdog() {
+    {
+      std::lock_guard<std::mutex> lk(mutex_);
+      done_ = true;
+    }
+    cv_.notify_all();
+    thread_.join();
+  }
+
+  Watchdog(const Watchdog&) = delete;
+  Watchdog& operator=(const Watchdog&) = delete;
+
+ private:
+  std::chrono::steady_clock::time_point deadline_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool done_ = false;
+  std::thread thread_;
+};
+
+std::string one_line(std::string s) {
+  for (char& c : s) {
+    if (c == '\n' || c == '\r') c = ' ';
+  }
+  return s;
+}
+
+/// One attempt, in this process, under the watchdog.
+TrialReport run_attempt(const UnitFn& fn, const SupervisorOptions& opts) {
+  TrialReport r;
+  CancellationToken token;
+  std::optional<Watchdog> dog;
+  if (opts.timeout_seconds > 0) dog.emplace(token, opts.timeout_seconds);
+  try {
+    r.records = fn(token);
+    r.outcome = Outcome::kSuccess;
+  } catch (const std::exception& e) {
+    r.outcome = classify_exception(e);
+    r.message = one_line(e.what());
+    // A cancellation that unwound before the watchdog fired (it cancels,
+    // we observe later) is still a timeout; but an exception that raced a
+    // timer that never existed cannot be one.
+    if (r.outcome == Outcome::kTimeout && opts.timeout_seconds <= 0) {
+      r.outcome = Outcome::kCrash;
+    }
+  }
+  return r;
+}
+
+// --- fork() isolation ----------------------------------------------------
+
+constexpr std::string_view kPayloadOutcome = "outcome ";
+constexpr std::string_view kPayloadMessage = "message ";
+constexpr std::string_view kPayloadRecords = "records";
+
+void write_all(int fd, std::string_view data) {
+  while (!data.empty()) {
+    const ssize_t n = ::write(fd, data.data(), data.size());
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return;  // parent gone; nothing useful left to do
+    }
+    data.remove_prefix(static_cast<std::size_t>(n));
+  }
+}
+
+[[noreturn]] void child_main(const UnitFn& fn, const SupervisorOptions& opts,
+                             int fd) {
+  // libgomp's worker threads do not survive fork(): a multi-threaded
+  // parallel region in the child deadlocks waiting for a pool that no
+  // longer exists. Pin the child to one thread for correctness; the cost
+  // is on the caller's DESIGN.md trade-off list.
+  ThreadScope scope(1);
+  TrialReport r = run_attempt(fn, opts);
+  std::ostringstream os;
+  os << kPayloadOutcome << outcome_name(r.outcome) << '\n'
+     << kPayloadMessage << one_line(r.message) << '\n'
+     << kPayloadRecords << '\n'
+     << records_to_csv(r.records);
+  write_all(fd, os.str());
+  ::close(fd);
+  ::_exit(0);  // skip atexit/static destructors: this is not our process
+}
+
+TrialReport parse_child_payload(const std::string& payload) {
+  TrialReport r;
+  std::size_t pos = payload.find('\n');
+  EPGS_CHECK(pos != std::string::npos &&
+                 payload.compare(0, kPayloadOutcome.size(),
+                                 kPayloadOutcome) == 0,
+             "isolated child payload: missing outcome line");
+  r.outcome = outcome_from_name(
+      payload.substr(kPayloadOutcome.size(), pos - kPayloadOutcome.size()));
+
+  std::size_t line_start = pos + 1;
+  pos = payload.find('\n', line_start);
+  EPGS_CHECK(pos != std::string::npos &&
+                 payload.compare(line_start, kPayloadMessage.size(),
+                                 kPayloadMessage) == 0,
+             "isolated child payload: missing message line");
+  r.message = payload.substr(line_start + kPayloadMessage.size(),
+                             pos - line_start - kPayloadMessage.size());
+
+  line_start = pos + 1;
+  pos = payload.find('\n', line_start);
+  EPGS_CHECK(pos != std::string::npos &&
+                 payload.compare(line_start, pos - line_start,
+                                 kPayloadRecords) == 0,
+             "isolated child payload: missing records marker");
+  r.records = records_from_csv(payload.substr(pos + 1));
+  return r;
+}
+
+TrialReport run_isolated_attempt(const UnitFn& fn,
+                                 const SupervisorOptions& opts) {
+  int fds[2];
+  EPGS_CHECK(::pipe(fds) == 0, "pipe() failed for trial isolation");
+
+  const pid_t pid = ::fork();
+  EPGS_CHECK(pid >= 0, "fork() failed for trial isolation");
+  if (pid == 0) {
+    ::close(fds[0]);
+    child_main(fn, opts, fds[1]);  // never returns
+  }
+  ::close(fds[1]);
+
+  // The child carries its own watchdog; this hard deadline only matters
+  // when the child is wedged beyond cooperative cancellation (e.g. a hang
+  // inside an OpenMP region). Grace factor + constant floor keep slow
+  // teardown from being misread as a hang.
+  const double hard_deadline =
+      opts.timeout_seconds > 0 ? opts.timeout_seconds * 1.5 + 2.0 : -1.0;
+
+  std::string payload;
+  char buf[4096];
+  bool hard_killed = false;
+  WallTimer t;
+  struct pollfd pfd{fds[0], POLLIN, 0};
+  for (;;) {
+    if (hard_deadline > 0 && t.seconds() > hard_deadline) {
+      ::kill(pid, SIGKILL);
+      hard_killed = true;
+      break;
+    }
+    const int pr = ::poll(&pfd, 1, 50);
+    if (pr < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (pr == 0) continue;
+    const ssize_t n = ::read(fds[0], buf, sizeof buf);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;  // EOF: child exited (or died)
+    payload.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fds[0]);
+
+  int status = 0;
+  ::waitpid(pid, &status, 0);
+
+  TrialReport r;
+  if (hard_killed) {
+    r.outcome = Outcome::kTimeout;
+    r.message = "isolated trial exceeded the hard deadline and was killed";
+    return r;
+  }
+  if (WIFSIGNALED(status)) {
+    r.outcome = Outcome::kCrash;
+    r.message = "isolated trial killed by signal " +
+                std::to_string(WTERMSIG(status));
+    return r;
+  }
+  if (!WIFEXITED(status) || WEXITSTATUS(status) != 0) {
+    r.outcome = Outcome::kCrash;
+    r.message = "isolated trial exited with status " +
+                std::to_string(WIFEXITED(status) ? WEXITSTATUS(status) : -1);
+    return r;
+  }
+  try {
+    return parse_child_payload(payload);
+  } catch (const std::exception& e) {
+    r.outcome = Outcome::kCrash;
+    r.message = std::string("isolated trial returned a corrupt payload: ") +
+                e.what();
+    return r;
+  }
+}
+
+}  // namespace
+
+Outcome classify_exception(const std::exception& e) {
+  if (dynamic_cast<const CancelledError*>(&e) != nullptr) {
+    return Outcome::kTimeout;
+  }
+  if (dynamic_cast<const TransientError*>(&e) != nullptr) {
+    return Outcome::kTransient;
+  }
+  if (dynamic_cast<const UnsupportedAlgorithm*>(&e) != nullptr) {
+    return Outcome::kUnsupported;
+  }
+  if (dynamic_cast<const ValidationFailedError*>(&e) != nullptr) {
+    return Outcome::kValidationFailed;
+  }
+  return Outcome::kCrash;
+}
+
+double backoff_delay(const SupervisorOptions& opts, int attempt,
+                     Xoshiro256& rng) {
+  double d = opts.backoff_base_seconds *
+             static_cast<double>(1u << (attempt > 0 ? attempt - 1 : 0));
+  d *= 1.0 + rng.uniform();  // full jitter: avoid retry convoys
+  return d < opts.backoff_max_seconds ? d : opts.backoff_max_seconds;
+}
+
+TrialReport supervise_unit(const UnitFn& fn, const SupervisorOptions& opts,
+                           Xoshiro256& rng) {
+  TrialReport report;
+  WallTimer total;
+  for (int attempt = 1;; ++attempt) {
+    TrialReport r =
+        opts.isolate ? run_isolated_attempt(fn, opts) : run_attempt(fn, opts);
+    report.outcome = r.outcome;
+    report.message = std::move(r.message);
+    report.records = std::move(r.records);
+    report.attempts = attempt;
+    if (report.outcome != Outcome::kTransient || attempt > opts.max_retries) {
+      break;
+    }
+    const double delay = backoff_delay(opts, attempt, rng);
+    std::this_thread::sleep_for(std::chrono::duration<double>(delay));
+  }
+  report.elapsed_seconds = total.seconds();
+  return report;
+}
+
+// --- Journal -------------------------------------------------------------
+
+namespace {
+constexpr std::string_view kJournalMagic = "epgs-journal-v1";
+}  // namespace
+
+Journal::~Journal() { close(); }
+
+void Journal::open_fresh(const std::string& path,
+                         const std::string& fingerprint) {
+  close();
+  file_ = std::fopen(path.c_str(), "w");
+  EPGS_CHECK(file_ != nullptr, "cannot create journal: " + path);
+  std::fprintf(file_, "%s\nconfig %s\n", std::string(kJournalMagic).c_str(),
+               fingerprint.c_str());
+  std::fflush(file_);
+  ::fsync(::fileno(file_));
+}
+
+void Journal::open_append(const std::string& path) {
+  close();
+  file_ = std::fopen(path.c_str(), "a");
+  EPGS_CHECK(file_ != nullptr, "cannot append to journal: " + path);
+}
+
+void Journal::append(const std::string& key, const TrialReport& report) {
+  if (file_ == nullptr) return;
+  std::ostringstream os;
+  os << "unit " << key << '|' << outcome_name(report.outcome) << '|'
+     << report.attempts << '|' << report.records.size() << '\n';
+  CsvWriter w(os);
+  for (const auto& rec : report.records) {
+    os << "rec ";
+    w.write_row(record_to_csv_row(rec));
+  }
+  os << "end\n";
+  const std::string group = os.str();
+  std::fwrite(group.data(), 1, group.size(), file_);
+  // fsync per group: a group is durable or absent, never half-written
+  // after a crash (replay additionally drops a torn trailing group).
+  std::fflush(file_);
+  ::fsync(::fileno(file_));
+}
+
+void Journal::close() {
+  if (file_ != nullptr) {
+    std::fflush(file_);
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+}
+
+std::vector<JournalEntry> replay_journal(const std::string& path,
+                                         const std::string& fingerprint) {
+  std::ifstream in(path);
+  EPGS_CHECK(in.good(), "cannot open journal for resume: " + path);
+  std::string line;
+  EPGS_CHECK(std::getline(in, line) && line == kJournalMagic,
+             "journal has a bad header: " + path);
+  EPGS_CHECK(std::getline(in, line) && line.rfind("config ", 0) == 0,
+             "journal is missing its config line: " + path);
+  const std::string recorded = line.substr(7);
+  EPGS_CHECK(recorded == fingerprint,
+             "journal was written by a different experiment configuration "
+             "(journal: '" +
+                 recorded + "', current: '" + fingerprint + "')");
+
+  std::vector<JournalEntry> entries;
+  while (std::getline(in, line)) {
+    if (line.rfind("unit ", 0) != 0) break;  // torn or foreign: stop here
+    // unit <key>|<outcome>|<attempts>|<nrec> — key may itself contain '|',
+    // so split from the right.
+    const std::string body = line.substr(5);
+    const std::size_t p3 = body.rfind('|');
+    if (p3 == std::string::npos) break;
+    const std::size_t p2 = body.rfind('|', p3 - 1);
+    if (p2 == std::string::npos) break;
+    const std::size_t p1 = body.rfind('|', p2 - 1);
+    if (p1 == std::string::npos) break;
+
+    JournalEntry e;
+    std::size_t nrec = 0;
+    try {
+      e.key = body.substr(0, p1);
+      e.outcome = outcome_from_name(body.substr(p1 + 1, p2 - p1 - 1));
+      e.attempts = std::stoi(body.substr(p2 + 1, p3 - p2 - 1));
+      nrec = std::stoul(body.substr(p3 + 1));
+    } catch (const std::exception&) {
+      break;
+    }
+
+    bool complete = true;
+    for (std::size_t i = 0; i < nrec; ++i) {
+      if (!std::getline(in, line) || line.rfind("rec ", 0) != 0) {
+        complete = false;
+        break;
+      }
+      try {
+        const auto rows = parse_csv(line.substr(4));
+        EPGS_CHECK(rows.size() == 1, "journal rec line is not one CSV row");
+        e.records.push_back(record_from_csv_row(rows[0]));
+      } catch (const std::exception&) {
+        complete = false;
+        break;
+      }
+    }
+    if (!complete || !std::getline(in, line) || line != "end") {
+      break;  // torn trailing group: the in-flight unit simply re-runs
+    }
+    entries.push_back(std::move(e));
+  }
+  return entries;
+}
+
+std::string config_fingerprint(const ExperimentConfig& cfg) {
+  std::ostringstream os;
+  os << cfg.graph.name() << ";roots=" << cfg.num_roots
+     << ";root_seed=" << cfg.root_seed << ";threads=" << cfg.threads
+     << ";rebuild=" << (cfg.reconstruct_per_trial ? 1 : 0)
+     << ";validate=" << (cfg.validate ? 1 : 0)
+     << ";cdlp_it=" << cfg.cdlp_iterations << ";algs=";
+  for (const Algorithm a : cfg.algorithms) os << algorithm_name(a) << ',';
+  return os.str();
+}
+
+}  // namespace epgs::harness

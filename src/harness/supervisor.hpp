@@ -1,0 +1,125 @@
+// The trial supervisor: fault tolerance for long benchmark sweeps.
+//
+// A comparative sweep multiplies systems x algorithms x trials into
+// hundreds of units, any of which can hang (a livelocked frontier), crash
+// (an adapter bug on a pathological graph), or fail transiently. The
+// original easy-parallel-graph-* shell scripts died with the first bad
+// unit and lost the night's run; comparative studies since (Ammar & Özsu,
+// VLDB'18; LDBC Graphalytics) instead record per-unit DNF outcomes and
+// keep going. This layer does that for the in-process harness:
+//
+//   * watchdog  — a deadline thread cancels the unit's CancellationToken
+//                 when timeout_seconds of steady_clock time elapse;
+//                 adapters poll the token at iteration boundaries and
+//                 unwind with CancelledError -> Outcome::kTimeout.
+//   * isolation — optionally fork() each unit so std::abort / segfaults
+//                 are contained as Outcome::kCrash; the child streams its
+//                 records back over a pipe and the parent hard-kills it if
+//                 even the in-child watchdog is wedged.
+//   * retry     — TransientError failures are re-attempted with seeded
+//                 exponential backoff + jitter, up to max_retries.
+//   * journal   — every finished unit is appended (fsync'd) to a journal
+//                 that --resume replays, so a killed sweep restarts where
+//                 it stopped instead of re-running completed trials.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/cancellation.hpp"
+#include "core/error.hpp"
+#include "core/rng.hpp"
+#include "harness/runner.hpp"
+
+namespace epgs::harness {
+
+/// What one supervised unit attempt chain produced.
+struct TrialReport {
+  Outcome outcome = Outcome::kSuccess;
+  int attempts = 1;            ///< total attempts, including the success
+  std::string message;         ///< failure detail; empty on success
+  double elapsed_seconds = 0;  ///< wall time across all attempts
+  std::vector<RunRecord> records;  ///< timed phases of the final attempt
+};
+
+/// The unit body: runs one (system, algorithm, trial) and returns its
+/// records. Throws on failure; must poll the token it is given (directly
+/// or via System::set_cancellation) or the watchdog cannot cancel it.
+using UnitFn = std::function<std::vector<RunRecord>(CancellationToken&)>;
+
+/// Classify an in-process failure for the outcome taxonomy.
+[[nodiscard]] Outcome classify_exception(const std::exception& e);
+
+/// Backoff delay before retry attempt `attempt` (1-based), in seconds.
+[[nodiscard]] double backoff_delay(const SupervisorOptions& opts,
+                                   int attempt, Xoshiro256& rng);
+
+/// Execute one unit under the configured guard rails. Never throws for
+/// unit failures — they come back as the report's outcome. `rng` feeds
+/// backoff jitter and is advanced deterministically.
+TrialReport supervise_unit(const UnitFn& fn, const SupervisorOptions& opts,
+                           Xoshiro256& rng);
+
+// --- Journal -------------------------------------------------------------
+//
+// Line-oriented append-only file. Grammar:
+//
+//   epgs-journal-v1
+//   config <fingerprint>
+//   unit <key>|<outcome>|<attempts>|<num_records>
+//   rec <one CSV row, record_to_csv_row form>      (x num_records)
+//   end
+//
+// Each journal_record() appends one unit..end group and fsyncs, so a group
+// is either durable or absent; replay ignores a trailing partial group
+// (the unit that was in flight when the process died simply re-runs).
+
+/// One replayed journal entry.
+struct JournalEntry {
+  std::string key;  ///< unit key, e.g. "GAP|BFS|3" or "GAP|build"
+  Outcome outcome = Outcome::kSuccess;
+  int attempts = 1;
+  std::vector<RunRecord> records;
+};
+
+/// Append-only fsync'd journal writer (no-op when path is empty).
+class Journal {
+ public:
+  Journal() = default;
+  ~Journal();
+  Journal(const Journal&) = delete;
+  Journal& operator=(const Journal&) = delete;
+
+  /// Truncate/create `path` and write the header. `fingerprint`
+  /// identifies the experiment configuration; resume refuses to replay a
+  /// journal with a different one.
+  void open_fresh(const std::string& path, const std::string& fingerprint);
+
+  /// Open `path` for appending after a successful replay.
+  void open_append(const std::string& path);
+
+  [[nodiscard]] bool active() const { return file_ != nullptr; }
+
+  /// Durably append one finished unit.
+  void append(const std::string& key, const TrialReport& report);
+
+  void close();
+
+ private:
+  std::FILE* file_ = nullptr;
+};
+
+/// Replay a journal: validates the header and fingerprint, returns every
+/// complete unit group, and silently drops a trailing partial group.
+/// Throws EpgsError when the file is missing, has a bad header, or its
+/// fingerprint differs from `fingerprint`.
+std::vector<JournalEntry> replay_journal(const std::string& path,
+                                         const std::string& fingerprint);
+
+/// Stable fingerprint of the parts of the config that determine unit
+/// identity (graph, roots, threads, algorithms — not the system list, so
+/// a resumed sweep may add systems).
+[[nodiscard]] std::string config_fingerprint(const ExperimentConfig& cfg);
+
+}  // namespace epgs::harness

@@ -1,0 +1,88 @@
+#include "systems/common/fault_injection.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <thread>
+
+#include "core/error.hpp"
+
+namespace epgs::fault {
+namespace {
+
+Plan g_plan;
+std::atomic<bool> g_armed{false};
+std::atomic<int> g_events{0};
+std::atomic<int> g_fires{0};
+std::atomic<bool> g_corrupt_pending{false};
+
+bool matches(std::string_view system, std::string_view phase) {
+  if (!g_plan.system.empty() && g_plan.system != system) return false;
+  if (!g_plan.phase.empty() && g_plan.phase != phase) return false;
+  return true;
+}
+
+}  // namespace
+
+void arm(const Plan& plan) {
+  g_plan = plan;
+  g_events.store(0);
+  g_fires.store(0);
+  g_corrupt_pending.store(false);
+  g_armed.store(true, std::memory_order_release);
+}
+
+void disarm() {
+  g_armed.store(false, std::memory_order_release);
+  g_plan = Plan{};
+  g_events.store(0);
+  g_fires.store(0);
+  g_corrupt_pending.store(false);
+}
+
+bool armed() { return g_armed.load(std::memory_order_acquire); }
+
+int phase_events() { return g_events.load(); }
+
+int fire_count() { return g_fires.load(); }
+
+void on_phase_start(std::string_view system, std::string_view phase,
+                    const CancellationToken* token) {
+  if (!armed()) return;
+  if (!matches(system, phase)) return;
+  const int event = g_events.fetch_add(1);
+  if (event < g_plan.at_phase) return;
+  if (g_fires.load() >= g_plan.max_fires) return;
+  g_fires.fetch_add(1);
+
+  switch (g_plan.kind) {
+    case Kind::kNone:
+      break;
+    case Kind::kHang:
+      // Cooperative stand-in for an algorithmic livelock: spins exactly
+      // until the watchdog cancels the trial. With no token (no watchdog,
+      // or a hard-isolated child) this hangs for real.
+      while (token == nullptr || !token->cancelled()) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+      throw CancelledError("injected hang cancelled by watchdog");
+    case Kind::kTransient:
+      throw TransientError("injected transient fault in " +
+                           std::string(system) + " at phase '" +
+                           std::string(phase) + "'");
+    case Kind::kError:
+      throw EpgsError("injected error in " + std::string(system) +
+                      " at phase '" + std::string(phase) + "'");
+    case Kind::kAbort:
+      std::abort();
+    case Kind::kWrongOutput:
+      g_corrupt_pending.store(true);
+      break;
+  }
+}
+
+bool take_wrong_output() {
+  return g_corrupt_pending.exchange(false);
+}
+
+}  // namespace epgs::fault

@@ -1,0 +1,80 @@
+// Deterministic fault injection for the trial supervisor's test suite.
+//
+// Every supervisor behaviour — watchdog cancellation, crash containment,
+// retry/backoff, journal replay — must be demonstrable without wall-clock
+// flakiness, so faults fire at exact, countable points: the Nth phase
+// start (build or algorithm) of a named system. A test arms one Plan
+// process-globally; the System base class reports each phase start here
+// and the armed fault hangs, throws, aborts, or corrupts the phase's
+// output. Production sweeps never arm a plan, and the hooks reduce to a
+// relaxed atomic load of a null plan.
+//
+// fork() isolation note: a child inherits the armed plan *by value* at
+// fork time, and its fire counters never propagate back, so under
+// --isolate every isolated unit re-evaluates the plan from the parent's
+// snapshot (a max_fires=1 abort aborts every matching child, not just the
+// first). Tests that need fire-once semantics run without isolation.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "core/cancellation.hpp"
+
+namespace epgs::fault {
+
+enum class Kind {
+  kNone,
+  kHang,         ///< spin at the phase start until the token is cancelled
+  kTransient,    ///< throw TransientError (retryable)
+  kError,        ///< throw EpgsError (contained as Outcome::kCrash)
+  kAbort,        ///< std::abort() — only survivable under --isolate
+  kWrongOutput,  ///< corrupt the phase's result so validation rejects it
+};
+
+struct Plan {
+  std::string system;  ///< exact System::name() match; empty = any system
+  Kind kind = Kind::kNone;
+  int at_phase = 0;    ///< fire from the Nth matching phase start on...
+  int max_fires = 1;   ///< ...but at most this many times
+  std::string phase;   ///< optional phase-name filter; empty = any phase
+};
+
+/// Arm `plan` for the whole process (tests only; not thread-safe against
+/// concurrently running trials — arm before the sweep starts).
+void arm(const Plan& plan);
+
+/// Remove any armed plan and zero the counters.
+void disarm();
+
+[[nodiscard]] bool armed();
+
+/// Matching phase starts observed since arm() — lets tests assert that a
+/// resumed sweep re-executed exactly zero journaled trials.
+[[nodiscard]] int phase_events();
+
+/// Times the armed fault actually fired.
+[[nodiscard]] int fire_count();
+
+/// Called by System at every phase start. May throw TransientError /
+/// EpgsError, abort the process, or — for kHang — block until `token` is
+/// cancelled (forever when token is null: a genuine hang, which only the
+/// isolation layer's hard kill can end).
+void on_phase_start(std::string_view system, std::string_view phase,
+                    const CancellationToken* token);
+
+/// Called by System after a phase produced its result; true when an armed
+/// kWrongOutput fault fired at this phase and the result must be
+/// corrupted.
+[[nodiscard]] bool take_wrong_output();
+
+/// RAII arming for tests: disarms on scope exit.
+class Scoped {
+ public:
+  explicit Scoped(const Plan& plan) { arm(plan); }
+  ~Scoped() { disarm(); }
+  Scoped(const Scoped&) = delete;
+  Scoped& operator=(const Scoped&) = delete;
+};
+
+}  // namespace epgs::fault

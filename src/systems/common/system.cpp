@@ -4,9 +4,36 @@
 
 #include "core/timer.hpp"
 #include "graph/snap_io.hpp"
+#include "systems/common/fault_injection.hpp"
 
 namespace epgs {
 namespace {
+
+// An armed kWrongOutput fault corrupts the result in a way the matching
+// reference oracle is guaranteed to reject, so the supervisor's
+// kValidationFailed path is testable on real adapter output.
+template <typename R>
+void corrupt_result(R& r) {
+  if constexpr (requires { r.parent; r.root; }) {
+    if (!r.parent.empty()) r.parent[r.root] = kNoVertex;  // tree not rooted
+  } else if constexpr (requires { r.dist; r.root; }) {
+    if (!r.dist.empty()) r.dist[r.root] = weight_t{1};  // dist[root] != 0
+  } else if constexpr (requires { r.rank; }) {
+    if (!r.rank.empty()) r.rank[0] += 1.0;  // ranks no longer sum to 1
+  } else if constexpr (requires { r.component; }) {
+    if (!r.component.empty()) {
+      r.component[0] = static_cast<vid_t>(r.component.size());  // not min id
+    }
+  } else if constexpr (requires { r.count; }) {
+    r.count += 1;
+  } else if constexpr (requires { r.label; }) {
+    if (!r.label.empty()) r.label[0] = static_cast<vid_t>(r.label.size());
+  } else if constexpr (requires { r.dependency; }) {
+    if (!r.dependency.empty()) r.dependency[0] += 1.0;
+  } else if constexpr (requires { r.coefficient; }) {
+    if (!r.coefficient.empty()) r.coefficient[0] += 1.0;
+  }
+}
 
 EdgeList read_native(GraphFormat fmt, const std::filesystem::path& path) {
   switch (fmt) {
@@ -52,6 +79,8 @@ void System::load_file(const std::filesystem::path& path) {
 void System::build() {
   EPGS_CHECK(has_staged_ || !pending_path_.empty(),
              "System::build: no edges staged and no file pending");
+  checkpoint();
+  fault::on_phase_start(name(), phase::kBuild, cancel_);
   WallTimer t;
   bool fused = false;
   if (!has_staged_) {
@@ -87,9 +116,12 @@ auto System::run_timed(std::string_view alg, bool supported, Fn&& fn) {
   }
   EPGS_CHECK(built_, std::string(name()) + ": build() must precede " +
                          std::string(alg));
+  checkpoint();
+  fault::on_phase_start(name(), alg, cancel_);
   work_ = {};
   WallTimer t;
   auto result = fn();
+  if (fault::take_wrong_output()) corrupt_result(result);
   const double secs = t.seconds();
   std::map<std::string, std::string> extra{{"alg", std::string(alg)}};
   if constexpr (requires { result.iterations; }) {

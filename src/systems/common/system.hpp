@@ -15,6 +15,7 @@
 #include <memory>
 #include <string_view>
 
+#include "core/cancellation.hpp"
 #include "core/error.hpp"
 #include "core/phase_log.hpp"
 #include "graph/edge_list.hpp"
@@ -103,6 +104,11 @@ class System {
   [[nodiscard]] PhaseLog& log() { return log_; }
   [[nodiscard]] const PhaseLog& log() const { return log_; }
 
+  /// Attach (or detach, with nullptr) the supervisor's cancellation
+  /// token. The token must outlive the phases run under it; adapters poll
+  /// it at iteration boundaries and unwind with CancelledError.
+  void set_cancellation(const CancellationToken* token) { cancel_ = token; }
+
  protected:
   /// Subclass hooks. do_build() consumes staged_ into the native
   /// representation and reports the bytes of the built structure.
@@ -122,6 +128,19 @@ class System {
 
   vid_t n_ = 0;
 
+  /// Cancellation point: adapters call this at iteration boundaries
+  /// (frontier swaps, PageRank iterations, delta-stepping epochs) — never
+  /// inside an OpenMP region, where throwing would terminate the process.
+  void checkpoint() const {
+    if (cancel_ != nullptr) cancel_->checkpoint();
+  }
+
+  /// The attached token (null when unsupervised), for engines that loop
+  /// outside the adapter (e.g. the PowerGraph GAS engine).
+  [[nodiscard]] const CancellationToken* cancellation() const {
+    return cancel_;
+  }
+
  private:
   template <typename Fn>
   auto run_timed(std::string_view alg, bool supported, Fn&& fn);
@@ -131,6 +150,7 @@ class System {
   bool has_staged_ = false;
   bool built_ = false;
   PhaseLog log_;
+  const CancellationToken* cancel_ = nullptr;
 };
 
 }  // namespace epgs

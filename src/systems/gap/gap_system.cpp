@@ -71,6 +71,7 @@ BfsResult GapSystem::do_bfs(vid_t root) {
   };
 
   while (awake > 0) {
+    checkpoint();  // frontier swap boundary
     if (!bottom_up) {
       const std::int64_t scout = frontier_out_degree();
       if (static_cast<double>(scout) >
@@ -205,6 +206,7 @@ SsspResult GapSystem::do_sssp(vid_t root) {
   };
 
   for (std::size_t i = 0; i < buckets.size(); ++i) {
+    checkpoint();  // delta-stepping epoch boundary
     std::vector<vid_t> deleted;
     std::vector<std::vector<vid_t>> thread_deleted(nt);
     while (!buckets[i].empty()) {
@@ -297,6 +299,7 @@ PageRankResult GapSystem::do_pagerank(const PageRankParams& params) {
   std::uint64_t edge_work = 0;
 
   for (int it = 0; it < params.max_iterations; ++it) {
+    checkpoint();  // PageRank iteration boundary
     double dangling = 0.0;
 #pragma omp parallel for reduction(+ : dangling) schedule(static)
     for (std::int64_t v = 0; v < static_cast<std::int64_t>(n); ++v) {
@@ -340,6 +343,7 @@ WccResult GapSystem::do_wcc() {
 
   bool changed = true;
   while (changed) {
+    checkpoint();  // hook-and-shortcut round boundary
     changed = false;
 #pragma omp parallel for schedule(dynamic, 1024) reduction(|| : changed)
     for (std::int64_t u = 0; u < static_cast<std::int64_t>(n); ++u) {
@@ -443,6 +447,7 @@ BcResult GapSystem::do_bc(vid_t source) {
   // synchronously (sigma writes race-free because each v at depth d is
   // summed from all depth d-1 in-neighbors in its own iteration).
   while (!levels.back().empty()) {
+    checkpoint();  // BC forward-level boundary
     const auto& frontier = levels.back();
     const vid_t depth = static_cast<vid_t>(levels.size());
     std::vector<vid_t> next;

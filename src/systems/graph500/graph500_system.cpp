@@ -41,6 +41,7 @@ BfsResult Graph500System::do_bfs(vid_t root) {
   std::uint64_t edges_scanned = 0;
 
   while (!queue.empty()) {
+    checkpoint();  // K2 frontier-level boundary
 #pragma omp parallel
     {
       LocalBuffer<vid_t> next(queue);

@@ -87,6 +87,7 @@ BfsResult GraphBigSystem::do_bfs(vid_t root) {
   std::vector<vid_t> frontier{root};
   std::uint64_t examined = 0;
   while (!frontier.empty()) {
+    checkpoint();  // BFS expansion round boundary
     frontier = g_.expand(frontier, visitor, examined);
   }
 
@@ -113,6 +114,7 @@ SsspResult GraphBigSystem::do_sssp(vid_t root) {
   std::uint64_t examined = 0;
   std::uint32_t round = 0;
   while (!frontier.empty()) {
+    checkpoint();  // SSSP expansion round boundary
     SsspVisitor visitor(++round);
     frontier = g_.expand(frontier, visitor, examined);
   }
@@ -162,6 +164,7 @@ PageRankResult GraphBigSystem::do_pagerank(const PageRankParams& params) {
   std::uint64_t edge_work = 0;
 
   for (int it = 0; it < params.max_iterations; ++it) {
+    checkpoint();  // PageRank iteration boundary
     double dangling = 0.0;
 #pragma omp parallel for reduction(+ : dangling) schedule(static)
     for (std::int64_t v = 0; v < static_cast<std::int64_t>(n); ++v) {
@@ -216,6 +219,7 @@ CdlpResult GraphBigSystem::do_cdlp(int max_iterations) {
   CdlpResult r;
 
   for (int it = 0; it < max_iterations; ++it) {
+    checkpoint();  // CDLP round boundary
     bool changed = false;
 #pragma omp parallel for schedule(dynamic, 256) reduction(|| : changed)
     for (std::int64_t vi = 0; vi < static_cast<std::int64_t>(n); ++vi) {
@@ -323,6 +327,7 @@ WccResult GraphBigSystem::do_wcc() {
 
   bool changed = true;
   while (changed) {
+    checkpoint();  // WCC round boundary
     changed = false;
 #pragma omp parallel for schedule(dynamic, 256) reduction(|| : changed)
     for (std::int64_t vi = 0; vi < static_cast<std::int64_t>(n); ++vi) {
@@ -422,6 +427,7 @@ BcResult GraphBigSystem::do_bc(vid_t source) {
   std::vector<std::vector<vid_t>> levels{{source}};
   std::uint64_t scanned = 0;
   while (!levels.back().empty()) {
+    checkpoint();  // BC forward-level boundary
     const auto depth = static_cast<vid_t>(levels.size());
     std::vector<vid_t> next;
     for (const vid_t u : levels.back()) {

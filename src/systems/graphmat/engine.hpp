@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "core/bitmap.hpp"
+#include "core/cancellation.hpp"
 #include "systems/graphmat/dcsr.hpp"
 
 namespace epgs::systems::graphmat_detail {
@@ -35,7 +36,7 @@ template <typename Program>
 EngineResult<Program> run_graph_program(
     const Program& prog, const DCSR& a_transpose,
     std::vector<typename Program::State>& states, Bitmap& active,
-    int max_iterations) {
+    int max_iterations, const CancellationToken* cancel = nullptr) {
   using Msg = typename Program::Msg;
   const vid_t n = a_transpose.num_vertices();
   EngineResult<Program> result;
@@ -44,6 +45,7 @@ EngineResult<Program> run_graph_program(
   Bitmap next_active(n);
 
   for (int it = 0; it < max_iterations; ++it) {
+    if (cancel != nullptr) cancel->checkpoint();  // SpMV epoch boundary
     if (active.count() == 0) break;
 
     // Phase 1: materialise messages from active vertices (dense x).

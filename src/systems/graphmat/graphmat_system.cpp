@@ -93,7 +93,8 @@ BfsResult GraphMatSystem::do_bfs(vid_t root) {
   active.set(root);
 
   const auto stats = run_graph_program(BfsProgram{}, in_, states, active,
-                                       static_cast<int>(n) + 1);
+                                       static_cast<int>(n) + 1,
+                                       cancellation());
   BfsResult r;
   r.root = root;
   r.parent.resize(n);
@@ -114,7 +115,8 @@ SsspResult GraphMatSystem::do_sssp(vid_t root) {
   active.set(root);
 
   const auto stats = run_graph_program(SsspProgram{}, in_, states, active,
-                                       static_cast<int>(n) + 1);
+                                       static_cast<int>(n) + 1,
+                                       cancellation());
   SsspResult r;
   r.root = root;
   r.dist.resize(n);
@@ -146,6 +148,7 @@ PageRankResult GraphMatSystem::do_pagerank(const PageRankParams& params) {
   std::uint64_t edge_work = 0;
 
   for (int it = 0; it < params.max_iterations; ++it) {
+    checkpoint();  // SpMV PageRank iteration boundary
     double dangling = 0.0;
 #pragma omp parallel for reduction(+ : dangling) schedule(static)
     for (std::int64_t v = 0; v < static_cast<std::int64_t>(n); ++v) {
@@ -203,6 +206,7 @@ CdlpResult GraphMatSystem::do_cdlp(int max_iterations) {
   std::uint64_t edge_work = 0;
 
   for (int it = 0; it < max_iterations; ++it) {
+    checkpoint();  // CDLP round boundary
     bool changed = false;
 #pragma omp parallel for schedule(dynamic, 256) reduction(|| : changed)
     for (std::int64_t vi = 0; vi < static_cast<std::int64_t>(n); ++vi) {
@@ -311,6 +315,7 @@ WccResult GraphMatSystem::do_wcc() {
 
   bool changed = true;
   while (changed) {
+    checkpoint();  // WCC fixpoint round boundary
     changed = false;
     std::copy(r.component.begin(), r.component.end(), next.begin());
     // Gather minimum over in-neighbors (rows of A^T).
@@ -431,6 +436,7 @@ BcResult GraphMatSystem::do_bc(vid_t source) {
   // assigning levels and accumulating sigma for rows discovered at the
   // current depth.
   while (any_new) {
+    checkpoint();  // BC forward-sweep boundary
     ++depth;
     any_new = false;
     std::vector<double> add(n, 0.0);

@@ -91,6 +91,7 @@ BfsResult LigraSystem::do_bfs(vid_t root) {
   std::uint64_t examined = 0;
   VertexSubset frontier = VertexSubset::single(n, root);
   while (!frontier.empty()) {
+    checkpoint();  // edgeMap round boundary
     frontier = edge_map(out_, in_, frontier, BfsF{parent.data()},
                         examined);
   }
@@ -119,6 +120,7 @@ SsspResult LigraSystem::do_sssp(vid_t root) {
   VertexSubset frontier = VertexSubset::single(n, root);
   int rounds = 0;
   while (!frontier.empty() && rounds++ <= static_cast<int>(n)) {
+    checkpoint();  // Bellman-Ford round boundary
     frontier = edge_map(out_, in_, frontier, SsspF{dist.data()}, examined);
   }
 
@@ -144,6 +146,7 @@ PageRankResult LigraSystem::do_pagerank(const PageRankParams& params) {
   std::uint64_t edge_work = 0;
 
   for (int it = 0; it < params.max_iterations; ++it) {
+    checkpoint();  // PageRank iteration boundary
     double dangling = 0.0;
 #pragma omp parallel for reduction(+ : dangling) schedule(static)
     for (std::int64_t v = 0; v < static_cast<std::int64_t>(n); ++v) {
@@ -186,6 +189,7 @@ WccResult LigraSystem::do_wcc() {
   // by swapping the CSR arguments each half-round.
   int guard = 0;
   while (!frontier.empty() && guard++ <= 2 * static_cast<int>(n)) {
+    checkpoint();  // WCC half-round boundary
     auto fwd = edge_map(out_, in_, frontier, WccF{comp.data()}, examined);
     auto bwd = edge_map(in_, out_, frontier, WccF{comp.data()}, examined);
     std::vector<vid_t> merged;
@@ -247,6 +251,7 @@ BcResult LigraSystem::do_bc(vid_t source) {
   std::vector<std::vector<vid_t>> levels{{source}};
   VertexSubset frontier = VertexSubset::single(n, source);
   while (true) {
+    checkpoint();  // BC forward-level boundary
     frontier =
         edge_map(out_, in_, frontier, VisitF{visited.data()}, examined);
     if (frontier.empty()) break;

@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "core/bitmap.hpp"
+#include "core/cancellation.hpp"
 #include "core/frontier.hpp"
 #include "core/parallel.hpp"
 #include "systems/powergraph/vertex_cut.hpp"
@@ -54,11 +55,16 @@ class GasEngine {
   [[nodiscard]] Program& program() { return prog_; }
   [[nodiscard]] const EngineCounters& counters() const { return counters_; }
 
+  /// Attach the supervisor's cancellation token; checked at superstep
+  /// boundaries (and every 1024 async activations).
+  void set_cancellation(const CancellationToken* token) { cancel_ = token; }
+
   /// Run supersteps from `initial_active` until quiescence or max_iters.
   int run(std::vector<vid_t> initial_active, int max_iters) {
     std::vector<vid_t> active = std::move(initial_active);
     int iters = 0;
     while (!active.empty() && iters < max_iters) {
+      if (cancel_ != nullptr) cancel_->checkpoint();
       active = superstep(active);
       ++iters;
     }
@@ -85,6 +91,9 @@ class GasEngine {
     std::uint64_t processed = 0;
     std::size_t head = 0;
     while (head < queue.size() && processed < max_activations) {
+      if (cancel_ != nullptr && (processed & 1023u) == 0) {
+        cancel_->checkpoint();
+      }
       const vid_t gv = queue[head++];
       pending[gv] = 0;
       Gather acc = prog_.gather_init();
@@ -350,6 +359,7 @@ class GasEngine {
   std::vector<VData> master_;
   std::vector<LocalGraph> locals_;
   EngineCounters counters_;
+  const CancellationToken* cancel_ = nullptr;
 };
 
 }  // namespace epgs::systems::powergraph_detail

@@ -152,6 +152,7 @@ SsspResult PowerGraphSystem::do_sssp(vid_t root) {
   const vid_t n = cut_->num_vertices();
   WallTimer init_timer;
   GasEngine<SsspProgram> engine(*cut_, SsspProgram{});
+  engine.set_cancellation(cancellation());
   log().add(std::string(phase::kEngineInit), init_timer.seconds());
 
   engine.data()[root].dist = 0.0f;
@@ -181,6 +182,7 @@ PageRankResult PowerGraphSystem::do_pagerank(const PageRankParams& params) {
   PageRankProgram prog;
   prog.damping = params.damping;
   GasEngine<PageRankProgram> engine(*cut_, prog);
+  engine.set_cancellation(cancellation());
   log().add(std::string(phase::kEngineInit), init_timer.seconds());
 
   auto& data = engine.data();
@@ -196,6 +198,7 @@ PageRankResult PowerGraphSystem::do_pagerank(const PageRankParams& params) {
   const auto all = engine.all_vertices();
 
   for (int it = 0; it < params.max_iterations; ++it) {
+    checkpoint();  // superstep boundary
     double dangling = 0.0;
     for (vid_t v = 0; v < n; ++v) {
       if (out_degree_[v] == 0) dangling += data[v].rank;
@@ -228,6 +231,7 @@ CdlpResult PowerGraphSystem::do_cdlp(int max_iterations) {
   const vid_t n = cut_->num_vertices();
   WallTimer init_timer;
   GasEngine<CdlpProgram> engine(*cut_, CdlpProgram{});
+  engine.set_cancellation(cancellation());
   log().add(std::string(phase::kEngineInit), init_timer.seconds());
 
   auto& data = engine.data();
@@ -249,6 +253,7 @@ WccResult PowerGraphSystem::do_wcc() {
   const vid_t n = cut_->num_vertices();
   WallTimer init_timer;
   GasEngine<WccProgram> engine(*cut_, WccProgram{});
+  engine.set_cancellation(cancellation());
   log().add(std::string(phase::kEngineInit), init_timer.seconds());
 
   auto& data = engine.data();

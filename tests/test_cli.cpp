@@ -12,6 +12,7 @@
 #include "core/error.hpp"
 #include "graph/snap_io.hpp"
 #include "harness/runner.hpp"
+#include "systems/common/fault_injection.hpp"
 
 namespace epgs::cli {
 namespace {
@@ -254,6 +255,78 @@ TEST(Cli, StatsOnSnapFile) {
             0)
       << out;
   EXPECT_NE(out.find("weights"), std::string::npos);
+}
+
+TEST(Cli, RunExitsNonzeroOnDnfUnlessAllowed) {
+  TempDir dir;
+  const auto csv = (dir.path() / "dnf.csv").string();
+  const std::vector<std::string> argv = {
+      "run",     "--kind",    "kron",  "--scale",   "6",
+      "--systems", "GAP",     "--algorithms", "BFS",
+      "--roots", "2",         "--threads", "1",
+      "--csv",   csv};
+
+  std::string out;
+  {
+    fault::Scoped fault({.system = "GAP",
+                         .kind = fault::Kind::kError,
+                         .max_fires = 1,
+                         .phase = "bfs"});
+    EXPECT_EQ(run_cli(argv, &out), 3)
+        << "a sweep with DNFs must not exit 0: " << out;
+  }
+  EXPECT_NE(out.find("did not finish"), std::string::npos);
+  EXPECT_NE(out.find("outcomes:"), std::string::npos);
+  EXPECT_NE(out.find("crash"), std::string::npos);
+
+  // Same sweep, same fault, --allow-dnf: partial data is accepted.
+  {
+    fault::Scoped fault({.system = "GAP",
+                         .kind = fault::Kind::kError,
+                         .max_fires = 1,
+                         .phase = "bfs"});
+    auto tolerant = argv;
+    tolerant.emplace_back("--allow-dnf");
+    EXPECT_EQ(run_cli(tolerant, &out), 0) << out;
+  }
+  EXPECT_NE(out.find("tolerated by --allow-dnf"), std::string::npos);
+
+  // The CSV still records the DNF row for analysis.
+  std::ifstream f(csv);
+  std::stringstream buf;
+  buf << f.rdbuf();
+  const auto recs = harness::records_from_csv(buf.str());
+  bool has_crash = false;
+  for (const auto& r : recs) has_crash |= r.outcome == Outcome::kCrash;
+  EXPECT_TRUE(has_crash);
+}
+
+TEST(Cli, RunJournalAndResumeFlags) {
+  TempDir dir;
+  const auto csv = (dir.path() / "r.csv").string();
+  const auto journal = (dir.path() / "j.txt").string();
+  std::string out;
+  ASSERT_EQ(run_cli({"run", "--kind", "kron", "--scale", "6", "--systems",
+                     "GAP", "--algorithms", "BFS", "--roots", "2",
+                     "--threads", "1", "--csv", csv, "--journal", journal},
+                    &out),
+            0)
+      << out;
+  ASSERT_TRUE(fs::exists(journal));
+  ASSERT_EQ(run_cli({"run", "--kind", "kron", "--scale", "6", "--systems",
+                     "GAP", "--algorithms", "BFS", "--roots", "2",
+                     "--threads", "1", "--csv", csv, "--journal", journal,
+                     "--resume"},
+                    &out),
+            0)
+      << out;
+  // --resume without --journal is a usage error.
+  EXPECT_NE(run_cli({"run", "--kind", "kron", "--scale", "6", "--systems",
+                     "GAP", "--algorithms", "BFS", "--roots", "1",
+                     "--threads", "1", "--csv", csv, "--resume"},
+                    &out),
+            0);
+  EXPECT_NE(out.find("--resume requires --journal"), std::string::npos);
 }
 
 TEST(Cli, RunSsspAutoWeights) {

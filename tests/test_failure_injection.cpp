@@ -32,15 +32,39 @@ class FormatCorruption : public ::testing::Test {
   }
   void TearDown() override { fs::remove_all(dir_); }
 
-  /// Truncate a file to `keep` bytes.
-  static void truncate_file(const fs::path& p, std::uintmax_t keep) {
-    fs::resize_file(p, std::min(keep, fs::file_size(p)));
+  /// Truncate a file to `keep` bytes. Returns failure (for ASSERT_TRUE)
+  /// when the file cannot be sized or resized: corrupting nothing would
+  /// make the "reader rejects corruption" assertions below vacuous.
+  [[nodiscard]] static ::testing::AssertionResult truncate_file(
+      const fs::path& p, std::uintmax_t keep) {
+    std::error_code ec;
+    const auto size = fs::file_size(p, ec);
+    if (ec) {
+      return ::testing::AssertionFailure()
+             << "file_size(" << p << "): " << ec.message();
+    }
+    fs::resize_file(p, std::min(keep, size), ec);
+    if (ec) {
+      return ::testing::AssertionFailure()
+             << "resize_file(" << p << "): " << ec.message();
+    }
+    return ::testing::AssertionSuccess();
   }
 
-  /// Overwrite the first bytes of a file.
-  static void stomp_header(const fs::path& p, const std::string& junk) {
+  /// Overwrite the first bytes of a file; fails when the file cannot be
+  /// opened or written.
+  [[nodiscard]] static ::testing::AssertionResult stomp_header(
+      const fs::path& p, const std::string& junk) {
     std::fstream f(p, std::ios::in | std::ios::out | std::ios::binary);
+    if (!f.is_open()) {
+      return ::testing::AssertionFailure() << "cannot open " << p;
+    }
     f.write(junk.data(), static_cast<std::streamsize>(junk.size()));
+    f.flush();
+    if (!f.good()) {
+      return ::testing::AssertionFailure() << "short write to " << p;
+    }
+    return ::testing::AssertionSuccess();
   }
 
   fs::path dir_;
@@ -49,25 +73,25 @@ class FormatCorruption : public ::testing::Test {
 
 TEST_F(FormatCorruption, Graph500BadMagicRejected) {
   const auto p = ds_.path(GraphFormat::kGraph500Bin);
-  stomp_header(p, "XXXXXXXX");
+  ASSERT_TRUE(stomp_header(p, "XXXXXXXX"));
   EXPECT_THROW(read_graph500_bin(p), EpgsError);
 }
 
 TEST_F(FormatCorruption, Graph500TruncatedRejected) {
   const auto p = ds_.path(GraphFormat::kGraph500Bin);
-  truncate_file(p, fs::file_size(p) / 2);
+  ASSERT_TRUE(truncate_file(p, fs::file_size(p) / 2));
   EXPECT_THROW(read_graph500_bin(p), EpgsError);
 }
 
 TEST_F(FormatCorruption, GapSgBadMagicRejected) {
   const auto p = ds_.path(GraphFormat::kGapSg);
-  stomp_header(p, "NOTSG!!!");
+  ASSERT_TRUE(stomp_header(p, "NOTSG!!!"));
   EXPECT_THROW(read_gap_sg(p), EpgsError);
 }
 
 TEST_F(FormatCorruption, GapSgTruncatedRejected) {
   const auto p = ds_.path(GraphFormat::kGapSg);
-  truncate_file(p, 24);
+  ASSERT_TRUE(truncate_file(p, 24));
   EXPECT_THROW(read_gap_sg(p), EpgsError);
 }
 
@@ -120,13 +144,13 @@ TEST_F(FormatCorruption, SnapBadVertexRejected) {
 
 TEST_F(FormatCorruption, LigraAdjBadHeaderRejected) {
   const auto p = ds_.path(GraphFormat::kLigraAdj);
-  stomp_header(p, "NotAGraph");
+  ASSERT_TRUE(stomp_header(p, "NotAGraph"));
   EXPECT_THROW(read_ligra_adj(p), EpgsError);
 }
 
 TEST_F(FormatCorruption, LigraAdjTruncatedRejected) {
   const auto p = ds_.path(GraphFormat::kLigraAdj);
-  truncate_file(p, fs::file_size(p) / 3);
+  ASSERT_TRUE(truncate_file(p, fs::file_size(p) / 3));
   EXPECT_THROW(read_ligra_adj(p), EpgsError);
 }
 
@@ -141,7 +165,7 @@ TEST_F(FormatCorruption, LigraAdjOutOfRangeTargetRejected) {
 TEST_F(FormatCorruption, SystemLoadFileSurfacesReaderErrors) {
   // The adapter path must propagate reader failures, not half-load.
   const auto p = ds_.path(GraphFormat::kGapSg);
-  stomp_header(p, "NOTSG!!!");
+  ASSERT_TRUE(stomp_header(p, "NOTSG!!!"));
   auto sys = make_system("GAP");
   EXPECT_THROW(sys->load_file(p), EpgsError);
   EXPECT_FALSE(sys->is_built());

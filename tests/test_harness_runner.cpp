@@ -180,5 +180,51 @@ TEST(RunnerCsv, HeaderPresent) {
   EXPECT_TRUE(records_from_csv(csv).empty());
 }
 
+TEST(RunnerCsv, OutcomeColumnRoundTrips) {
+  RunRecord ok;
+  ok.system = "GAP";
+  ok.phase = "run algorithm";
+  RunRecord dnf;
+  dnf.system = "GraphMat";
+  dnf.phase = "run algorithm";
+  dnf.outcome = Outcome::kTimeout;
+  const auto csv = records_to_csv({ok, dnf});
+  EXPECT_NE(csv.find(",outcome"), std::string::npos);
+  EXPECT_NE(csv.find(",timeout"), std::string::npos);
+  const auto back = records_from_csv(csv);
+  ASSERT_EQ(back.size(), 2u);
+  EXPECT_EQ(back[0].outcome, Outcome::kSuccess);
+  EXPECT_EQ(back[1].outcome, Outcome::kTimeout);
+}
+
+TEST(RunnerCsv, WrongColumnCountRejected) {
+  const auto csv = records_to_csv({});
+  // 11 fields (the pre-outcome format) must be rejected, not half-parsed.
+  EXPECT_THROW(records_from_csv(csv + "d,s,a,1,0,p,0.5,0,0,0,3\n"),
+               EpgsError);
+  // So must 13.
+  EXPECT_THROW(
+      records_from_csv(csv + "d,s,a,1,0,p,0.5,0,0,0,3,success,junk\n"),
+      EpgsError);
+}
+
+TEST(RunnerCsv, MalformedFieldsRejectedWithEpgsError) {
+  const auto header = records_to_csv({});
+  EXPECT_THROW(
+      records_from_csv(header + "d,s,a,NaNthreads,0,p,0.5,0,0,0,,success\n"),
+      EpgsError);
+  EXPECT_THROW(
+      records_from_csv(header + "d,s,a,1,0,p,notasecond,0,0,0,,success\n"),
+      EpgsError);
+  EXPECT_THROW(
+      records_from_csv(header + "d,s,a,1,0,p,0.5,0,0,0,,exploded\n"),
+      EpgsError);
+}
+
+TEST(RunnerCsv, ForeignHeaderRejected) {
+  EXPECT_THROW(records_from_csv("a,b,c\n1,2,3\n"), EpgsError);
+  EXPECT_THROW(records_from_csv(""), EpgsError);
+}
+
 }  // namespace
 }  // namespace epgs::harness

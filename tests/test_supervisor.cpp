@@ -1,0 +1,493 @@
+// The trial supervisor: watchdog timeouts, crash isolation, retry with
+// backoff, and resumable journals — each failure path demonstrated
+// deterministically via the fault-injection hooks, never by luck.
+#include "harness/supervisor.hpp"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+#include "core/error.hpp"
+#include "harness/analysis.hpp"
+#include "harness/runner.hpp"
+#include "systems/common/fault_injection.hpp"
+#include "systems/common/system.hpp"
+
+namespace epgs::harness {
+namespace {
+
+namespace fs = std::filesystem;
+
+class SupervisorDir : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("epgs_supervisor_" + std::to_string(::getpid()));
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  [[nodiscard]] std::string journal_path() const {
+    return (dir_ / "journal.txt").string();
+  }
+
+  fs::path dir_;
+};
+
+ExperimentConfig tiny_config() {
+  ExperimentConfig cfg;
+  cfg.graph.kind = GraphSpec::Kind::kKronecker;
+  cfg.graph.scale = 6;
+  cfg.graph.edgefactor = 8;
+  cfg.systems = {"GAP"};
+  cfg.algorithms = {Algorithm::kBfs};
+  cfg.num_roots = 3;
+  cfg.threads = 1;
+  return cfg;
+}
+
+std::vector<RunRecord> records_with(const ExperimentResult& result,
+                                    Outcome outcome) {
+  std::vector<RunRecord> out;
+  for (const auto& r : result.records) {
+    if (r.outcome == outcome) out.push_back(r);
+  }
+  return out;
+}
+
+// --- unit-level supervisor behaviour ------------------------------------
+
+TEST(Cancellation, CheckpointThrowsOnlyAfterCancel) {
+  CancellationToken token;
+  EXPECT_FALSE(token.cancelled());
+  EXPECT_NO_THROW(token.checkpoint());
+  token.cancel();
+  EXPECT_TRUE(token.cancelled());
+  EXPECT_THROW(token.checkpoint(), CancelledError);
+}
+
+TEST(Supervisor, ClassifiesExceptionTaxonomy) {
+  EXPECT_EQ(classify_exception(CancelledError("t")), Outcome::kTimeout);
+  EXPECT_EQ(classify_exception(TransientError("t")), Outcome::kTransient);
+  EXPECT_EQ(classify_exception(UnsupportedAlgorithm("t")),
+            Outcome::kUnsupported);
+  EXPECT_EQ(classify_exception(ValidationFailedError("t")),
+            Outcome::kValidationFailed);
+  EXPECT_EQ(classify_exception(EpgsError("t")), Outcome::kCrash);
+  EXPECT_EQ(classify_exception(std::runtime_error("t")), Outcome::kCrash);
+}
+
+TEST(Supervisor, BackoffGrowsExponentiallyAndClamps) {
+  SupervisorOptions opts;
+  opts.backoff_base_seconds = 0.1;
+  opts.backoff_max_seconds = 2.0;
+  Xoshiro256 rng(7);
+  const double d1 = backoff_delay(opts, 1, rng);
+  const double d2 = backoff_delay(opts, 2, rng);
+  EXPECT_GE(d1, 0.1);
+  EXPECT_LT(d1, 0.2);  // jitter multiplies by [1, 2)
+  EXPECT_GE(d2, 0.2);
+  EXPECT_LT(d2, 0.4);
+  EXPECT_DOUBLE_EQ(backoff_delay(opts, 20, rng), 2.0);
+}
+
+TEST(Supervisor, SuccessPassesRecordsThrough) {
+  SupervisorOptions opts;
+  Xoshiro256 rng(1);
+  const auto report = supervise_unit(
+      [](CancellationToken&) {
+        RunRecord rec;
+        rec.system = "Fake";
+        rec.seconds = 0.5;
+        return std::vector<RunRecord>{rec};
+      },
+      opts, rng);
+  EXPECT_EQ(report.outcome, Outcome::kSuccess);
+  EXPECT_EQ(report.attempts, 1);
+  ASSERT_EQ(report.records.size(), 1u);
+  EXPECT_EQ(report.records[0].system, "Fake");
+}
+
+TEST(Supervisor, WatchdogCancelsCooperativeLoopAtDeadline) {
+  SupervisorOptions opts;
+  opts.timeout_seconds = 0.2;
+  Xoshiro256 rng(1);
+  const auto report = supervise_unit(
+      [](CancellationToken& token) -> std::vector<RunRecord> {
+        for (;;) {  // cooperative livelock: only the watchdog ends it
+          token.checkpoint();
+          std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        }
+      },
+      opts, rng);
+  EXPECT_EQ(report.outcome, Outcome::kTimeout);
+  // The watchdog cannot fire before its steady-clock deadline.
+  EXPECT_GE(report.elapsed_seconds, 0.2);
+}
+
+TEST(Supervisor, TransientRetriedUntilSuccess) {
+  SupervisorOptions opts;
+  opts.max_retries = 3;
+  opts.backoff_base_seconds = 1e-4;
+  opts.backoff_max_seconds = 1e-3;
+  Xoshiro256 rng(1);
+  int calls = 0;
+  const auto report = supervise_unit(
+      [&](CancellationToken&) -> std::vector<RunRecord> {
+        if (++calls < 3) throw TransientError("flaky");
+        return {};
+      },
+      opts, rng);
+  EXPECT_EQ(report.outcome, Outcome::kSuccess);
+  EXPECT_EQ(report.attempts, 3);
+  EXPECT_EQ(calls, 3);
+}
+
+TEST(Supervisor, TransientExhaustsRetryBudget) {
+  SupervisorOptions opts;
+  opts.max_retries = 2;
+  opts.backoff_base_seconds = 1e-4;
+  Xoshiro256 rng(1);
+  int calls = 0;
+  const auto report = supervise_unit(
+      [&](CancellationToken&) -> std::vector<RunRecord> {
+        ++calls;
+        throw TransientError("always flaky");
+      },
+      opts, rng);
+  EXPECT_EQ(report.outcome, Outcome::kTransient);
+  EXPECT_EQ(report.attempts, 3);  // 1 try + 2 retries
+  EXPECT_EQ(calls, 3);
+  EXPECT_NE(report.message.find("always flaky"), std::string::npos);
+}
+
+TEST(Supervisor, NonTransientFailuresAreNotRetried) {
+  SupervisorOptions opts;
+  opts.max_retries = 5;
+  Xoshiro256 rng(1);
+  int calls = 0;
+  const auto report = supervise_unit(
+      [&](CancellationToken&) -> std::vector<RunRecord> {
+        ++calls;
+        throw EpgsError("deterministic bug");
+      },
+      opts, rng);
+  EXPECT_EQ(report.outcome, Outcome::kCrash);
+  EXPECT_EQ(calls, 1) << "retrying a deterministic failure wastes the sweep";
+}
+
+// --- supervised sweeps with injected faults -----------------------------
+
+TEST(SupervisedRun, HangCancelledAtDeadlineSweepContinues) {
+  auto cfg = tiny_config();
+  cfg.supervisor.timeout_seconds = 0.3;
+  fault::Scoped fault(
+      {.system = "GAP", .kind = fault::Kind::kHang, .phase = "bfs"});
+
+  const auto result = run_experiment(cfg);
+
+  const auto timeouts = records_with(result, Outcome::kTimeout);
+  ASSERT_EQ(timeouts.size(), 1u);
+  EXPECT_EQ(timeouts[0].trial, 0);
+  EXPECT_EQ(timeouts[0].algorithm, "BFS");
+  EXPECT_EQ(std::string_view(timeouts[0].phase), phase::kAlgorithm);
+  // Cancellation cannot precede the steady-clock deadline.
+  EXPECT_GE(timeouts[0].seconds, 0.3);
+  // The other two trials ran to completion after the DNF.
+  EXPECT_EQ(result.seconds_of("GAP", phase::kAlgorithm, "BFS").size(), 2u);
+}
+
+TEST(SupervisedRun, AbortContainedByIsolationSweepContinues) {
+  auto cfg = tiny_config();
+  cfg.systems = {"GAP", "GraphMat"};
+  cfg.num_roots = 2;
+  cfg.supervisor.isolate = true;
+  // Children inherit the armed plan at fork() and counters never
+  // propagate back, so every GAP child aborts.
+  fault::Scoped fault(
+      {.system = "GAP", .kind = fault::Kind::kAbort, .phase = "bfs"});
+
+  const auto result = run_experiment(cfg);
+
+  const auto crashes = records_with(result, Outcome::kCrash);
+  ASSERT_EQ(crashes.size(), 2u);
+  for (const auto& r : crashes) {
+    EXPECT_EQ(r.system, "GAP");
+    EXPECT_NE(r.extra.at("error").find("signal"), std::string::npos);
+  }
+  // GraphMat's isolated trials succeeded and their records (with work
+  // counters) crossed the pipe intact.
+  const auto gm = result.seconds_of("GraphMat", phase::kAlgorithm, "BFS");
+  EXPECT_EQ(gm.size(), 2u);
+  for (const auto& r : result.records) {
+    if (r.system == "GraphMat" &&
+        std::string_view(r.phase) == phase::kAlgorithm) {
+      EXPECT_GT(r.work.edges_processed, 0u);
+    }
+  }
+}
+
+TEST(SupervisedRun, TransientFaultRetriedToSuccess) {
+  auto cfg = tiny_config();
+  cfg.num_roots = 1;
+  cfg.supervisor.max_retries = 2;
+  cfg.supervisor.backoff_base_seconds = 1e-4;
+  cfg.supervisor.backoff_max_seconds = 1e-3;
+  fault::Scoped fault({.system = "GAP",
+                       .kind = fault::Kind::kTransient,
+                       .max_fires = 1,
+                       .phase = "bfs"});
+
+  const auto result = run_experiment(cfg);
+
+  EXPECT_EQ(fault::fire_count(), 1);
+  EXPECT_TRUE(records_with(result, Outcome::kTransient).empty());
+  const auto secs = result.seconds_of("GAP", phase::kAlgorithm, "BFS");
+  ASSERT_EQ(secs.size(), 1u);
+  bool attempts_recorded = false;
+  for (const auto& r : result.records) {
+    if (std::string_view(r.phase) == phase::kAlgorithm) {
+      attempts_recorded |= r.extra.count("attempts") != 0 &&
+                           r.extra.at("attempts") == "2";
+    }
+  }
+  EXPECT_TRUE(attempts_recorded);
+}
+
+TEST(SupervisedRun, TransientExhaustionRecordedAsDnf) {
+  auto cfg = tiny_config();
+  cfg.num_roots = 1;
+  cfg.supervisor.max_retries = 1;
+  cfg.supervisor.backoff_base_seconds = 1e-4;
+  fault::Scoped fault({.system = "GAP",
+                       .kind = fault::Kind::kTransient,
+                       .max_fires = 1000,
+                       .phase = "bfs"});
+
+  const auto result = run_experiment(cfg);
+
+  const auto dnf = records_with(result, Outcome::kTransient);
+  ASSERT_EQ(dnf.size(), 1u);
+  EXPECT_EQ(dnf[0].extra.at("attempts"), "2");
+  EXPECT_TRUE(result.seconds_of("GAP", phase::kAlgorithm, "BFS").empty());
+}
+
+TEST(SupervisedRun, WrongOutputCaughtByValidation) {
+  auto cfg = tiny_config();
+  cfg.num_roots = 2;
+  cfg.validate = true;
+  fault::Scoped fault({.system = "GAP",
+                       .kind = fault::Kind::kWrongOutput,
+                       .max_fires = 1,
+                       .phase = "bfs"});
+
+  const auto result = run_experiment(cfg);
+
+  const auto bad = records_with(result, Outcome::kValidationFailed);
+  ASSERT_EQ(bad.size(), 1u);
+  EXPECT_EQ(bad[0].trial, 0);
+  EXPECT_NE(bad[0].extra.at("error").find("BFS invalid"),
+            std::string::npos);
+  EXPECT_EQ(result.seconds_of("GAP", phase::kAlgorithm, "BFS").size(), 1u);
+}
+
+TEST(SupervisedRun, UnknownSystemIsConfigOutcomeNotAbort) {
+  auto cfg = tiny_config();
+  cfg.systems = {"NoSuchSystem", "GAP"};
+  const auto result = run_experiment(cfg);
+  const auto bad = records_with(result, Outcome::kConfig);
+  ASSERT_EQ(bad.size(), 1u);
+  EXPECT_EQ(bad[0].system, "NoSuchSystem");
+  EXPECT_EQ(result.seconds_of("GAP", phase::kAlgorithm, "BFS").size(), 3u);
+}
+
+// --- journal and resume --------------------------------------------------
+
+TEST_F(SupervisorDir, JournalRoundTripsUnits) {
+  Journal j;
+  j.open_fresh(journal_path(), "fp-1");
+  TrialReport rep;
+  rep.outcome = Outcome::kSuccess;
+  rep.attempts = 2;
+  RunRecord rec;
+  rec.dataset = "d";
+  rec.system = "GAP";
+  rec.algorithm = "BFS";
+  rec.trial = 0;
+  rec.phase = std::string(phase::kAlgorithm);
+  rec.seconds = 1.25;
+  rec.work.edges_processed = 42;
+  rep.records = {rec};
+  j.append("GAP|BFS|0", rep);
+  TrialReport fail;
+  fail.outcome = Outcome::kTimeout;
+  fail.records = {};
+  j.append("GAP|BFS|1", fail);
+  j.close();
+
+  const auto entries = replay_journal(journal_path(), "fp-1");
+  ASSERT_EQ(entries.size(), 2u);
+  EXPECT_EQ(entries[0].key, "GAP|BFS|0");
+  EXPECT_EQ(entries[0].outcome, Outcome::kSuccess);
+  EXPECT_EQ(entries[0].attempts, 2);
+  ASSERT_EQ(entries[0].records.size(), 1u);
+  EXPECT_EQ(entries[0].records[0].work.edges_processed, 42u);
+  EXPECT_NEAR(entries[0].records[0].seconds, 1.25, 1e-12);
+  EXPECT_EQ(entries[1].outcome, Outcome::kTimeout);
+  EXPECT_TRUE(entries[1].records.empty());
+}
+
+TEST_F(SupervisorDir, ReplayRejectsFingerprintMismatch) {
+  Journal j;
+  j.open_fresh(journal_path(), "fp-1");
+  j.close();
+  EXPECT_NO_THROW(replay_journal(journal_path(), "fp-1"));
+  EXPECT_THROW(replay_journal(journal_path(), "fp-2"), EpgsError);
+  EXPECT_THROW(replay_journal((dir_ / "missing").string(), "fp-1"),
+               EpgsError);
+}
+
+TEST_F(SupervisorDir, ReplayDropsTornTrailingGroup) {
+  Journal j;
+  j.open_fresh(journal_path(), "fp");
+  TrialReport rep;
+  j.append("GAP|BFS|0", rep);
+  j.close();
+  {
+    // Simulate a crash mid-append: a unit line with no records / "end".
+    std::ofstream f(journal_path(), std::ios::app);
+    f << "unit GAP|BFS|1|success|1|3\nrec half-written";
+  }
+  const auto entries = replay_journal(journal_path(), "fp");
+  ASSERT_EQ(entries.size(), 1u);
+  EXPECT_EQ(entries[0].key, "GAP|BFS|0");
+}
+
+TEST_F(SupervisorDir, ResumeReexecutesZeroCompletedTrials) {
+  auto cfg = tiny_config();
+  cfg.systems = {"GAP", "Graph500"};  // per-trial and build-once paths
+  cfg.num_roots = 2;
+  cfg.supervisor.journal_path = journal_path();
+
+  const auto first = run_experiment(cfg);
+  EXPECT_TRUE(records_with(first, Outcome::kSuccess).size() ==
+              first.records.size());
+
+  // Count every phase the resumed sweep actually starts: a correct resume
+  // starts none.
+  cfg.supervisor.resume = true;
+  fault::Scoped probe({.kind = fault::Kind::kNone, .max_fires = 0});
+  const auto second = run_experiment(cfg);
+  EXPECT_EQ(fault::phase_events(), 0)
+      << "resume re-executed journaled trials";
+  EXPECT_EQ(second.records.size(), first.records.size());
+  EXPECT_EQ(second.seconds_of("GAP", phase::kAlgorithm, "BFS").size(), 2u);
+  EXPECT_EQ(second.seconds_of("Graph500", phase::kBuild).size(), 1u);
+}
+
+TEST_F(SupervisorDir, ResumeRunsOnlyTheTornTrial) {
+  auto cfg = tiny_config();
+  cfg.supervisor.journal_path = journal_path();
+  const auto first = run_experiment(cfg);
+
+  // Chop the final "end" so the last journaled unit looks in-flight.
+  std::ifstream in(journal_path());
+  std::stringstream buf;
+  buf << in.rdbuf();
+  in.close();
+  std::string text = buf.str();
+  const auto last_end = text.rfind("end\n");
+  ASSERT_NE(last_end, std::string::npos);
+  std::ofstream(journal_path(), std::ios::trunc)
+      << text.substr(0, last_end);
+
+  cfg.supervisor.resume = true;
+  fault::Scoped probe(
+      {.system = "GAP", .kind = fault::Kind::kNone, .max_fires = 0});
+  const auto second = run_experiment(cfg);
+  // Exactly one GAP unit re-ran: its rebuild + its BFS, two phase starts.
+  EXPECT_EQ(fault::phase_events(), 2);
+  EXPECT_EQ(second.records.size(), first.records.size());
+  EXPECT_EQ(second.seconds_of("GAP", phase::kAlgorithm, "BFS").size(), 3u);
+}
+
+TEST_F(SupervisorDir, ResumeMayAddSystems) {
+  auto cfg = tiny_config();
+  cfg.num_roots = 2;
+  cfg.supervisor.journal_path = journal_path();
+  (void)run_experiment(cfg);
+
+  cfg.systems = {"GAP", "GraphMat"};
+  cfg.supervisor.resume = true;
+  fault::Scoped probe(
+      {.system = "GAP", .kind = fault::Kind::kNone, .max_fires = 0});
+  const auto result = run_experiment(cfg);
+  EXPECT_EQ(fault::phase_events(), 0) << "GAP was fully journaled";
+  EXPECT_EQ(result.seconds_of("GraphMat", phase::kAlgorithm, "BFS").size(),
+            2u);
+}
+
+TEST_F(SupervisorDir, DnfOutcomesAreJournaledAndNotRetriedOnResume) {
+  auto cfg = tiny_config();
+  cfg.num_roots = 2;
+  cfg.supervisor.timeout_seconds = 0.3;
+  cfg.supervisor.journal_path = journal_path();
+  {
+    fault::Scoped fault({.system = "GAP",
+                         .kind = fault::Kind::kHang,
+                         .max_fires = 1,
+                         .phase = "bfs"});
+    const auto first = run_experiment(cfg);
+    ASSERT_EQ(records_with(first, Outcome::kTimeout).size(), 1u);
+  }
+  // Resume: the timeout is settled history, not a retry candidate.
+  cfg.supervisor.resume = true;
+  fault::Scoped probe({.kind = fault::Kind::kNone, .max_fires = 0});
+  const auto second = run_experiment(cfg);
+  EXPECT_EQ(fault::phase_events(), 0);
+  ASSERT_EQ(records_with(second, Outcome::kTimeout).size(), 1u);
+  EXPECT_EQ(second.seconds_of("GAP", phase::kAlgorithm, "BFS").size(), 1u);
+}
+
+// --- outcome accounting --------------------------------------------------
+
+TEST(OutcomeTaxonomy, NamesRoundTrip) {
+  for (int i = 0; i < kNumOutcomes; ++i) {
+    const auto o = static_cast<Outcome>(i);
+    EXPECT_EQ(outcome_from_name(outcome_name(o)), o);
+  }
+  EXPECT_THROW((void)outcome_from_name("exploded"), EpgsError);
+}
+
+TEST(OutcomeTaxonomy, SummaryCountsPerSystem) {
+  std::vector<RunRecord> records(5);
+  records[0].system = "GAP";
+  records[1].system = "GAP";
+  records[1].outcome = Outcome::kTimeout;
+  records[2].system = "GraphMat";
+  records[3].system = "GraphMat";
+  records[4].system = "GraphMat";
+  records[4].outcome = Outcome::kCrash;
+  const auto rows = outcome_summary(records);
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0].system, "GAP");
+  EXPECT_EQ(rows[0].total(), 2);
+  EXPECT_EQ(rows[0].failures(), 1);
+  EXPECT_EQ(rows[1].system, "GraphMat");
+  EXPECT_EQ(rows[1].failures(), 1);
+
+  const auto table = render_outcome_table(rows);
+  EXPECT_NE(table.find("system"), std::string::npos);
+  EXPECT_NE(table.find("timeout"), std::string::npos);
+  EXPECT_NE(table.find("crash"), std::string::npos);
+  EXPECT_EQ(table.find("validation-failed"), std::string::npos)
+      << "all-zero outcome columns are elided";
+}
+
+}  // namespace
+}  // namespace epgs::harness
