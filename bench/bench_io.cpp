@@ -1,0 +1,137 @@
+// Dataset-pipeline I/O microbenchmark.
+//
+// Times the stages the content-addressed cache is meant to amortise:
+//
+//   cold prepare  — generate + homogenize + publish the cache entry
+//   warm prepare  — validate the entry and load the packed snapshot
+//   snapshot load — read_packed_snapshot alone
+//   per-format    — each system's native loader over the homogenized file
+//
+// Writes a JSON summary (argv[1], default results_io.json) so CI and the
+// repo can track the cold/warm delta. Knobs: EPGS_SCALE (default 14).
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/timer.hpp"
+#include "graph/dataset_cache.hpp"
+#include "graph/snap_io.hpp"
+#include "harness/dataset_pipeline.hpp"
+
+namespace fs = std::filesystem;
+using namespace epgs;
+
+namespace {
+
+double time_read(GraphFormat fmt, const fs::path& p, eid_t* edges_out) {
+  WallTimer t;
+  EdgeList el;
+  switch (fmt) {
+    case GraphFormat::kSnapText: el = read_snap_file(p); break;
+    case GraphFormat::kGraph500Bin: el = read_graph500_bin(p); break;
+    case GraphFormat::kGapSg: el = read_gap_sg(p); break;
+    case GraphFormat::kGraphMatMtx: el = read_graphmat_mtx(p); break;
+    case GraphFormat::kGraphBigCsv: el = read_graphbig_csv(p); break;
+    case GraphFormat::kPowerGraphTsv: el = read_powergraph_tsv(p); break;
+    case GraphFormat::kLigraAdj: el = read_ligra_adj(p); break;
+  }
+  const double secs = t.seconds();
+  *edges_out = el.num_edges();
+  return secs;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string out_path = argc > 1 ? argv[1] : "results_io.json";
+  bench::print_header("Dataset pipeline I/O (cache cold vs warm + loaders)",
+                      "framework extension (zero-copy data path)");
+
+  harness::GraphSpec spec;
+  spec.kind = harness::GraphSpec::Kind::kKronecker;
+  spec.scale = bench::bench_scale();
+  spec.edgefactor = 16;
+  spec.add_weights = true;
+
+  const fs::path cache_dir =
+      fs::temp_directory_path() / "epgs_bench_io_cache";
+  fs::remove_all(cache_dir);
+  harness::DatasetOptions opts;
+  opts.cache_dir = cache_dir.string();
+
+  WallTimer cold_t;
+  const auto cold = harness::prepare_dataset(spec, opts);
+  const double cold_secs = cold_t.seconds();
+
+  WallTimer warm_t;
+  const auto warm = harness::prepare_dataset(spec, opts);
+  const double warm_secs = warm_t.seconds();
+
+  WallTimer snap_t;
+  const EdgeList snap = read_packed_snapshot(warm.entry.snapshot);
+  const double snapshot_secs = snap_t.seconds();
+
+  std::printf("dataset %s: %u vertices, %llu edges\n",
+              spec.name().c_str(), snap.num_vertices,
+              static_cast<unsigned long long>(snap.num_edges()));
+  std::printf("  cold prepare  %.4fs (generate + homogenize + publish)\n",
+              cold_secs);
+  std::printf("  warm prepare  %.4fs (validate + snapshot load)  %.1fx\n",
+              warm_secs, cold_secs / (warm_secs > 0 ? warm_secs : 1e-9));
+  std::printf("  snapshot load %.4fs\n", snapshot_secs);
+
+  struct FormatTime {
+    std::string name;
+    double secs;
+    std::uintmax_t bytes;
+  };
+  std::vector<FormatTime> formats;
+  for (const auto& [fmt, path] : warm.entry.files.files) {
+    eid_t edges = 0;
+    const double secs = time_read(fmt, path, &edges);
+    std::uintmax_t bytes = 0;
+    std::error_code ec;
+    if (fs::is_directory(path, ec)) {
+      for (const auto& e : fs::recursive_directory_iterator(path, ec)) {
+        if (e.is_regular_file(ec)) bytes += e.file_size(ec);
+      }
+    } else {
+      bytes = fs::file_size(path, ec);
+    }
+    std::printf("  load %-15s %.4fs (%ju bytes, %llu edges)\n",
+                std::string(format_name(fmt)).c_str(), secs, bytes,
+                static_cast<unsigned long long>(edges));
+    formats.push_back({std::string(format_name(fmt)), secs, bytes});
+  }
+
+  std::FILE* f = std::fopen(out_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(f, "{\n  \"dataset\": \"%s\",\n", spec.name().c_str());
+  std::fprintf(f, "  \"vertices\": %u,\n", snap.num_vertices);
+  std::fprintf(f, "  \"edges\": %llu,\n",
+               static_cast<unsigned long long>(snap.num_edges()));
+  std::fprintf(f, "  \"cold_prepare_seconds\": %.6f,\n", cold_secs);
+  std::fprintf(f, "  \"warm_prepare_seconds\": %.6f,\n", warm_secs);
+  std::fprintf(f, "  \"snapshot_load_seconds\": %.6f,\n", snapshot_secs);
+  std::fprintf(f, "  \"cold_over_warm\": %.2f,\n",
+               cold_secs / (warm_secs > 0 ? warm_secs : 1e-9));
+  std::fprintf(f, "  \"format_loads\": [\n");
+  for (std::size_t i = 0; i < formats.size(); ++i) {
+    std::fprintf(f,
+                 "    {\"format\": \"%s\", \"seconds\": %.6f, "
+                 "\"bytes\": %ju}%s\n",
+                 formats[i].name.c_str(), formats[i].secs,
+                 formats[i].bytes, i + 1 < formats.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", out_path.c_str());
+
+  fs::remove_all(cache_dir);
+  return 0;
+}

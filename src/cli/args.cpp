@@ -9,7 +9,8 @@ namespace epgs::cli {
 const std::vector<std::string>& Args::default_flags() {
   static const std::vector<std::string> kFlags = {
       "validate", "weights", "no-symmetrize", "no-dedupe",
-      "no-reconstruct", "isolate", "resume", "allow-dnf", "help"};
+      "no-reconstruct", "isolate", "resume", "allow-dnf", "no-cache",
+      "help"};
   return kFlags;
 }
 

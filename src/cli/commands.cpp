@@ -15,6 +15,7 @@
 #include "graph/statistics.hpp"
 #include "graph/transforms.hpp"
 #include "harness/analysis.hpp"
+#include "harness/dataset_pipeline.hpp"
 #include "graphalytics/comparator.hpp"
 #include "harness/predictor.hpp"
 #include "harness/tuning.hpp"
@@ -95,13 +96,37 @@ int cmd_homogenize(const Args& args, std::ostream& out) {
   return 0;
 }
 
+int cmd_prepare(const Args& args, std::ostream& out) {
+  args.expect_known({"kind", "graph", "scale", "edgefactor", "fraction",
+                     "seed", "no-symmetrize", "no-dedupe", "weights",
+                     "max-weight", "cache-dir"});
+  harness::DatasetOptions opts;
+  opts.cache_dir = args.get("cache-dir", "epgs-cache");
+  const auto spec = spec_from_args(args);
+
+  const auto prep = harness::prepare_dataset(spec, opts);
+  // "cache hit" / "cache miss" lines are part of the CLI contract: the CI
+  // warm-cache smoke test greps for them.
+  out << "dataset " << spec.name() << ": cache "
+      << (prep.cache_hit ? "hit" : "miss") << "\n"
+      << "  entry     " << prep.entry.dir.string() << "\n"
+      << "  snapshot  " << prep.entry.snapshot.string() << " ("
+      << prep.edges.num_vertices << " vertices, " << prep.edges.num_edges()
+      << " edges" << (prep.edges.weighted ? ", weighted" : "") << ")\n";
+  for (const auto& [fmt, path] : prep.entry.files.files) {
+    out << "  " << format_name(fmt) << "\t" << path.string() << "\n";
+  }
+  return 0;
+}
+
 int cmd_run(const Args& args, std::ostream& out) {
   args.expect_known({"kind", "graph", "scale", "edgefactor", "fraction",
                      "seed", "no-symmetrize", "no-dedupe", "weights",
                      "max-weight", "systems", "algorithms", "roots",
                      "threads", "validate", "csv", "logdir",
                      "no-reconstruct", "timeout", "retries", "isolate",
-                     "journal", "resume", "allow-dnf"});
+                     "journal", "resume", "allow-dnf", "cache-dir",
+                     "no-cache"});
   harness::ExperimentConfig cfg;
   cfg.graph = spec_from_args(args);
   cfg.systems = args.get_list("systems");
@@ -130,12 +155,21 @@ int cmd_run(const Args& args, std::ostream& out) {
   cfg.supervisor.resume = args.has("resume");
   EPGS_CHECK(!cfg.supervisor.resume || !cfg.supervisor.journal_path.empty(),
              "--resume requires --journal <file>");
+  cfg.dataset.cache_dir = args.get("cache-dir");
+  cfg.dataset.use_cache = !args.has("no-cache");
   if (cfg.algorithms.size() == 1 &&
       cfg.algorithms[0] == harness::Algorithm::kSssp) {
     cfg.graph.add_weights = true;
   }
 
   const auto result = harness::run_experiment(cfg);
+
+  // Dataset-path status line (grepped by the CI warm-cache smoke test).
+  if (result.used_dataset_pipeline) {
+    out << "dataset " << cfg.graph.name() << ": cache "
+        << (result.dataset_cache_hit ? "hit" : "miss") << " ("
+        << cfg.dataset.cache_dir << ")\n";
+  }
 
   const std::string logdir = args.get("logdir");
   if (!logdir.empty()) {
@@ -409,12 +443,15 @@ std::string usage() {
       "              [--fraction F] [--seed S] [--weights] [--max-weight W]\n"
       "              [--no-symmetrize] [--no-dedupe] [--out file.snap]\n"
       "  homogenize  --in file.snap [--name NAME] [--out DIR]\n"
+      "  prepare     [--kind ...] [--cache-dir DIR]\n"
+      "              materialize into the content-addressed dataset cache\n"
       "  run         [--kind ... | --kind snap --graph file.snap]\n"
       "              [--systems A,B,...] [--algorithms BFS,SSSP,...]\n"
       "              [--roots N] [--threads N] [--validate]\n"
       "              [--no-reconstruct] [--csv out.csv] [--logdir DIR]\n"
       "              [--timeout SEC] [--retries N] [--isolate]\n"
       "              [--journal FILE [--resume]] [--allow-dnf]\n"
+      "              [--cache-dir DIR [--no-cache]]\n"
       "              exit 3 when any trial DNFs (unless --allow-dnf)\n"
       "  parse       --logdir DIR [--csv out.csv] [--threads N]\n"
       "  analyze     [--csv results.csv] [--out PREFIX]\n"
@@ -438,6 +475,7 @@ int dispatch(const std::vector<std::string>& argv, std::ostream& out,
   try {
     if (cmd == "generate") return cmd_generate(args, out);
     if (cmd == "homogenize") return cmd_homogenize(args, out);
+    if (cmd == "prepare") return cmd_prepare(args, out);
     if (cmd == "run") return cmd_run(args, out);
     if (cmd == "parse") return cmd_parse(args, out);
     if (cmd == "analyze") return cmd_analyze(args, out);

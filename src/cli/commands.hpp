@@ -4,6 +4,7 @@
 //
 //   epg generate    synthesize a graph (Kronecker / dataset stand-ins)
 //   epg homogenize  convert a SNAP file into every system's format
+//   epg prepare     materialize a dataset into the content-addressed cache
 //   epg run         run systems x algorithms x roots; write logs + CSV
 //   epg parse       compress raw log files into the phase-4 CSV
 //   epg analyze     box statistics + plot data from a phase-4 CSV
@@ -22,6 +23,7 @@ namespace epgs::cli {
 
 int cmd_generate(const Args& args, std::ostream& out);
 int cmd_homogenize(const Args& args, std::ostream& out);
+int cmd_prepare(const Args& args, std::ostream& out);
 int cmd_run(const Args& args, std::ostream& out);
 int cmd_parse(const Args& args, std::ostream& out);
 int cmd_analyze(const Args& args, std::ostream& out);

@@ -16,6 +16,15 @@ class EpgsError : public std::runtime_error {
   using std::runtime_error::runtime_error;
 };
 
+/// A malformed numeric field or token in an input file (SNAP, mtx, csv,
+/// tsv, adj). Typed so readers can reject bad data loudly instead of
+/// silently defaulting the field, while callers that only care about
+/// "this file is bad" still catch it as EpgsError.
+class ParseError : public EpgsError {
+ public:
+  using EpgsError::EpgsError;
+};
+
 /// Thrown by a cancellation checkpoint after the watchdog cancelled the
 /// trial's token; the supervisor classifies it as Outcome::kTimeout.
 class CancelledError : public EpgsError {

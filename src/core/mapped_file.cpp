@@ -1,0 +1,116 @@
+#include "core/mapped_file.hpp"
+
+#include <atomic>
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include "core/error.hpp"
+
+namespace epgs {
+namespace {
+
+std::atomic<bool> g_force_buffered{false};
+
+/// RAII file descriptor: the map (or fallback read) either succeeds with
+/// the fd closed, or throws with the fd closed.
+struct Fd {
+  int fd = -1;
+  ~Fd() {
+    if (fd >= 0) ::close(fd);
+  }
+};
+
+}  // namespace
+
+void MappedFile::force_buffered(bool on) {
+  g_force_buffered.store(on, std::memory_order_relaxed);
+}
+
+bool MappedFile::buffered_forced() {
+  return g_force_buffered.load(std::memory_order_relaxed);
+}
+
+MappedFile::MappedFile(const std::filesystem::path& path) {
+  Fd f{::open(path.c_str(), O_RDONLY | O_CLOEXEC)};
+  EPGS_CHECK(f.fd >= 0, "cannot open " + path.string() + ": " +
+                            std::strerror(errno));
+  struct stat st{};
+  EPGS_CHECK(::fstat(f.fd, &st) == 0,
+             "cannot stat " + path.string() + ": " + std::strerror(errno));
+  size_ = static_cast<std::size_t>(st.st_size);
+  if (size_ == 0) {
+    data_ = "";  // a valid empty view; mmap(0) is an error
+    return;
+  }
+
+  if (!buffered_forced()) {
+    void* p = ::mmap(nullptr, size_, PROT_READ, MAP_PRIVATE, f.fd, 0);
+    if (p != MAP_FAILED) {
+      // Advisory only: every reader streams sequentially, tell the kernel
+      // to read ahead aggressively. Failure is harmless.
+      (void)::madvise(p, size_, MADV_SEQUENTIAL);
+      data_ = static_cast<const char*>(p);
+      mapped_ = true;
+      return;
+    }
+  }
+
+  // Fallback: one buffered read into an owned buffer (still a single
+  // copy, unlike the old rdbuf-into-ostringstream slurp which held two).
+  buffer_.resize(size_);
+  std::size_t done = 0;
+  while (done < size_) {
+    const ssize_t n = ::read(f.fd, buffer_.data() + done, size_ - done);
+    if (n < 0 && errno == EINTR) continue;
+    EPGS_CHECK(n > 0, "short read of " + path.string() + ": " +
+                          std::strerror(n < 0 ? errno : EIO));
+    done += static_cast<std::size_t>(n);
+  }
+  data_ = buffer_.data();
+}
+
+void MappedFile::release() noexcept {
+  if (mapped_ && data_ != nullptr) {
+    ::munmap(const_cast<char*>(data_), size_);
+  }
+  data_ = nullptr;
+  size_ = 0;
+  mapped_ = false;
+  buffer_.clear();
+}
+
+MappedFile::~MappedFile() { release(); }
+
+MappedFile::MappedFile(MappedFile&& other) noexcept
+    : data_(other.data_),
+      size_(other.size_),
+      mapped_(other.mapped_),
+      buffer_(std::move(other.buffer_)) {
+  if (!mapped_ && size_ > 0) data_ = buffer_.data();
+  other.data_ = nullptr;
+  other.size_ = 0;
+  other.mapped_ = false;
+}
+
+MappedFile& MappedFile::operator=(MappedFile&& other) noexcept {
+  if (this != &other) {
+    release();
+    data_ = other.data_;
+    size_ = other.size_;
+    mapped_ = other.mapped_;
+    buffer_ = std::move(other.buffer_);
+    if (!mapped_ && size_ > 0) data_ = buffer_.data();
+    other.data_ = nullptr;
+    other.size_ = 0;
+    other.mapped_ = false;
+  }
+  return *this;
+}
+
+}  // namespace epgs

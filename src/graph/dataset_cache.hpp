@@ -1,0 +1,89 @@
+// Content-addressed on-disk dataset cache.
+//
+// The paper's pipeline regenerates and re-homogenizes every dataset for
+// every sweep, which dominates wall-clock for small scales. The cache
+// materializes a dataset once per *content* — keyed by a caller-provided
+// fingerprint string covering the generator parameters (or the digest of
+// an input file) plus every preprocessing flag — and reuses the files in
+// all later runs.
+//
+// Each entry is a directory `<root>/<fnv1a(fingerprint)>` holding:
+//   - `edges.bin`  — packed canonical edge-list snapshot (see below)
+//   - the seven homogenized per-system files (`name.snap`, `name.g500`, ...)
+//   - `meta`       — the full fingerprint, graph shape, and file manifest
+//
+// Entries are written into a `.tmp-<hash>-<pid>` staging directory and
+// renamed into place, so a crashed or concurrent writer never publishes a
+// half-written entry. `lookup` validates the meta manifest and snapshot
+// header/trailer; any mismatch (stale fingerprint after a hash collision,
+// truncated file, missing format file) invalidates and removes the entry.
+//
+// This layer is deliberately spec-agnostic: it never sees GraphSpec or the
+// generators (those live above it in the harness). It caches (fingerprint
+// -> files) and nothing else.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "graph/homogenizer.hpp"
+
+namespace epgs {
+
+/// 64-bit FNV-1a of a string, hex-encoded: the cache directory name.
+[[nodiscard]] std::string content_hash_hex(std::string_view s);
+
+/// Packed canonical snapshot of an EdgeList: 32-byte header (magic, nv,
+/// ne, flags), raw Edge records, u64 trailer magic. Edge order is
+/// preserved, so a snapshot round trip is byte-for-byte deterministic and
+/// a warm run sees exactly the edges a cold run generated.
+void write_packed_snapshot(const std::filesystem::path& p,
+                           const EdgeList& el);
+[[nodiscard]] EdgeList read_packed_snapshot(const std::filesystem::path& p);
+
+/// A validated cache entry: everything a run needs without touching the
+/// generators or the homogenizer.
+struct CacheEntry {
+  std::filesystem::path dir;
+  std::string name;
+  std::filesystem::path snapshot;  ///< packed edge-list file
+  HomogenizedDataset files;        ///< per-system native files
+  std::uint64_t num_vertices = 0;
+  std::uint64_t num_edges = 0;
+  bool weighted = false;
+  bool directed = true;
+};
+
+class DatasetCache {
+ public:
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t materializations = 0;
+    std::uint64_t invalidations = 0;
+  };
+
+  explicit DatasetCache(std::filesystem::path root);
+
+  /// Find a valid entry for `fingerprint`. A corrupt or stale entry is
+  /// removed and reported as a miss.
+  [[nodiscard]] std::optional<CacheEntry> lookup(std::string_view fingerprint);
+
+  /// Write snapshot + homogenized files + meta for `el` and publish the
+  /// entry atomically. Returns the published entry (re-read through
+  /// lookup if another process won the rename race).
+  CacheEntry materialize(std::string_view fingerprint,
+                         const std::string& name, const EdgeList& el);
+
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+  [[nodiscard]] const std::filesystem::path& root() const { return root_; }
+
+ private:
+  std::filesystem::path root_;
+  Stats stats_;
+};
+
+}  // namespace epgs

@@ -1,12 +1,12 @@
 #include "graph/homogenizer.hpp"
 
-#include <array>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
-#include <sstream>
 
 #include "core/error.hpp"
+#include "core/mapped_file.hpp"
+#include "core/text_scan.hpp"
 #include "graph/csr.hpp"
 #include "graph/snap_io.hpp"
 
@@ -22,28 +22,10 @@ void write_pod(std::ostream& os, const T& v) {
 }
 
 template <typename T>
-T read_pod(std::istream& is) {
-  T v{};
-  is.read(reinterpret_cast<char*>(&v), sizeof v);
-  EPGS_CHECK(is.good(), "unexpected end of binary graph file");
-  return v;
-}
-
-template <typename T>
 void write_vec(std::ostream& os, const std::vector<T>& v) {
   write_pod<std::uint64_t>(os, v.size());
   os.write(reinterpret_cast<const char*>(v.data()),
            static_cast<std::streamsize>(v.size() * sizeof(T)));
-}
-
-template <typename T>
-std::vector<T> read_vec(std::istream& is) {
-  const auto n = read_pod<std::uint64_t>(is);
-  std::vector<T> v(n);
-  is.read(reinterpret_cast<char*>(v.data()),
-          static_cast<std::streamsize>(n * sizeof(T)));
-  EPGS_CHECK(is.good(), "unexpected end of binary graph file");
-  return v;
 }
 
 std::ofstream open_out(const std::filesystem::path& p) {
@@ -52,11 +34,71 @@ std::ofstream open_out(const std::filesystem::path& p) {
   return out;
 }
 
-std::ifstream open_in(const std::filesystem::path& p) {
-  std::ifstream in(p, std::ios::binary);
-  EPGS_CHECK(in.good(), "cannot open " + p.string());
-  return in;
-}
+/// Bounds-checked cursor over a mapped binary file: the zero-copy
+/// counterpart of the old read_pod/read_vec ifstream loops.
+class BinCursor {
+ public:
+  BinCursor(const MappedFile& file, const std::filesystem::path& p)
+      : p_(file.data()), end_(file.data() + file.size()), path_(p) {}
+
+  template <typename T>
+  T pod() {
+    T v{};
+    need(sizeof v);
+    std::memcpy(&v, p_, sizeof v);
+    p_ += sizeof v;
+    return v;
+  }
+
+  template <typename T>
+  std::vector<T> vec() {
+    const auto n = pod<std::uint64_t>();
+    need(n * sizeof(T));
+    std::vector<T> v(n);
+    std::memcpy(v.data(), p_, n * sizeof(T));
+    p_ += n * sizeof(T);
+    return v;
+  }
+
+  /// Raw view of the next `bytes` without copying.
+  const char* raw(std::size_t bytes) {
+    need(bytes);
+    const char* q = p_;
+    p_ += bytes;
+    return q;
+  }
+
+ private:
+  void need(std::size_t bytes) const {
+    EPGS_CHECK(static_cast<std::size_t>(end_ - p_) >= bytes,
+               "unexpected end of binary graph file " + path_.string());
+  }
+
+  const char* p_;
+  const char* end_;
+  std::filesystem::path path_;
+};
+
+/// Whitespace-token stream across lines (the Ligra/PBBS adj format is one
+/// number per token, newlines insignificant).
+class TokenStream {
+ public:
+  explicit TokenStream(std::string_view txt) : lines_(txt) {}
+
+  std::string_view next() {
+    for (;;) {
+      const auto tok = text::next_token(cur_);
+      if (!tok.empty()) return tok;
+      if (!lines_.next(cur_)) return {};
+    }
+  }
+
+  [[nodiscard]] std::size_t line_no() const { return lines_.line_no(); }
+
+ private:
+  text::LineScanner lines_;
+  std::string_view cur_;
+};
 
 }  // namespace
 
@@ -98,20 +140,31 @@ void write_graph500_bin(const std::filesystem::path& p, const EdgeList& el) {
 }
 
 EdgeList read_graph500_bin(const std::filesystem::path& p) {
-  auto in = open_in(p);
-  EPGS_CHECK(read_pod<std::uint64_t>(in) == kG500Magic,
+  const MappedFile file(p);
+  BinCursor in(file, p);
+  EPGS_CHECK(in.pod<std::uint64_t>() == kG500Magic,
              "bad magic in " + p.string());
   EdgeList el;
-  el.num_vertices = static_cast<vid_t>(read_pod<std::uint64_t>(in));
-  const auto m = read_pod<std::uint64_t>(in);
-  el.weighted = read_pod<std::uint8_t>(in) != 0;
-  el.edges.reserve(m);
-  for (std::uint64_t i = 0; i < m; ++i) {
-    Edge e;
-    e.src = static_cast<vid_t>(read_pod<std::uint64_t>(in));
-    e.dst = static_cast<vid_t>(read_pod<std::uint64_t>(in));
-    e.w = el.weighted ? read_pod<float>(in) : 1.0f;
-    el.edges.push_back(e);
+  el.num_vertices = static_cast<vid_t>(in.pod<std::uint64_t>());
+  const auto m = in.pod<std::uint64_t>();
+  el.weighted = in.pod<std::uint8_t>() != 0;
+  el.edges.resize(m);
+  // One bounds check and one pass over the mapping, not 2-3 stream reads
+  // per edge.
+  const std::size_t stride = el.weighted ? 20 : 16;
+  const char* q = in.raw(m * stride);
+  for (std::uint64_t i = 0; i < m; ++i, q += stride) {
+    std::uint64_t src = 0, dst = 0;
+    std::memcpy(&src, q, 8);
+    std::memcpy(&dst, q + 8, 8);
+    Edge& e = el.edges[i];
+    e.src = static_cast<vid_t>(src);
+    e.dst = static_cast<vid_t>(dst);
+    if (el.weighted) {
+      std::memcpy(&e.w, q + 16, 4);
+    } else {
+      e.w = 1.0f;
+    }
   }
   return el;
 }
@@ -131,20 +184,26 @@ void write_gap_sg(const std::filesystem::path& p, const EdgeList& el) {
 }
 
 EdgeList read_gap_sg(const std::filesystem::path& p) {
-  auto in = open_in(p);
-  EPGS_CHECK(read_pod<std::uint64_t>(in) == kSgMagic,
+  const MappedFile file(p);
+  BinCursor in(file, p);
+  EPGS_CHECK(in.pod<std::uint64_t>() == kSgMagic,
              "bad magic in " + p.string());
   EdgeList el;
-  el.num_vertices = static_cast<vid_t>(read_pod<std::uint64_t>(in));
-  el.weighted = read_pod<std::uint8_t>(in) != 0;
-  const auto offsets = read_vec<eid_t>(in);
-  const auto targets = read_vec<vid_t>(in);
+  el.num_vertices = static_cast<vid_t>(in.pod<std::uint64_t>());
+  el.weighted = in.pod<std::uint8_t>() != 0;
+  const auto offsets = in.vec<eid_t>();
+  const auto targets = in.vec<vid_t>();
   std::vector<weight_t> weights;
-  if (el.weighted) weights = read_vec<weight_t>(in);
+  if (el.weighted) weights = in.vec<weight_t>();
   EPGS_CHECK(offsets.size() == static_cast<std::size_t>(el.num_vertices) + 1,
              "corrupt .sg offsets");
+  EPGS_CHECK(!el.weighted || weights.size() == targets.size(),
+             "corrupt .sg weights");
   el.edges.reserve(targets.size());
   for (vid_t u = 0; u < el.num_vertices; ++u) {
+    EPGS_CHECK(offsets[u] <= offsets[u + 1] &&
+                   offsets[u + 1] <= targets.size(),
+               "corrupt .sg offsets");
     for (eid_t i = offsets[u]; i < offsets[u + 1]; ++i) {
       el.edges.push_back(
           Edge{u, targets[i], el.weighted ? weights[i] : 1.0f});
@@ -176,33 +235,45 @@ void write_graphmat_mtx(const std::filesystem::path& p, const EdgeList& el) {
 }
 
 EdgeList read_graphmat_mtx(const std::filesystem::path& p) {
-  auto in = open_in(p);
-  std::string line;
-  // Header + comments.
+  constexpr std::string_view kCtx = "GraphMat mtx";
+  const MappedFile file(p);
   bool weighted = false;
   bool header_seen = false;
   EdgeList el;
   std::uint64_t declared_edges = 0;
-  while (std::getline(in, line)) {
-    if (line.empty()) continue;
-    if (line[0] == '%') {
-      if (line.find("pattern") != std::string::npos) weighted = false;
-      if (line.find("real") != std::string::npos) weighted = true;
+
+  text::LineScanner lines(file.view());
+  std::string_view line;
+  while (lines.next(line)) {
+    std::string_view rest = line;
+    const std::string_view first = text::next_token(rest);
+    if (first.empty()) continue;
+    if (first.front() == '%') {
+      if (line.find("pattern") != std::string_view::npos) weighted = false;
+      if (line.find("real") != std::string_view::npos) weighted = true;
       continue;
     }
-    std::istringstream ss(line);
     if (!header_seen) {
-      std::uint64_t rows = 0, cols = 0;
-      ss >> rows >> cols >> declared_edges;
+      const auto rows = text::parse_u64(first, kCtx, "row count",
+                                        lines.line_no());
+      const auto cols = text::parse_u64(text::next_token(rest), kCtx,
+                                        "column count", lines.line_no());
+      declared_edges = text::parse_u64(text::next_token(rest), kCtx,
+                                       "edge count", lines.line_no());
       EPGS_CHECK(rows == cols, "GraphMat mtx: non-square matrix");
       el.num_vertices = static_cast<vid_t>(rows);
       header_seen = true;
       continue;
     }
-    std::uint64_t r = 0, c = 0;
+    const std::uint64_t r = text::parse_u64(first, kCtx, "row index",
+                                            lines.line_no());
+    const std::uint64_t c = text::parse_u64(text::next_token(rest), kCtx,
+                                            "column index", lines.line_no());
     double w = 1.0;
-    ss >> r >> c;
-    if (weighted) ss >> w;
+    if (weighted) {
+      w = text::parse_double(text::next_token(rest), kCtx, "weight",
+                             lines.line_no());
+    }
     EPGS_CHECK(r >= 1 && c >= 1, "GraphMat mtx: ids are 1-indexed");
     el.edges.push_back(Edge{static_cast<vid_t>(r - 1),
                             static_cast<vid_t>(c - 1),
@@ -243,35 +314,42 @@ void write_graphbig_csv(const std::filesystem::path& dir, const EdgeList& el) {
 }
 
 EdgeList read_graphbig_csv(const std::filesystem::path& dir) {
+  constexpr std::string_view kCtx = "GraphBIG csv";
   EdgeList el;
   {
-    auto in = open_in(dir / "vertex.csv");
-    std::string line;
-    std::getline(in, line);  // header
+    const MappedFile file(dir / "vertex.csv");
+    text::LineScanner lines(file.view());
+    std::string_view line;
+    lines.next(line);  // header
     vid_t count = 0;
-    while (std::getline(in, line)) {
-      if (!line.empty()) ++count;
+    while (lines.next(line)) {
+      if (!line.empty() && line != "\r") ++count;
     }
     el.num_vertices = count;
   }
   {
-    auto in = open_in(dir / "edge.csv");
-    std::string line;
-    std::getline(in, line);  // header
-    el.weighted = line.find("weight") != std::string::npos;
-    while (std::getline(in, line)) {
-      if (line.empty()) continue;
+    const MappedFile file(dir / "edge.csv");
+    text::LineScanner lines(file.view());
+    std::string_view line;
+    EPGS_CHECK(lines.next(line), "GraphBIG edge.csv: missing header");
+    el.weighted = line.find("weight") != std::string_view::npos;
+    while (lines.next(line)) {
+      if (line.empty() || line == "\r") continue;
+      std::string_view rest = line;
       Edge e;
-      double w = 1.0;
+      e.src = text::parse_vid(text::next_field(rest, ','), kCtx,
+                              lines.line_no());
+      e.dst = text::parse_vid(text::next_field(rest, ','), kCtx,
+                              lines.line_no());
       if (el.weighted) {
-        EPGS_CHECK(std::sscanf(line.c_str(), "%u,%u,%lf", &e.src, &e.dst,
-                               &w) == 3,
-                   "GraphBIG edge.csv: bad line '" + line + "'");
+        e.w = static_cast<weight_t>(text::parse_double(
+            text::next_field(rest, ','), kCtx, "weight", lines.line_no()));
       } else {
-        EPGS_CHECK(std::sscanf(line.c_str(), "%u,%u", &e.src, &e.dst) == 2,
-                   "GraphBIG edge.csv: bad line '" + line + "'");
+        e.w = 1.0f;
       }
-      e.w = static_cast<weight_t>(w);
+      if (!rest.empty()) {
+        text::fail(kCtx, "trailing field", rest, lines.line_no());
+      }
       el.edges.push_back(e);
     }
   }
@@ -301,26 +379,37 @@ void write_powergraph_tsv(const std::filesystem::path& p,
 }
 
 EdgeList read_powergraph_tsv(const std::filesystem::path& p) {
-  auto in = open_in(p);
+  constexpr std::string_view kCtx = "PowerGraph tsv";
+  const MappedFile file(p);
   EdgeList el;
-  std::string line;
   bool saw_weight = false;
-  while (std::getline(in, line)) {
-    if (line.empty()) continue;
-    if (line[0] == '#') {
-      std::uint64_t nv = 0;
-      if (std::sscanf(line.c_str(), "#nv\t%lu", &nv) == 1) {
-        el.num_vertices = static_cast<vid_t>(nv);
+
+  text::LineScanner lines(file.view());
+  std::string_view line;
+  while (lines.next(line)) {
+    if (line.empty() || line == "\r") continue;
+    if (line.front() == '#') {
+      std::string_view rest = line;
+      if (text::next_field(rest, '\t') == "#nv") {
+        el.num_vertices = static_cast<vid_t>(text::parse_u64(
+            text::next_field(rest, '\t'), kCtx, "vertex count",
+            lines.line_no()));
       }
       continue;
     }
+    std::string_view rest = line;
     Edge e;
-    double w = 1.0;
-    const int got =
-        std::sscanf(line.c_str(), "%u\t%u\t%lf", &e.src, &e.dst, &w);
-    EPGS_CHECK(got >= 2, "PowerGraph tsv: bad line '" + line + "'");
-    if (got == 3) saw_weight = true;
-    e.w = static_cast<weight_t>(w);
+    e.src = text::parse_vid(text::next_field(rest, '\t'), kCtx,
+                            lines.line_no());
+    e.dst = text::parse_vid(text::next_field(rest, '\t'), kCtx,
+                            lines.line_no());
+    if (!rest.empty()) {
+      e.w = static_cast<weight_t>(text::parse_double(
+          text::next_field(rest, '\t'), kCtx, "weight", lines.line_no()));
+      saw_weight = true;
+    } else {
+      e.w = 1.0f;
+    }
     el.ensure_vertex(e.src);
     el.ensure_vertex(e.dst);
     el.edges.push_back(e);
@@ -348,25 +437,35 @@ void write_ligra_adj(const std::filesystem::path& p, const EdgeList& el) {
 }
 
 EdgeList read_ligra_adj(const std::filesystem::path& p) {
-  auto in = open_in(p);
-  std::string header;
-  in >> header;
+  constexpr std::string_view kCtx = "Ligra adj";
+  const MappedFile file(p);
+  TokenStream toks(file.view());
+
+  const std::string_view header = toks.next();
   const bool weighted = header == "WeightedAdjacencyGraph";
   EPGS_CHECK(weighted || header == "AdjacencyGraph",
              "Ligra adj: bad header in " + p.string());
-  std::uint64_t n = 0, m = 0;
-  in >> n >> m;
-  EPGS_CHECK(in.good(), "Ligra adj: truncated sizes");
+  const std::uint64_t n =
+      text::parse_u64(toks.next(), kCtx, "vertex count", toks.line_no());
+  const std::uint64_t m =
+      text::parse_u64(toks.next(), kCtx, "edge count", toks.line_no());
+
   std::vector<eid_t> offsets(n + 1, m);
-  for (std::uint64_t v = 0; v < n; ++v) in >> offsets[v];
+  for (std::uint64_t v = 0; v < n; ++v) {
+    offsets[v] = text::parse_u64(toks.next(), kCtx, "offset", toks.line_no());
+  }
   std::vector<vid_t> targets(m);
-  for (std::uint64_t e = 0; e < m; ++e) in >> targets[e];
+  for (std::uint64_t e = 0; e < m; ++e) {
+    targets[e] = text::parse_vid(toks.next(), kCtx, toks.line_no());
+  }
   std::vector<weight_t> weights;
   if (weighted) {
     weights.resize(m);
-    for (std::uint64_t e = 0; e < m; ++e) in >> weights[e];
+    for (std::uint64_t e = 0; e < m; ++e) {
+      weights[e] = static_cast<weight_t>(
+          text::parse_double(toks.next(), kCtx, "weight", toks.line_no()));
+    }
   }
-  EPGS_CHECK(!in.fail(), "Ligra adj: truncated body in " + p.string());
 
   EdgeList el;
   el.num_vertices = static_cast<vid_t>(n);

@@ -4,63 +4,36 @@
 #include <cstdio>
 #include <fstream>
 #include <ostream>
-#include <sstream>
 
 #include "core/error.hpp"
+#include "core/mapped_file.hpp"
+#include "core/text_scan.hpp"
 
 namespace epgs {
-namespace {
-
-bool is_space(char c) { return c == ' ' || c == '\t' || c == '\r'; }
-
-std::string_view next_token(std::string_view& line) {
-  while (!line.empty() && is_space(line.front())) line.remove_prefix(1);
-  std::size_t i = 0;
-  while (i < line.size() && !is_space(line[i])) ++i;
-  const std::string_view tok = line.substr(0, i);
-  line.remove_prefix(i);
-  return tok;
-}
-
-vid_t parse_vid(std::string_view tok, std::size_t line_no) {
-  std::uint64_t v = 0;
-  auto [ptr, ec] = std::from_chars(tok.data(), tok.data() + tok.size(), v);
-  if (ec != std::errc{} || ptr != tok.data() + tok.size()) {
-    throw EpgsError("SNAP parse: bad vertex id '" + std::string(tok) +
-                    "' on line " + std::to_string(line_no));
-  }
-  EPGS_CHECK(v <= 0xFFFFFFFEULL, "vertex id exceeds 32-bit range");
-  return static_cast<vid_t>(v);
-}
-
-}  // namespace
 
 EdgeList parse_snap(std::string_view text) {
   EdgeList el;
   el.directed = true;
-  std::size_t pos = 0;
-  std::size_t line_no = 0;
   bool saw_weight = false;
   bool saw_unweighted = false;
 
-  while (pos < text.size()) {
-    ++line_no;
-    const std::size_t eol = text.find('\n', pos);
-    std::string_view line = text.substr(
-        pos, eol == std::string_view::npos ? std::string_view::npos
-                                           : eol - pos);
-    pos = eol == std::string_view::npos ? text.size() : eol + 1;
-
+  text::LineScanner lines(text);
+  std::string_view line;
+  while (lines.next(line)) {
     // Skip leading whitespace for comment detection.
     std::string_view peek = line;
-    while (!peek.empty() && is_space(peek.front())) peek.remove_prefix(1);
+    while (!peek.empty() && text::is_space(peek.front())) {
+      peek.remove_prefix(1);
+    }
     if (peek.empty() || peek.front() == '#') {
       // Honour the conventional "# Nodes: N ..." header so isolated
       // trailing vertices survive a round trip.
-      const auto pos2 = peek.find("Nodes:");
-      if (pos2 != std::string_view::npos) {
-        std::string_view rest = peek.substr(pos2 + 6);
-        while (!rest.empty() && is_space(rest.front())) rest.remove_prefix(1);
+      const auto pos = peek.find("Nodes:");
+      if (pos != std::string_view::npos) {
+        std::string_view rest = peek.substr(pos + 6);
+        while (!rest.empty() && text::is_space(rest.front())) {
+          rest.remove_prefix(1);
+        }
         std::uint64_t n = 0;
         auto [p, ec] =
             std::from_chars(rest.data(), rest.data() + rest.size(), n);
@@ -71,19 +44,20 @@ EdgeList parse_snap(std::string_view text) {
       continue;
     }
 
-    const std::string_view t1 = next_token(line);
-    const std::string_view t2 = next_token(line);
+    const std::string_view t1 = text::next_token(line);
+    const std::string_view t2 = text::next_token(line);
     if (t2.empty()) {
-      throw EpgsError("SNAP parse: line " + std::to_string(line_no) +
-                      " has fewer than two fields");
+      throw ParseError("SNAP parse: line " + std::to_string(lines.line_no()) +
+                       " has fewer than two fields");
     }
     Edge e;
-    e.src = parse_vid(t1, line_no);
-    e.dst = parse_vid(t2, line_no);
+    e.src = text::parse_vid(t1, "SNAP parse", lines.line_no());
+    e.dst = text::parse_vid(t2, "SNAP parse", lines.line_no());
 
-    const std::string_view t3 = next_token(line);
+    const std::string_view t3 = text::next_token(line);
     if (!t3.empty()) {
-      e.w = std::stof(std::string(t3));
+      e.w = static_cast<weight_t>(
+          text::parse_double(t3, "SNAP parse", "weight", lines.line_no()));
       saw_weight = true;
     } else {
       e.w = 1.0f;
@@ -101,11 +75,10 @@ EdgeList parse_snap(std::string_view text) {
 }
 
 EdgeList read_snap_file(const std::filesystem::path& path) {
-  std::ifstream in(path, std::ios::binary);
-  EPGS_CHECK(in.good(), "cannot open " + path.string());
-  std::ostringstream buf;
-  buf << in.rdbuf();
-  return parse_snap(buf.str());
+  // One mapping, parsed in place: the previous rdbuf-into-ostringstream
+  // slurp briefly held two full copies of the file in memory.
+  const MappedFile file(path);
+  return parse_snap(file.view());
 }
 
 void write_snap(std::ostream& os, const EdgeList& el) {

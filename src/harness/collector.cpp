@@ -1,0 +1,51 @@
+#include "harness/collector.hpp"
+
+#include <filesystem>
+#include <utility>
+
+namespace epgs::harness {
+
+RecordCollector::RecordCollector(const SupervisorOptions& sup,
+                                 std::string fingerprint) {
+  if (sup.journal_path.empty()) return;
+  if (sup.resume && std::filesystem::exists(sup.journal_path)) {
+    for (auto& e : replay_journal(sup.journal_path, fingerprint)) {
+      journaled_.emplace(e.key, std::move(e));
+    }
+    journal_.open_append(sup.journal_path);
+  } else {
+    journal_.open_fresh(sup.journal_path, fingerprint);
+  }
+}
+
+void RecordCollector::emit_replayed(
+    const std::vector<std::string>& systems) {
+  for (const auto& [key, entry] : journaled_) {
+    const std::string sys_of_key = key.substr(0, key.find('|'));
+    bool configured = false;
+    for (const auto& s : systems) configured |= (s == sys_of_key);
+    if (!configured) continue;
+    records_.insert(records_.end(), entry.records.begin(),
+                    entry.records.end());
+  }
+}
+
+void RecordCollector::store(const std::string& key,
+                            std::vector<RunRecord> recs,
+                            const TrialReport& rep) {
+  TrialReport journaled_rep;
+  journaled_rep.outcome = rep.outcome;
+  journaled_rep.attempts = rep.attempts;
+  journaled_rep.message = rep.message;
+  journaled_rep.elapsed_seconds = rep.elapsed_seconds;
+  journaled_rep.records = recs;
+  journal_.append(key, journaled_rep);
+  records_.insert(records_.end(), std::make_move_iterator(recs.begin()),
+                  std::make_move_iterator(recs.end()));
+}
+
+void RecordCollector::add(RunRecord rec) {
+  records_.push_back(std::move(rec));
+}
+
+}  // namespace epgs::harness

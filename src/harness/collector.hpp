@@ -1,0 +1,52 @@
+// Collect stage of the runner: owns the journal (replay-on-resume +
+// append) and accumulates the flat phase records as units finish. The
+// execute stage never touches the journal or the record vector directly.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "harness/supervisor.hpp"
+
+namespace epgs::harness {
+
+class RecordCollector {
+ public:
+  /// Opens the journal per `sup`: on resume, replays completed units
+  /// (validated against `fingerprint`) and reopens for append; otherwise
+  /// starts fresh. No-op when journaling is disabled.
+  RecordCollector(const SupervisorOptions& sup, std::string fingerprint);
+
+  /// Replayed journal entries keyed by unit key (empty without --resume).
+  [[nodiscard]] const std::map<std::string, JournalEntry>& journaled()
+      const {
+    return journaled_;
+  }
+
+  [[nodiscard]] bool is_journaled(const std::string& key) const {
+    return journaled_.count(key) != 0;
+  }
+
+  /// Emit the replayed records up front, but only for systems still
+  /// configured (the fingerprint deliberately omits the system list, so a
+  /// resumed sweep may add or drop systems).
+  void emit_replayed(const std::vector<std::string>& systems);
+
+  /// Durably journal one finished unit and append its records.
+  void store(const std::string& key, std::vector<RunRecord> recs,
+             const TrialReport& rep);
+
+  /// Append a record without journaling (config failures, failed builds —
+  /// a resume should retry those).
+  void add(RunRecord rec);
+
+  [[nodiscard]] std::vector<RunRecord> take() { return std::move(records_); }
+
+ private:
+  Journal journal_;
+  std::map<std::string, JournalEntry> journaled_;
+  std::vector<RunRecord> records_;
+};
+
+}  // namespace epgs::harness

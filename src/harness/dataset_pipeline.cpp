@@ -1,0 +1,83 @@
+#include "harness/dataset_pipeline.hpp"
+
+#include <sstream>
+
+#include "core/error.hpp"
+#include "core/mapped_file.hpp"
+
+namespace epgs::harness {
+namespace {
+
+PipelineStats g_stats;
+
+std::string_view kind_name(GraphSpec::Kind k) {
+  switch (k) {
+    case GraphSpec::Kind::kKronecker: return "kron";
+    case GraphSpec::Kind::kPatentsLike: return "patents";
+    case GraphSpec::Kind::kDotaLike: return "dota";
+    case GraphSpec::Kind::kSnapFile: return "snapfile";
+  }
+  return "?";
+}
+
+}  // namespace
+
+PipelineStats& pipeline_stats() { return g_stats; }
+
+void reset_pipeline_stats() { g_stats = {}; }
+
+std::string spec_fingerprint(const GraphSpec& spec) {
+  std::ostringstream os;
+  os << "epgs-ds-v1;kind=" << kind_name(spec.kind);
+  switch (spec.kind) {
+    case GraphSpec::Kind::kKronecker:
+      os << ";scale=" << spec.scale << ";edgefactor=" << spec.edgefactor
+         << ";seed=" << spec.seed;
+      break;
+    case GraphSpec::Kind::kPatentsLike:
+    case GraphSpec::Kind::kDotaLike:
+      os << ";fraction=" << spec.fraction << ";seed=" << spec.seed;
+      break;
+    case GraphSpec::Kind::kSnapFile: {
+      // Digest the file content so the fingerprint follows the data, not
+      // the path: editing the file invalidates, renaming it does not.
+      const MappedFile file(spec.path);
+      os << ";digest=" << content_hash_hex(file.view())
+         << ";bytes=" << file.size();
+      break;
+    }
+  }
+  os << ";sym=" << (spec.symmetrize ? 1 : 0)
+     << ";dedup=" << (spec.deduplicate ? 1 : 0)
+     << ";weights=" << (spec.add_weights ? 1 : 0);
+  if (spec.add_weights) {
+    os << ";maxw=" << spec.max_weight << ";wseed=" << spec.seed;
+  }
+  return os.str();
+}
+
+PreparedDataset prepare_dataset(const GraphSpec& spec,
+                                const DatasetOptions& opts) {
+  EPGS_CHECK(opts.enabled(), "prepare_dataset: dataset pipeline disabled");
+  DatasetCache cache(opts.cache_dir);
+  const std::string fp = spec_fingerprint(spec);
+
+  PreparedDataset out;
+  if (auto entry = cache.lookup(fp)) {
+    ++g_stats.cache_hits;
+    ++g_stats.snapshot_loads;
+    out.entry = std::move(*entry);
+    out.cache_hit = true;
+    out.edges = read_packed_snapshot(out.entry.snapshot);
+    return out;
+  }
+
+  ++g_stats.generator_runs;
+  out.edges = materialize(spec);
+  ++g_stats.homogenize_runs;
+  out.entry = cache.materialize(fp, spec.name(), out.edges);
+  out.cache_hit = false;
+  return out;
+}
+
+}  // namespace epgs::harness

@@ -1,0 +1,52 @@
+// The staged dataset pipeline: GraphSpec -> fingerprint -> cache entry.
+//
+// Sits between the spec-agnostic DatasetCache (graph layer) and the
+// runner: it knows how to canonicalise a GraphSpec into a content
+// fingerprint (generator parameters, or the digest of an input file, plus
+// every preprocessing flag) and how to fill a cache miss by running the
+// generators once.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "graph/dataset_cache.hpp"
+#include "harness/experiment.hpp"
+
+namespace epgs::harness {
+
+/// Process-wide counters over the expensive pipeline stages. Tests assert
+/// on these to prove a warm run re-enters neither the generators nor the
+/// homogenizer.
+struct PipelineStats {
+  std::uint64_t generator_runs = 0;   ///< materialize(spec) executions
+  std::uint64_t homogenize_runs = 0;  ///< cache materializations
+  std::uint64_t snapshot_loads = 0;   ///< packed-snapshot reads
+  std::uint64_t cache_hits = 0;
+};
+
+[[nodiscard]] PipelineStats& pipeline_stats();
+void reset_pipeline_stats();
+
+/// Canonical content fingerprint of a spec: every field that changes the
+/// produced edge list changes the string. A SnapFile spec fingerprints the
+/// *content* of the input file (not its path or mtime), so a moved or
+/// rewritten file is handled correctly.
+[[nodiscard]] std::string spec_fingerprint(const GraphSpec& spec);
+
+/// A dataset ready for a run: the cache entry (native files for every
+/// system) plus the canonical edge list (for roots, oracles, and RAM-mode
+/// systems).
+struct PreparedDataset {
+  CacheEntry entry;
+  bool cache_hit = false;
+  EdgeList edges;
+};
+
+/// Resolve `spec` through the cache at `opts.cache_dir`: a hit loads the
+/// packed snapshot; a miss runs the generators + homogenizer once and
+/// publishes the entry. Requires opts.enabled().
+PreparedDataset prepare_dataset(const GraphSpec& spec,
+                                const DatasetOptions& opts);
+
+}  // namespace epgs::harness

@@ -49,6 +49,21 @@ struct GraphSpec {
 /// Generate/load the graph and apply the configured preprocessing.
 EdgeList materialize(const GraphSpec& spec);
 
+/// Dataset pipeline knobs. When enabled, the runner materializes the
+/// graph through the content-addressed dataset cache (generation +
+/// homogenization happen at most once per content fingerprint) and routes
+/// every system's load through its homogenized native file, so "file
+/// read" phases time real zero-copy I/O. Disabled (the default, and what
+/// --no-cache forces) the runner stages edges from RAM as before.
+struct DatasetOptions {
+  std::string cache_dir;  ///< cache root; empty disables the pipeline
+  bool use_cache = true;  ///< false = legacy in-memory data path
+
+  [[nodiscard]] bool enabled() const {
+    return use_cache && !cache_dir.empty();
+  }
+};
+
 /// Fault-tolerance knobs for the trial supervisor. The defaults disable
 /// every mechanism, so an unconfigured sweep behaves like the original
 /// unsupervised runner (modulo per-unit error containment).
@@ -92,6 +107,8 @@ struct ExperimentConfig {
   bool validate = false;
   /// Watchdog / retry / isolation / journal configuration.
   SupervisorOptions supervisor;
+  /// Dataset cache / zero-copy data path configuration.
+  DatasetOptions dataset;
 };
 
 /// Pick `count` distinct roots with total degree > min_degree (the paper

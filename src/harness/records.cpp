@@ -1,0 +1,127 @@
+#include "harness/records.hpp"
+
+#include <cstdio>
+
+#include "core/error.hpp"
+
+namespace epgs::harness {
+namespace {
+
+constexpr std::size_t kCsvColumns = 12;
+
+const CsvRow& csv_header() {
+  static const CsvRow header{"dataset",  "system", "algorithm", "threads",
+                             "trial",    "phase",  "seconds",   "edges",
+                             "vupdates", "bytes",  "iterations", "outcome"};
+  return header;
+}
+
+double parse_double(const std::string& s, std::string_view col) {
+  try {
+    return s.empty() ? 0.0 : std::stod(s);
+  } catch (const std::exception&) {
+    throw EpgsError("CSV: bad " + std::string(col) + " value: '" + s + "'");
+  }
+}
+
+std::uint64_t parse_u64_field(const std::string& s, std::string_view col) {
+  try {
+    return s.empty() ? 0 : std::stoull(s);
+  } catch (const std::exception&) {
+    throw EpgsError("CSV: bad " + std::string(col) + " value: '" + s + "'");
+  }
+}
+
+int parse_int_field(const std::string& s, std::string_view col) {
+  try {
+    return std::stoi(s);
+  } catch (const std::exception&) {
+    throw EpgsError("CSV: bad " + std::string(col) + " value: '" + s + "'");
+  }
+}
+
+}  // namespace
+
+std::vector<double> ExperimentResult::seconds_of(
+    std::string_view system, std::string_view phase,
+    std::string_view algorithm) const {
+  std::vector<double> out;
+  for (const auto& r : records) {
+    if (r.outcome != Outcome::kSuccess) continue;
+    if (r.system != system || r.phase != phase) continue;
+    if (!algorithm.empty() && r.algorithm != algorithm) continue;
+    out.push_back(r.seconds);
+  }
+  return out;
+}
+
+std::vector<double> ExperimentResult::iterations_of(
+    std::string_view system, std::string_view algorithm) const {
+  std::vector<double> out;
+  for (const auto& r : records) {
+    if (r.outcome != Outcome::kSuccess) continue;
+    if (r.system != system || r.algorithm != algorithm) continue;
+    const auto it = r.extra.find("iterations");
+    if (it != r.extra.end()) out.push_back(std::stod(it->second));
+  }
+  return out;
+}
+
+CsvRow record_to_csv_row(const RunRecord& r) {
+  const auto it = r.extra.find("iterations");
+  char secs[32];
+  std::snprintf(secs, sizeof secs, "%.9g", r.seconds);
+  return {r.dataset,
+          r.system,
+          r.algorithm,
+          std::to_string(r.threads),
+          std::to_string(r.trial),
+          r.phase,
+          secs,
+          std::to_string(r.work.edges_processed),
+          std::to_string(r.work.vertex_updates),
+          std::to_string(r.work.bytes_touched),
+          it == r.extra.end() ? "" : it->second,
+          std::string(outcome_name(r.outcome))};
+}
+
+RunRecord record_from_csv_row(const CsvRow& row) {
+  EPGS_CHECK(row.size() == kCsvColumns,
+             "CSV row has " + std::to_string(row.size()) +
+                 " fields, expected " + std::to_string(kCsvColumns));
+  RunRecord r;
+  r.dataset = row[0];
+  r.system = row[1];
+  r.algorithm = row[2];
+  r.threads = parse_int_field(row[3], "threads");
+  r.trial = parse_int_field(row[4], "trial");
+  r.phase = row[5];
+  r.seconds = parse_double(row[6], "seconds");
+  r.work.edges_processed = parse_u64_field(row[7], "edges");
+  r.work.vertex_updates = parse_u64_field(row[8], "vupdates");
+  r.work.bytes_touched = parse_u64_field(row[9], "bytes");
+  if (!row[10].empty()) r.extra["iterations"] = row[10];
+  r.outcome = outcome_from_name(row[11]);
+  return r;
+}
+
+std::string records_to_csv(const std::vector<RunRecord>& records) {
+  std::vector<CsvRow> rows;
+  rows.push_back(csv_header());
+  for (const auto& r : records) rows.push_back(record_to_csv_row(r));
+  return to_csv(rows);
+}
+
+std::vector<RunRecord> records_from_csv(const std::string& csv) {
+  const auto rows = parse_csv(csv);
+  EPGS_CHECK(!rows.empty(), "empty CSV");
+  EPGS_CHECK(rows[0] == csv_header(),
+             "CSV header does not match the phase-4 record format");
+  std::vector<RunRecord> records;
+  for (std::size_t i = 1; i < rows.size(); ++i) {
+    records.push_back(record_from_csv_row(rows[i]));
+  }
+  return records;
+}
+
+}  // namespace epgs::harness

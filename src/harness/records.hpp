@@ -1,0 +1,71 @@
+// Phase-4 record types: the flat rows every downstream consumer
+// (supervisor journal, CSV emitter, analysis) shares. Kept free of
+// runner/supervisor dependencies so the collect layer can be included by
+// both without cycles.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/csv.hpp"
+#include "core/error.hpp"
+#include "core/phase_log.hpp"
+#include "core/types.hpp"
+
+namespace epgs::harness {
+
+/// One timed phase of one trial: a row of the phase-4 CSV. A non-success
+/// outcome row is a DNF marker: its phase names what was attempted, its
+/// seconds are the time lost, and extra["error"] carries the message.
+struct RunRecord {
+  std::string dataset;
+  std::string system;
+  std::string algorithm;  ///< empty for construction phases
+  int threads = 0;
+  int trial = -1;         ///< root index / repetition; -1 for build-once
+  std::string phase;      ///< "build graph", "run algorithm", ...
+  double seconds = 0.0;
+  WorkStats work;
+  std::map<std::string, std::string> extra;  ///< e.g. iterations
+  Outcome outcome = Outcome::kSuccess;
+};
+
+/// Result of a full experiment.
+struct ExperimentResult {
+  std::vector<RunRecord> records;
+  std::vector<vid_t> roots;
+  /// Verbatim per-system log text (what the parser consumed) for
+  /// inspection, keyed by system name.
+  std::map<std::string, std::string> raw_logs;
+  /// True when the run went through the zero-copy dataset pipeline
+  /// (cache + native-file loads) rather than staging edges from RAM.
+  bool used_dataset_pipeline = false;
+  /// With the pipeline: whether the dataset came from a cache hit.
+  bool dataset_cache_hit = false;
+
+  /// Seconds of every successful record matching the given keys (empty
+  /// algorithm matches any). DNF rows never contribute samples.
+  [[nodiscard]] std::vector<double> seconds_of(
+      std::string_view system, std::string_view phase,
+      std::string_view algorithm = {}) const;
+
+  /// Sum of iterations extra over matching successful records.
+  [[nodiscard]] std::vector<double> iterations_of(
+      std::string_view system, std::string_view algorithm) const;
+};
+
+/// Phase-4 output: render records as CSV (with header).
+std::string records_to_csv(const std::vector<RunRecord>& records);
+
+/// Parse a phase-4 CSV back into records (round-trip tested). Throws
+/// EpgsError on an unrecognised header, a wrong column count, or a field
+/// that fails to parse as its column's type.
+std::vector<RunRecord> records_from_csv(const std::string& csv);
+
+/// Single-row forms, shared by records_to_csv/records_from_csv and the
+/// supervisor's journal (which stores one CSV row per journaled record).
+CsvRow record_to_csv_row(const RunRecord& r);
+RunRecord record_from_csv_row(const CsvRow& row);
+
+}  // namespace epgs::harness

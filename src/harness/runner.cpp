@@ -1,52 +1,21 @@
 #include "harness/runner.hpp"
 
-#include <filesystem>
 #include <memory>
 #include <optional>
+#include <utility>
 
-#include "core/csv.hpp"
 #include "core/error.hpp"
 #include "core/parallel.hpp"
 #include "graph/csr.hpp"
+#include "harness/collector.hpp"
+#include "harness/dataset_pipeline.hpp"
 #include "harness/supervisor.hpp"
+#include "harness/sweep_plan.hpp"
 #include "systems/common/registry.hpp"
 #include "systems/common/validation.hpp"
 
 namespace epgs::harness {
 namespace {
-
-constexpr std::size_t kCsvColumns = 12;
-
-const CsvRow& csv_header() {
-  static const CsvRow header{"dataset",  "system", "algorithm", "threads",
-                             "trial",    "phase",  "seconds",   "edges",
-                             "vupdates", "bytes",  "iterations", "outcome"};
-  return header;
-}
-
-double parse_double(const std::string& s, std::string_view col) {
-  try {
-    return s.empty() ? 0.0 : std::stod(s);
-  } catch (const std::exception&) {
-    throw EpgsError("CSV: bad " + std::string(col) + " value: '" + s + "'");
-  }
-}
-
-std::uint64_t parse_u64_field(const std::string& s, std::string_view col) {
-  try {
-    return s.empty() ? 0 : std::stoull(s);
-  } catch (const std::exception&) {
-    throw EpgsError("CSV: bad " + std::string(col) + " value: '" + s + "'");
-  }
-}
-
-int parse_int_field(const std::string& s, std::string_view col) {
-  try {
-    return std::stoi(s);
-  } catch (const std::exception&) {
-    throw EpgsError("CSV: bad " + std::string(col) + " value: '" + s + "'");
-  }
-}
 
 /// RAII detach of the supervisor token from a system: the token dies with
 /// the attempt, so the system must never keep a pointer past it.
@@ -55,368 +24,279 @@ struct TokenGuard {
   ~TokenGuard() { sys->set_cancellation(nullptr); }
 };
 
-bool algorithm_supported(const Capabilities& caps, Algorithm alg) {
-  switch (alg) {
-    case Algorithm::kBfs: return caps.bfs;
-    case Algorithm::kSssp: return caps.sssp;
-    case Algorithm::kPageRank: return caps.pagerank;
-    case Algorithm::kCdlp: return caps.cdlp;
-    case Algorithm::kLcc: return caps.lcc;
-    case Algorithm::kWcc: return caps.wcc;
-    case Algorithm::kTc: return caps.tc;
-    case Algorithm::kBc: return caps.bc;
+RunRecord failure_record(const SweepPlan& plan,
+                         const std::string& system_name, std::string alg,
+                         int trial, std::string_view phase,
+                         const TrialReport& rep) {
+  RunRecord rec;
+  rec.dataset = plan.dataset;
+  rec.system = system_name;
+  rec.algorithm = std::move(alg);
+  rec.threads = plan.threads;
+  rec.trial = trial;
+  rec.phase = std::string(phase);
+  rec.seconds = rep.elapsed_seconds;
+  rec.outcome = rep.outcome;
+  if (!rep.message.empty()) rec.extra["error"] = rep.message;
+  if (rep.attempts > 1) {
+    rec.extra["attempts"] = std::to_string(rep.attempts);
   }
-  return false;
+  return rec;
+}
+
+/// Execute one system's slice of the plan. Everything decided up front
+/// lives in `sp`; this function only drives the adapter through the
+/// supervisor and hands records to the collector.
+void execute_system_plan(const ExperimentConfig& cfg, const SweepPlan& plan,
+                         const SystemPlan& sp, const EdgeList& el,
+                         const std::vector<vid_t>& roots,
+                         const std::optional<CSRGraph>& oracle_csr,
+                         RecordCollector& collector, Xoshiro256& backoff_rng,
+                         std::map<std::string, std::string>& raw_logs) {
+  const SupervisorOptions& sup = cfg.supervisor;
+  const bool file_mode = plan.data_path == DataPath::kNativeFile;
+
+  std::unique_ptr<System> sys;
+  try {
+    sys = make_system(sp.system);
+  } catch (const std::exception& e) {
+    TrialReport rep;
+    rep.outcome = Outcome::kConfig;
+    rep.message = e.what();
+    collector.add(failure_record(plan, sp.system, "", -1, "configure", rep));
+    return;
+  }
+  ThreadScope scope(plan.threads);
+
+  // Phase 4 in miniature, per unit: serialise the slice of the system's
+  // log this unit appended, parse it back (the AWK idiom), emit records.
+  auto slice_records = [&](const PhaseLog& log_slice, const std::string& alg,
+                           int trial) {
+    const PhaseLog parsed = PhaseLog::parse_log_text(log_slice.to_log_text());
+    std::vector<RunRecord> recs;
+    for (const auto& e : parsed.entries()) {
+      RunRecord rec;
+      rec.dataset = plan.dataset;
+      rec.system = sp.system;
+      rec.algorithm = alg;
+      rec.threads = plan.threads;
+      rec.trial = trial;
+      rec.phase = e.name;
+      rec.seconds = e.seconds;
+      rec.work = e.work;
+      rec.extra = e.extra;
+      recs.push_back(std::move(rec));
+    }
+    return recs;
+  };
+
+  // Stage the data. On the native-file path, separate-construction
+  // systems get a supervised in-parent "file read" unit so the phase
+  // times real zero-copy I/O; fused systems (GraphBIG, PowerGraph) only
+  // record the path here — build() reads it, timed as one fused phase.
+  if (file_mode) {
+    if (sp.separate_construction) {
+      SupervisorOptions load_opts = sup;
+      load_opts.isolate = false;  // the staged edges must live in-parent
+      const TrialReport rep = supervise_unit(
+          [&](CancellationToken& token) {
+            sys->set_cancellation(&token);
+            TokenGuard guard{sys.get()};
+            const std::size_t mark = sys->log().entries().size();
+            sys->load_file(sp.native_file);
+            return slice_records(sys->log().slice(mark), "", -1);
+          },
+          load_opts, backoff_rng);
+      if (rep.outcome != Outcome::kSuccess) {
+        // Not journaled: a resume should retry the load.
+        collector.add(failure_record(plan, sp.system, "", -1,
+                                     phase::kFileRead, rep));
+        return;
+      }
+      // On resume the journal already holds this load's records; the
+      // reload only restores the staged edges and is not re-journaled.
+      if (!sp.load_replayed) collector.store(sp.load_key, rep.records, rep);
+    } else {
+      sys->load_file(sp.native_file);
+    }
+  }
+
+  // Build-once systems (Graph500 "only constructs its graph once",
+  // fused-build systems when per-trial reconstruction is off) build in
+  // the parent — isolated children must inherit the built structure —
+  // lazily, so a fully journaled system is never rebuilt on resume.
+  bool once_built = false;
+  bool build_failed = false;
+  auto ensure_built = [&]() {
+    if (once_built || build_failed) return once_built;
+    SupervisorOptions build_opts = sup;
+    build_opts.isolate = false;  // the structure must live in-parent
+    const TrialReport rep = supervise_unit(
+        [&](CancellationToken& token) {
+          sys->set_cancellation(&token);
+          TokenGuard guard{sys.get()};
+          const std::size_t mark = sys->log().entries().size();
+          if (!file_mode) sys->set_edges(el);
+          sys->build();
+          return slice_records(sys->log().slice(mark), "", -1);
+        },
+        build_opts, backoff_rng);
+    if (rep.outcome == Outcome::kSuccess) {
+      once_built = true;
+      // On resume the journal already holds (and replay already emitted)
+      // this build's records; the rebuild only restores the in-memory
+      // structure and is not re-journaled.
+      if (!sp.build_replayed) collector.store(sp.build_key, rep.records, rep);
+    } else {
+      build_failed = true;
+      // Not journaled: a failed build should be retried by a resume.
+      collector.add(
+          failure_record(plan, sp.system, "", -1, phase::kBuild, rep));
+    }
+    return once_built;
+  };
+
+  for (const PlannedTrial& t : sp.trials) {
+    if (build_failed) break;
+    if (t.replayed) continue;  // replayed, not re-run
+    if (!sp.rebuild_per_trial && !ensure_built()) break;
+
+    const vid_t root = roots[static_cast<std::size_t>(t.trial)];
+    const UnitFn unit = [&](CancellationToken& token) {
+      sys->set_cancellation(&token);
+      TokenGuard guard{sys.get()};
+      const std::size_t mark = sys->log().entries().size();
+      if (sp.rebuild_per_trial) {
+        // On the file path the edges staged by the load unit persist
+        // across builds; re-staging from RAM is the legacy path.
+        if (!file_mode) sys->set_edges(el);
+        sys->build();
+      }
+      auto check = [&](const ValidationError& err, std::string_view what) {
+        if (err) {
+          throw ValidationFailedError(sp.system + " " + std::string(what) +
+                                      " invalid: " + *err);
+        }
+      };
+      switch (t.alg) {
+        case Algorithm::kBfs: {
+          auto res = sys->bfs(root);
+          if (cfg.validate) check(validate_bfs(*oracle_csr, res), "BFS");
+          break;
+        }
+        case Algorithm::kSssp: {
+          auto res = sys->sssp(root);
+          if (cfg.validate) {
+            check(validate_sssp(*oracle_csr, res), "SSSP");
+          }
+          break;
+        }
+        case Algorithm::kPageRank: {
+          auto res = sys->pagerank(cfg.pagerank);
+          if (cfg.validate && t.trial == 0) {
+            check(validate_pagerank(res), "PageRank");
+          }
+          break;
+        }
+        case Algorithm::kCdlp:
+          (void)sys->cdlp(cfg.cdlp_iterations);
+          break;
+        case Algorithm::kLcc:
+          (void)sys->lcc();
+          break;
+        case Algorithm::kWcc: {
+          auto res = sys->wcc();
+          if (cfg.validate && t.trial == 0) {
+            check(validate_wcc(el, res), "WCC");
+          }
+          break;
+        }
+        case Algorithm::kTc:
+          (void)sys->tc();
+          break;
+        case Algorithm::kBc:
+          (void)sys->bc(root);
+          break;
+      }
+      return slice_records(sys->log().slice(mark), t.alg_name, t.trial);
+
+      // LCC/WCC/CDLP/PageRank are deterministic per trial; still run
+      // them num_roots times as the paper does ("for PageRank, we
+      // simply run the algorithm 32 times").
+    };
+
+    TrialReport rep = supervise_unit(unit, sup, backoff_rng);
+    if (rep.outcome == Outcome::kSuccess) {
+      if (rep.attempts > 1) {
+        for (auto& rec : rep.records) {
+          rec.extra["attempts"] = std::to_string(rep.attempts);
+        }
+      }
+      collector.store(t.key, std::move(rep.records), rep);
+    } else {
+      collector.store(t.key,
+                      {failure_record(plan, sp.system, t.alg_name, t.trial,
+                                      phase::kAlgorithm, rep)},
+                      rep);
+    }
+  }
+
+  // Verbatim parent-side log text for inspection. Units that ran in
+  // isolated children logged in the child; their records travelled back
+  // over the pipe but their raw text did not.
+  if (!sys->log().entries().empty()) {
+    raw_logs[sp.system] = sys->log().to_log_text();
+  }
 }
 
 }  // namespace
-
-std::vector<double> ExperimentResult::seconds_of(
-    std::string_view system, std::string_view phase,
-    std::string_view algorithm) const {
-  std::vector<double> out;
-  for (const auto& r : records) {
-    if (r.outcome != Outcome::kSuccess) continue;
-    if (r.system != system || r.phase != phase) continue;
-    if (!algorithm.empty() && r.algorithm != algorithm) continue;
-    out.push_back(r.seconds);
-  }
-  return out;
-}
-
-std::vector<double> ExperimentResult::iterations_of(
-    std::string_view system, std::string_view algorithm) const {
-  std::vector<double> out;
-  for (const auto& r : records) {
-    if (r.outcome != Outcome::kSuccess) continue;
-    if (r.system != system || r.algorithm != algorithm) continue;
-    const auto it = r.extra.find("iterations");
-    if (it != r.extra.end()) out.push_back(std::stod(it->second));
-  }
-  return out;
-}
 
 ExperimentResult run_experiment(const ExperimentConfig& cfg) {
   EPGS_CHECK(!cfg.systems.empty(), "no systems configured");
   EPGS_CHECK(!cfg.algorithms.empty(), "no algorithms configured");
   const SupervisorOptions& sup = cfg.supervisor;
 
-  const EdgeList el = materialize(cfg.graph);
-  const std::string dataset = cfg.graph.name();
-
+  // Materialize: through the content-addressed cache (and on to the
+  // native-file data path) when the pipeline is enabled, else the legacy
+  // in-RAM path.
   ExperimentResult result;
+  EdgeList el;
+  std::optional<HomogenizedDataset> files;
+  if (cfg.dataset.enabled()) {
+    PreparedDataset prep = prepare_dataset(cfg.graph, cfg.dataset);
+    el = std::move(prep.edges);
+    files = std::move(prep.entry.files);
+    result.used_dataset_pipeline = true;
+    result.dataset_cache_hit = prep.cache_hit;
+  } else {
+    el = materialize(cfg.graph);
+  }
+
   result.roots = select_roots(el, cfg.num_roots, cfg.root_seed);
 
   // Oracles for optional validation.
   std::optional<CSRGraph> oracle_csr;
   if (cfg.validate) oracle_csr = CSRGraph::from_edges(el);
 
-  const int threads = cfg.threads > 0 ? cfg.threads : max_threads();
+  // Collect: journal replay (on --resume) happens before planning so the
+  // plan can mark every already-finished unit.
+  RecordCollector collector(sup, config_fingerprint(cfg));
+  collector.emit_replayed(cfg.systems);
 
-  // Journal: replay completed units (any outcome) on --resume, then keep
-  // appending; otherwise start a fresh journal.
-  const std::string fingerprint = config_fingerprint(cfg);
-  std::map<std::string, JournalEntry> journaled;
-  Journal journal;
-  if (!sup.journal_path.empty()) {
-    if (sup.resume && std::filesystem::exists(sup.journal_path)) {
-      for (auto& e : replay_journal(sup.journal_path, fingerprint)) {
-        journaled.emplace(e.key, std::move(e));
-      }
-      journal.open_append(sup.journal_path);
-    } else {
-      journal.open_fresh(sup.journal_path, fingerprint);
-    }
-  }
+  // Plan: every unit and every data-path/rebuild/replay decision, up
+  // front.
+  const SweepPlan plan =
+      plan_sweep(cfg, files ? &*files : nullptr, collector.journaled());
 
-  // Emit the replayed records up front (only for systems still configured;
-  // the fingerprint deliberately omits the system list so a resumed sweep
-  // may add or drop systems).
-  for (const auto& [key, entry] : journaled) {
-    const std::string sys_of_key = key.substr(0, key.find('|'));
-    bool configured = false;
-    for (const auto& s : cfg.systems) configured |= (s == sys_of_key);
-    if (!configured) continue;
-    result.records.insert(result.records.end(), entry.records.begin(),
-                          entry.records.end());
-  }
-
+  // Execute.
   Xoshiro256 backoff_rng(sup.backoff_seed);
-
-  auto failure_record = [&](const std::string& system_name, std::string alg,
-                            int trial, std::string_view phase,
-                            const TrialReport& rep) {
-    RunRecord rec;
-    rec.dataset = dataset;
-    rec.system = system_name;
-    rec.algorithm = std::move(alg);
-    rec.threads = threads;
-    rec.trial = trial;
-    rec.phase = std::string(phase);
-    rec.seconds = rep.elapsed_seconds;
-    rec.outcome = rep.outcome;
-    if (!rep.message.empty()) rec.extra["error"] = rep.message;
-    if (rep.attempts > 1) {
-      rec.extra["attempts"] = std::to_string(rep.attempts);
-    }
-    return rec;
-  };
-
-  for (const auto& system_name : cfg.systems) {
-    std::unique_ptr<System> sys;
-    try {
-      sys = make_system(system_name);
-    } catch (const std::exception& e) {
-      // A bad name fails this system only; the sweep continues.
-      TrialReport rep;
-      rep.outcome = Outcome::kConfig;
-      rep.message = e.what();
-      result.records.push_back(
-          failure_record(system_name, "", -1, "configure", rep));
-      continue;
-    }
-    ThreadScope scope(threads);
-
-    const bool rebuild_per_trial =
-        cfg.reconstruct_per_trial &&
-        sys->capabilities().separate_construction &&
-        sys->name() != "Graph500";
-
-    // Phase 4 in miniature, per unit: serialise the slice of the system's
-    // log this unit appended, parse it back (the AWK idiom), emit records.
-    auto slice_records = [&](const PhaseLog& log_slice,
-                             const std::string& alg, int trial) {
-      const PhaseLog parsed =
-          PhaseLog::parse_log_text(log_slice.to_log_text());
-      std::vector<RunRecord> recs;
-      for (const auto& e : parsed.entries()) {
-        RunRecord rec;
-        rec.dataset = dataset;
-        rec.system = system_name;
-        rec.algorithm = alg;
-        rec.threads = threads;
-        rec.trial = trial;
-        rec.phase = e.name;
-        rec.seconds = e.seconds;
-        rec.work = e.work;
-        rec.extra = e.extra;
-        recs.push_back(std::move(rec));
-      }
-      return recs;
-    };
-
-    auto store_and_journal = [&](const std::string& key,
-                                 std::vector<RunRecord> recs,
-                                 const TrialReport& rep) {
-      TrialReport journaled_rep;
-      journaled_rep.outcome = rep.outcome;
-      journaled_rep.attempts = rep.attempts;
-      journaled_rep.message = rep.message;
-      journaled_rep.elapsed_seconds = rep.elapsed_seconds;
-      journaled_rep.records = recs;
-      journal.append(key, journaled_rep);
-      result.records.insert(result.records.end(),
-                            std::make_move_iterator(recs.begin()),
-                            std::make_move_iterator(recs.end()));
-    };
-
-    // Build-once systems (Graph500 "only constructs its graph once",
-    // fused-build systems when per-trial reconstruction is off) build in
-    // the parent — isolated children must inherit the built structure —
-    // lazily, so a fully journaled system is never rebuilt on resume.
-    bool once_built = false;
-    bool build_failed = false;
-    const std::string build_key = system_name + "|build|-1";
-    auto ensure_built = [&]() {
-      if (once_built || build_failed) return once_built;
-      const bool replayed = journaled.count(build_key) != 0;
-      SupervisorOptions build_opts = sup;
-      build_opts.isolate = false;  // the structure must live in-parent
-      const TrialReport rep = supervise_unit(
-          [&](CancellationToken& token) {
-            sys->set_cancellation(&token);
-            TokenGuard guard{sys.get()};
-            const std::size_t mark = sys->log().entries().size();
-            sys->set_edges(el);
-            sys->build();
-            return slice_records(sys->log().slice(mark), "", -1);
-          },
-          build_opts, backoff_rng);
-      if (rep.outcome == Outcome::kSuccess) {
-        once_built = true;
-        // On resume the journal already holds (and replay already
-        // emitted) this build's records; the rebuild only restores the
-        // in-memory structure and is not re-journaled.
-        if (!replayed) store_and_journal(build_key, rep.records, rep);
-      } else {
-        build_failed = true;
-        // Not journaled: a failed build should be retried by a resume.
-        result.records.push_back(
-            failure_record(system_name, "", -1, phase::kBuild, rep));
-      }
-      return once_built;
-    };
-
-    for (const Algorithm alg : cfg.algorithms) {
-      if (build_failed) break;
-      if (!algorithm_supported(sys->capabilities(), alg)) {
-        continue;  // the paper's plots just omit the bar
-      }
-      const std::string alg_name(algorithm_name(alg));
-
-      for (int trial = 0; trial < cfg.num_roots; ++trial) {
-        const std::string key =
-            system_name + "|" + alg_name + "|" + std::to_string(trial);
-        if (journaled.count(key) != 0) continue;  // replayed, not re-run
-        if (!rebuild_per_trial && !ensure_built()) break;
-
-        const vid_t root = result.roots[static_cast<std::size_t>(trial)];
-        const UnitFn unit = [&](CancellationToken& token) {
-          sys->set_cancellation(&token);
-          TokenGuard guard{sys.get()};
-          const std::size_t mark = sys->log().entries().size();
-          if (rebuild_per_trial) {
-            sys->set_edges(el);
-            sys->build();
-          }
-          auto check = [&](const ValidationError& err,
-                           std::string_view what) {
-            if (err) {
-              throw ValidationFailedError(system_name + " " +
-                                          std::string(what) +
-                                          " invalid: " + *err);
-            }
-          };
-          switch (alg) {
-            case Algorithm::kBfs: {
-              auto res = sys->bfs(root);
-              if (cfg.validate) check(validate_bfs(*oracle_csr, res), "BFS");
-              break;
-            }
-            case Algorithm::kSssp: {
-              auto res = sys->sssp(root);
-              if (cfg.validate) {
-                check(validate_sssp(*oracle_csr, res), "SSSP");
-              }
-              break;
-            }
-            case Algorithm::kPageRank: {
-              auto res = sys->pagerank(cfg.pagerank);
-              if (cfg.validate && trial == 0) {
-                check(validate_pagerank(res), "PageRank");
-              }
-              break;
-            }
-            case Algorithm::kCdlp:
-              (void)sys->cdlp(cfg.cdlp_iterations);
-              break;
-            case Algorithm::kLcc:
-              (void)sys->lcc();
-              break;
-            case Algorithm::kWcc: {
-              auto res = sys->wcc();
-              if (cfg.validate && trial == 0) {
-                check(validate_wcc(el, res), "WCC");
-              }
-              break;
-            }
-            case Algorithm::kTc:
-              (void)sys->tc();
-              break;
-            case Algorithm::kBc:
-              (void)sys->bc(root);
-              break;
-          }
-          return slice_records(sys->log().slice(mark), alg_name, trial);
-
-          // LCC/WCC/CDLP/PageRank are deterministic per trial; still run
-          // them num_roots times as the paper does ("for PageRank, we
-          // simply run the algorithm 32 times").
-        };
-
-        TrialReport rep = supervise_unit(unit, sup, backoff_rng);
-        if (rep.outcome == Outcome::kSuccess) {
-          if (rep.attempts > 1) {
-            for (auto& rec : rep.records) {
-              rec.extra["attempts"] = std::to_string(rep.attempts);
-            }
-          }
-          store_and_journal(key, std::move(rep.records), rep);
-        } else {
-          store_and_journal(
-              key,
-              {failure_record(system_name, alg_name, trial,
-                              phase::kAlgorithm, rep)},
-              rep);
-        }
-      }
-    }
-
-    // Verbatim parent-side log text for inspection. Units that ran in
-    // isolated children logged in the child; their records travelled back
-    // over the pipe but their raw text did not.
-    if (!sys->log().entries().empty()) {
-      result.raw_logs[system_name] = sys->log().to_log_text();
-    }
+  for (const SystemPlan& sp : plan.systems) {
+    execute_system_plan(cfg, plan, sp, el, result.roots, oracle_csr,
+                        collector, backoff_rng, result.raw_logs);
   }
+
+  result.records = collector.take();
   return result;
-}
-
-CsvRow record_to_csv_row(const RunRecord& r) {
-  const auto it = r.extra.find("iterations");
-  char secs[32];
-  std::snprintf(secs, sizeof secs, "%.9g", r.seconds);
-  return {r.dataset,
-          r.system,
-          r.algorithm,
-          std::to_string(r.threads),
-          std::to_string(r.trial),
-          r.phase,
-          secs,
-          std::to_string(r.work.edges_processed),
-          std::to_string(r.work.vertex_updates),
-          std::to_string(r.work.bytes_touched),
-          it == r.extra.end() ? "" : it->second,
-          std::string(outcome_name(r.outcome))};
-}
-
-RunRecord record_from_csv_row(const CsvRow& row) {
-  EPGS_CHECK(row.size() == kCsvColumns,
-             "CSV row has " + std::to_string(row.size()) +
-                 " fields, expected " + std::to_string(kCsvColumns));
-  RunRecord r;
-  r.dataset = row[0];
-  r.system = row[1];
-  r.algorithm = row[2];
-  r.threads = parse_int_field(row[3], "threads");
-  r.trial = parse_int_field(row[4], "trial");
-  r.phase = row[5];
-  r.seconds = parse_double(row[6], "seconds");
-  r.work.edges_processed = parse_u64_field(row[7], "edges");
-  r.work.vertex_updates = parse_u64_field(row[8], "vupdates");
-  r.work.bytes_touched = parse_u64_field(row[9], "bytes");
-  if (!row[10].empty()) r.extra["iterations"] = row[10];
-  r.outcome = outcome_from_name(row[11]);
-  return r;
-}
-
-std::string records_to_csv(const std::vector<RunRecord>& records) {
-  std::vector<CsvRow> rows;
-  rows.push_back(csv_header());
-  for (const auto& r : records) rows.push_back(record_to_csv_row(r));
-  return to_csv(rows);
-}
-
-std::vector<RunRecord> records_from_csv(const std::string& csv) {
-  const auto rows = parse_csv(csv);
-  EPGS_CHECK(!rows.empty(), "empty CSV");
-  EPGS_CHECK(rows[0] == csv_header(),
-             "CSV header does not match the phase-4 record format");
-  std::vector<RunRecord> records;
-  for (std::size_t i = 1; i < rows.size(); ++i) {
-    records.push_back(record_from_csv_row(rows[i]));
-  }
-  return records;
 }
 
 }  // namespace epgs::harness

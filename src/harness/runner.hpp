@@ -1,75 +1,31 @@
 // The experiment runner: phases 3 (run) and 4 (parse logs into CSV) of
 // easy-parallel-graph-*.
 //
-// For every configured system the runner drives the common adapter
-// life-cycle, then — exactly like the original tool's AWK scripts — reads
-// everything back by *serialising each system's phase log to text and
-// parsing it*, producing one flat record per timed phase. Nothing in the
-// analysis path touches system internals.
+// The runner is split into three stages:
+//
+//   plan    — sweep_plan.hpp enumerates every (system, algorithm, trial)
+//             unit and resolves data-path / cache / journal-replay /
+//             rebuild decisions up front;
+//   execute — run_experiment drives each planned unit through the trial
+//             supervisor, reading everything back by *serialising each
+//             system's phase log to text and parsing it* (the original
+//             tool's AWK idiom);
+//   collect — collector.hpp journals finished units and accumulates the
+//             flat phase records; records.hpp renders them as CSV.
 #pragma once
 
-#include <map>
-#include <string>
-#include <vector>
-
-#include "core/csv.hpp"
-#include "core/error.hpp"
-#include "core/phase_log.hpp"
 #include "harness/experiment.hpp"
+#include "harness/records.hpp"
 
 namespace epgs::harness {
 
-/// One timed phase of one trial: a row of the phase-4 CSV. A non-success
-/// outcome row is a DNF marker: its phase names what was attempted, its
-/// seconds are the time lost, and extra["error"] carries the message.
-struct RunRecord {
-  std::string dataset;
-  std::string system;
-  std::string algorithm;  ///< empty for construction phases
-  int threads = 0;
-  int trial = -1;         ///< root index / repetition; -1 for build-once
-  std::string phase;      ///< "build graph", "run algorithm", ...
-  double seconds = 0.0;
-  WorkStats work;
-  std::map<std::string, std::string> extra;  ///< e.g. iterations
-  Outcome outcome = Outcome::kSuccess;
-};
-
-/// Result of a full experiment.
-struct ExperimentResult {
-  std::vector<RunRecord> records;
-  std::vector<vid_t> roots;
-  /// Verbatim per-system log text (what the parser consumed) for
-  /// inspection, keyed by system name.
-  std::map<std::string, std::string> raw_logs;
-
-  /// Seconds of every successful record matching the given keys (empty
-  /// algorithm matches any). DNF rows never contribute samples.
-  [[nodiscard]] std::vector<double> seconds_of(
-      std::string_view system, std::string_view phase,
-      std::string_view algorithm = {}) const;
-
-  /// Sum of iterations extra over matching successful records.
-  [[nodiscard]] std::vector<double> iterations_of(
-      std::string_view system, std::string_view algorithm) const;
-};
-
 /// Run the experiment. Throws EpgsError on configuration errors; systems
 /// lacking a requested algorithm are skipped for that algorithm (the
-/// paper's plots simply omit those bars).
+/// paper's plots simply omit those bars). When cfg.dataset is enabled the
+/// run goes through the zero-copy dataset pipeline: the graph is
+/// materialized once into the content-addressed cache and every
+/// separate-construction system loads its own native file (so "file read"
+/// times real I/O).
 ExperimentResult run_experiment(const ExperimentConfig& cfg);
-
-/// Phase-4 output: render records as CSV (with header).
-std::string records_to_csv(const std::vector<RunRecord>& records);
-
-/// Parse a phase-4 CSV back into records (round-trip tested). Throws
-/// EpgsError on an unrecognised header, a wrong column count, or a field
-/// that fails to parse as its column's type.
-std::vector<RunRecord> records_from_csv(const std::string& csv);
-
-/// Single-row forms, shared by records_to_csv/records_from_csv and the
-/// supervisor's journal (which stores one CSV row per journaled record).
-CsvRow record_to_csv_row(const RunRecord& r);
-RunRecord record_from_csv_row(const CsvRow& row);
 
 }  // namespace epgs::harness

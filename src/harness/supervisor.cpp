@@ -399,6 +399,9 @@ std::string config_fingerprint(const ExperimentConfig& cfg) {
      << ";validate=" << (cfg.validate ? 1 : 0)
      << ";cdlp_it=" << cfg.cdlp_iterations << ";algs=";
   for (const Algorithm a : cfg.algorithms) os << algorithm_name(a) << ',';
+  // The data path changes the unit set (native-file mode adds load
+  // units), so a journal from one mode must not resume the other.
+  os << ";datapath=" << (cfg.dataset.enabled() ? "file" : "ram");
   return os.str();
 }
 

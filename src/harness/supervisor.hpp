@@ -30,7 +30,8 @@
 #include "core/cancellation.hpp"
 #include "core/error.hpp"
 #include "core/rng.hpp"
-#include "harness/runner.hpp"
+#include "harness/experiment.hpp"
+#include "harness/records.hpp"
 
 namespace epgs::harness {
 

@@ -35,6 +35,22 @@ void corrupt_result(R& r) {
   }
 }
 
+/// On-disk size of a native dataset: a plain file's size, or the sum over
+/// a directory (GraphBIG's vertex.csv + edge.csv).
+std::uint64_t path_bytes(const std::filesystem::path& path) {
+  std::error_code ec;
+  if (std::filesystem::is_directory(path, ec)) {
+    std::uint64_t total = 0;
+    for (const auto& ent :
+         std::filesystem::recursive_directory_iterator(path, ec)) {
+      if (ent.is_regular_file(ec)) total += ent.file_size(ec);
+    }
+    return total;
+  }
+  const auto size = std::filesystem::file_size(path, ec);
+  return ec ? 0 : size;
+}
+
 EdgeList read_native(GraphFormat fmt, const std::filesystem::path& path) {
   switch (fmt) {
     case GraphFormat::kSnapText: return read_snap_file(path);
@@ -59,13 +75,16 @@ void System::set_edges(EdgeList edges) {
 
 void System::load_file(const std::filesystem::path& path) {
   if (capabilities().separate_construction) {
+    const std::uint64_t file_bytes = path_bytes(path);
     WallTimer t;
     EdgeList el = read_native(native_format(), path);
     const double secs = t.seconds();
+    // bytes_touched is the real on-disk size of what the loader mapped,
+    // not the in-RAM edge-list footprint.
     log_.add(std::string(phase::kFileRead), secs,
              WorkStats{.edges_processed = el.num_edges(),
                        .vertex_updates = el.num_vertices,
-                       .bytes_touched = el.num_edges() * sizeof(Edge)});
+                       .bytes_touched = file_bytes});
     set_edges(std::move(el));
   } else {
     // Fused read+build systems (GraphBIG, PowerGraph): defer the read so

@@ -343,5 +343,47 @@ TEST(Cli, RunSsspAutoWeights) {
   EXPECT_TRUE(fs::exists(csv));
 }
 
+TEST(Cli, PrepareMissThenHit) {
+  TempDir dir;
+  const auto cache = (dir.path() / "cache").string();
+  const std::vector<std::string> argv = {
+      "prepare", "--kind", "kron", "--scale", "6", "--edgefactor", "4",
+      "--cache-dir", cache};
+  std::string out;
+  ASSERT_EQ(run_cli(argv, &out), 0) << out;
+  EXPECT_NE(out.find("cache miss"), std::string::npos);
+  ASSERT_EQ(run_cli(argv, &out), 0) << out;
+  EXPECT_NE(out.find("cache hit"), std::string::npos);
+}
+
+TEST(Cli, RunCacheDirWarmHitAndNoCacheBypass) {
+  TempDir dir;
+  const auto cache = (dir.path() / "cache").string();
+  const auto csv = (dir.path() / "r.csv").string();
+  const std::vector<std::string> base = {
+      "run", "--kind", "kron", "--scale", "6", "--edgefactor", "4",
+      "--systems", "GAP", "--algorithms", "BFS", "--roots", "2",
+      "--threads", "1", "--csv", csv};
+
+  auto with = [&](std::initializer_list<std::string> extra) {
+    std::vector<std::string> argv = base;
+    argv.insert(argv.end(), extra);
+    return argv;
+  };
+
+  std::string out;
+  ASSERT_EQ(run_cli(with({"--cache-dir", cache}), &out), 0) << out;
+  EXPECT_NE(out.find("cache miss"), std::string::npos);
+
+  // epg prepare warms exactly the cache epg run reads.
+  ASSERT_EQ(run_cli(with({"--cache-dir", cache}), &out), 0) << out;
+  EXPECT_NE(out.find("cache hit"), std::string::npos);
+
+  ASSERT_EQ(run_cli(with({"--cache-dir", cache, "--no-cache"}), &out), 0)
+      << out;
+  EXPECT_EQ(out.find("cache hit"), std::string::npos) << out;
+  EXPECT_EQ(out.find("cache miss"), std::string::npos) << out;
+}
+
 }  // namespace
 }  // namespace epgs::cli

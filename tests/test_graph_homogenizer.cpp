@@ -151,5 +151,85 @@ TEST(Homogenizer, GraphMatMtxIsOneIndexed) {
   fs::remove_all(dir);
 }
 
+/// Malformed numerics must raise a typed ParseError, not silently default
+/// the field (the old sscanf/istringstream readers did the latter).
+class ReaderRejection : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() / "epgs_homog_reject";
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  fs::path write(const std::string& name, const std::string& text) {
+    const auto p = dir_ / name;
+    std::ofstream(p) << text;
+    return p;
+  }
+
+  fs::path dir_;
+};
+
+TEST_F(ReaderRejection, MtxBadIndexAndWeight) {
+  const auto bad_id = write("a.mtx",
+                            "%%MatrixMarket matrix coordinate pattern "
+                            "general\n2 2 1\n1 two\n");
+  EXPECT_THROW(read_graphmat_mtx(bad_id), ParseError);
+  const auto bad_w = write("b.mtx",
+                           "%%MatrixMarket matrix coordinate real "
+                           "general\n2 2 1\n1 2 heavy\n");
+  EXPECT_THROW(read_graphmat_mtx(bad_w), ParseError);
+}
+
+TEST_F(ReaderRejection, PowerGraphTsvBadFields) {
+  EXPECT_THROW(read_powergraph_tsv(write("a.tsv", "1\tx\n")), ParseError);
+  EXPECT_THROW(read_powergraph_tsv(write("b.tsv", "1\t2\theavy\n")),
+               ParseError);
+  EXPECT_THROW(read_powergraph_tsv(write("c.tsv", "#nv\tmany\n")),
+               ParseError);
+}
+
+TEST_F(ReaderRejection, GraphBigCsvBadFieldsAndTrailingJunk) {
+  const auto mk = [&](const std::string& edge_csv) {
+    const auto d = dir_ / "gb";
+    fs::create_directories(d);
+    std::ofstream(d / "vertex.csv") << "id\n0\n1\n";
+    std::ofstream(d / "edge.csv") << edge_csv;
+    return d;
+  };
+  EXPECT_THROW(read_graphbig_csv(mk("src,dst\n0,one\n")), ParseError);
+  EXPECT_THROW(read_graphbig_csv(mk("src,dst,weight\n0,1,w\n")),
+               ParseError);
+  EXPECT_THROW(read_graphbig_csv(mk("src,dst\n0,1,junk\n")), ParseError);
+}
+
+TEST_F(ReaderRejection, LigraAdjBadCountAndTruncation) {
+  EXPECT_THROW(read_ligra_adj(write("a.adj", "AdjacencyGraph\nx\n1\n")),
+               ParseError);
+  // Declares 2 vertices / 1 edge but the token stream ends early.
+  EXPECT_THROW(read_ligra_adj(write("b.adj", "AdjacencyGraph\n2\n1\n0\n")),
+               ParseError);
+}
+
+TEST_F(ReaderRejection, SnapBadWeight) {
+  EXPECT_THROW(read_snap_file(write("a.snap", "0\t1\theavy\n")), ParseError);
+  EXPECT_THROW(read_snap_file(write("b.snap", "0\n")), ParseError);
+}
+
+TEST_F(ReaderRejection, BinaryTruncationDetected) {
+  EdgeList el;
+  el.num_vertices = 3;
+  el.edges = {Edge{0, 1, 1.0f}, Edge{1, 2, 1.0f}};
+  const auto g500 = dir_ / "g.g500";
+  write_graph500_bin(g500, el);
+  fs::resize_file(g500, fs::file_size(g500) - 3);
+  EXPECT_THROW(read_graph500_bin(g500), EpgsError);
+
+  const auto sg = dir_ / "g.sg";
+  write_gap_sg(sg, el);
+  fs::resize_file(sg, fs::file_size(sg) - 3);
+  EXPECT_THROW(read_gap_sg(sg), EpgsError);
+}
+
 }  // namespace
 }  // namespace epgs

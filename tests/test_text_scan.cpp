@@ -1,0 +1,91 @@
+// The shared from_chars tokenizer behind every text-format reader.
+#include "core/text_scan.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/error.hpp"
+
+namespace epgs::text {
+namespace {
+
+TEST(LineScanner, SplitsLinesAndCountsFromOne) {
+  LineScanner lines("a\nb\n\nc");
+  std::string_view line;
+  ASSERT_TRUE(lines.next(line));
+  EXPECT_EQ(line, "a");
+  EXPECT_EQ(lines.line_no(), 1u);
+  ASSERT_TRUE(lines.next(line));
+  EXPECT_EQ(line, "b");
+  ASSERT_TRUE(lines.next(line));
+  EXPECT_EQ(line, "");
+  ASSERT_TRUE(lines.next(line));
+  EXPECT_EQ(line, "c");  // no trailing newline
+  EXPECT_EQ(lines.line_no(), 4u);
+  EXPECT_FALSE(lines.next(line));
+}
+
+TEST(LineScanner, EmptyInputYieldsNoLines) {
+  LineScanner lines("");
+  std::string_view line;
+  EXPECT_FALSE(lines.next(line));
+}
+
+TEST(NextToken, SkipsWhitespaceIncludingCarriageReturn) {
+  std::string_view line = "  12\t34 56\r";
+  EXPECT_EQ(next_token(line), "12");
+  EXPECT_EQ(next_token(line), "34");
+  EXPECT_EQ(next_token(line), "56");
+  EXPECT_EQ(next_token(line), "");  // exhausted
+}
+
+TEST(NextField, SplitsOnDelimiterKeepingEmptyFields) {
+  std::string_view line = "a,,c";
+  EXPECT_EQ(next_field(line, ','), "a");
+  EXPECT_EQ(next_field(line, ','), "");
+  EXPECT_EQ(next_field(line, ','), "c");
+  EXPECT_TRUE(line.empty());
+}
+
+TEST(NextField, StripsTrailingCarriageReturn) {
+  std::string_view line = "1,2\r";
+  EXPECT_EQ(next_field(line, ','), "1");
+  EXPECT_EQ(next_field(line, ','), "2");
+}
+
+TEST(ParseU64, AcceptsFullTokenOnly) {
+  EXPECT_EQ(parse_u64("42", "t", "x", 1), 42u);
+  EXPECT_THROW((void)parse_u64("", "t", "x", 1), ParseError);
+  EXPECT_THROW((void)parse_u64("4x2", "t", "x", 1), ParseError);
+  EXPECT_THROW((void)parse_u64("-1", "t", "x", 1), ParseError);
+  EXPECT_THROW((void)parse_u64("3.5", "t", "x", 1), ParseError);
+}
+
+TEST(ParseDouble, AcceptsWriterForms) {
+  EXPECT_DOUBLE_EQ(parse_double("2.5", "t", "w", 1), 2.5);
+  EXPECT_DOUBLE_EQ(parse_double("1e-3", "t", "w", 1), 1e-3);
+  EXPECT_DOUBLE_EQ(parse_double("-4", "t", "w", 1), -4.0);
+  EXPECT_THROW((void)parse_double("fast", "t", "w", 1), ParseError);
+  EXPECT_THROW((void)parse_double("1.2.3", "t", "w", 1), ParseError);
+}
+
+TEST(ParseVid, EnforcesThirtyTwoBitRange) {
+  EXPECT_EQ(parse_vid("7", "t", 1), 7u);
+  EXPECT_THROW((void)parse_vid("4294967295", "t", 1), EpgsError);
+  EXPECT_THROW((void)parse_vid("nine", "t", 1), ParseError);
+}
+
+TEST(Fail, MessageNamesContextTokenAndLine) {
+  try {
+    fail("mtx", "weight", "abc", 17);
+    FAIL() << "fail() must throw";
+  } catch (const ParseError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("mtx"), std::string::npos);
+    EXPECT_NE(msg.find("weight"), std::string::npos);
+    EXPECT_NE(msg.find("'abc'"), std::string::npos);
+    EXPECT_NE(msg.find("17"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace epgs::text
