@@ -99,12 +99,23 @@ int cmd_homogenize(const Args& args, std::ostream& out) {
 int cmd_prepare(const Args& args, std::ostream& out) {
   args.expect_known({"kind", "graph", "scale", "edgefactor", "fraction",
                      "seed", "no-symmetrize", "no-dedupe", "weights",
-                     "max-weight", "cache-dir"});
+                     "max-weight", "cache-dir", "lock-timeout",
+                     "min-free-disk"});
   harness::DatasetOptions opts;
   opts.cache_dir = args.get("cache-dir", "epgs-cache");
+  opts.lock_timeout_seconds = args.get_double("lock-timeout", 60.0);
+  opts.min_free_disk_bytes =
+      args.get_u64("min-free-disk", 0) << 20;  // MiB -> bytes
   const auto spec = spec_from_args(args);
 
   const auto prep = harness::prepare_dataset(spec, opts);
+  if (prep.degraded) {
+    // prepare exists to warm the cache; a degraded result warmed nothing.
+    // Exit 3 like a DNF'd run: partial, not a usage error.
+    out << "dataset " << spec.name() << ": cache degraded ("
+        << prep.degradation << ")\n";
+    return 3;
+  }
   // "cache hit" / "cache miss" lines are part of the CLI contract: the CI
   // warm-cache smoke test greps for them.
   out << "dataset " << spec.name() << ": cache "
@@ -126,7 +137,8 @@ int cmd_run(const Args& args, std::ostream& out) {
                      "threads", "validate", "csv", "logdir",
                      "no-reconstruct", "timeout", "retries", "isolate",
                      "journal", "resume", "allow-dnf", "cache-dir",
-                     "no-cache"});
+                     "no-cache", "mem-limit", "min-free-disk",
+                     "lock-timeout"});
   harness::ExperimentConfig cfg;
   cfg.graph = spec_from_args(args);
   cfg.systems = args.get_list("systems");
@@ -155,8 +167,13 @@ int cmd_run(const Args& args, std::ostream& out) {
   cfg.supervisor.resume = args.has("resume");
   EPGS_CHECK(!cfg.supervisor.resume || !cfg.supervisor.journal_path.empty(),
              "--resume requires --journal <file>");
+  cfg.supervisor.mem_limit_bytes =
+      args.get_u64("mem-limit", 0) << 20;  // MiB -> bytes
   cfg.dataset.cache_dir = args.get("cache-dir");
   cfg.dataset.use_cache = !args.has("no-cache");
+  cfg.dataset.lock_timeout_seconds = args.get_double("lock-timeout", 60.0);
+  cfg.dataset.min_free_disk_bytes =
+      args.get_u64("min-free-disk", 0) << 20;  // MiB -> bytes
   if (cfg.algorithms.size() == 1 &&
       cfg.algorithms[0] == harness::Algorithm::kSssp) {
     cfg.graph.add_weights = true;
@@ -169,6 +186,15 @@ int cmd_run(const Args& args, std::ostream& out) {
     out << "dataset " << cfg.graph.name() << ": cache "
         << (result.dataset_cache_hit ? "hit" : "miss") << " ("
         << cfg.dataset.cache_dir << ")\n";
+  }
+  if (result.dataset_degraded) {
+    out << "warning: dataset cache degraded to uncached in-RAM generation: "
+        << result.dataset_warning << "\n";
+  }
+  if (!result.journal_warning.empty()) {
+    out << "warning: journaling stopped mid-sweep (resume will re-run the "
+           "unjournaled tail): "
+        << result.journal_warning << "\n";
   }
 
   const std::string logdir = args.get("logdir");
@@ -443,15 +469,19 @@ std::string usage() {
       "              [--fraction F] [--seed S] [--weights] [--max-weight W]\n"
       "              [--no-symmetrize] [--no-dedupe] [--out file.snap]\n"
       "  homogenize  --in file.snap [--name NAME] [--out DIR]\n"
-      "  prepare     [--kind ...] [--cache-dir DIR]\n"
+      "  prepare     [--kind ...] [--cache-dir DIR] [--lock-timeout SEC]\n"
+      "              [--min-free-disk MIB]\n"
       "              materialize into the content-addressed dataset cache\n"
+      "              (exit 3 when the cache cannot be written)\n"
       "  run         [--kind ... | --kind snap --graph file.snap]\n"
       "              [--systems A,B,...] [--algorithms BFS,SSSP,...]\n"
       "              [--roots N] [--threads N] [--validate]\n"
       "              [--no-reconstruct] [--csv out.csv] [--logdir DIR]\n"
       "              [--timeout SEC] [--retries N] [--isolate]\n"
+      "              [--mem-limit MIB]   per-unit memory governor\n"
       "              [--journal FILE [--resume]] [--allow-dnf]\n"
       "              [--cache-dir DIR [--no-cache]]\n"
+      "              [--lock-timeout SEC] [--min-free-disk MIB]\n"
       "              exit 3 when any trial DNFs (unless --allow-dnf)\n"
       "  parse       --logdir DIR [--csv out.csv] [--threads N]\n"
       "  analyze     [--csv results.csv] [--out PREFIX]\n"

@@ -4,8 +4,12 @@
 #include <vector>
 
 #include "cli/commands.hpp"
+#include "core/fs_shim.hpp"
 
 int main(int argc, char** argv) {
+  // EPGS_FS_FAULT lets CI and robustness tests drive the real binary
+  // against injected filesystem failures (see core/fs_shim.hpp).
+  epgs::fsx::arm_from_env();
   std::vector<std::string> args(argv + 1, argv + argc);
   return epgs::cli::dispatch(args, std::cout, std::cerr);
 }

@@ -25,6 +25,25 @@ class ParseError : public EpgsError {
   using EpgsError::EpgsError;
 };
 
+/// An I/O operation failed for a reason that is not resource exhaustion
+/// (EIO on read, a short read that hit EOF before the expected size, a
+/// failed rename). Raised by the fs_shim wrappers so callers can tell a
+/// sick disk apart from a full one.
+class IoError : public EpgsError {
+ public:
+  using EpgsError::EpgsError;
+};
+
+/// The machine ran out of a finite resource: ENOSPC/EDQUOT on write, fd
+/// exhaustion, a disk-free preflight below the configured floor, or a
+/// cache-lock wait that timed out. The supervisor records these as
+/// Outcome::kResourceExhausted; the dataset pipeline degrades to uncached
+/// generation instead of aborting the sweep.
+class ResourceExhaustedError : public EpgsError {
+ public:
+  using EpgsError::EpgsError;
+};
+
 /// Thrown by a cancellation checkpoint after the watchdog cancelled the
 /// trial's token; the supervisor classifies it as Outcome::kTimeout.
 class CancelledError : public EpgsError {
@@ -60,9 +79,11 @@ enum class Outcome {
   kValidationFailed,  ///< output rejected by the reference oracles
   kConfig,            ///< misconfiguration (e.g. unknown system name)
   kUnsupported,       ///< capability advertised but not implemented
+  kOomKilled,         ///< memory limit: bad_alloc, RSS watchdog, or SIGKILL
+  kResourceExhausted, ///< disk/fd exhaustion: ENOSPC, preflight, lock wait
 };
 
-inline constexpr int kNumOutcomes = 7;
+inline constexpr int kNumOutcomes = 9;
 
 [[nodiscard]] constexpr std::string_view outcome_name(Outcome o) {
   switch (o) {
@@ -73,6 +94,8 @@ inline constexpr int kNumOutcomes = 7;
     case Outcome::kValidationFailed: return "validation-failed";
     case Outcome::kConfig: return "config";
     case Outcome::kUnsupported: return "unsupported";
+    case Outcome::kOomKilled: return "oom-killed";
+    case Outcome::kResourceExhausted: return "resource-exhausted";
   }
   return "?";
 }

@@ -5,12 +5,12 @@
 #include <cstring>
 #include <utility>
 
-#include <fcntl.h>
 #include <sys/mman.h>
 #include <sys/stat.h>
 #include <unistd.h>
 
 #include "core/error.hpp"
+#include "core/fs_shim.hpp"
 
 namespace epgs {
 namespace {
@@ -37,9 +37,7 @@ bool MappedFile::buffered_forced() {
 }
 
 MappedFile::MappedFile(const std::filesystem::path& path) {
-  Fd f{::open(path.c_str(), O_RDONLY | O_CLOEXEC)};
-  EPGS_CHECK(f.fd >= 0, "cannot open " + path.string() + ": " +
-                            std::strerror(errno));
+  Fd f{fsx::open_read(path)};
   struct stat st{};
   EPGS_CHECK(::fstat(f.fd, &st) == 0,
              "cannot stat " + path.string() + ": " + std::strerror(errno));
@@ -50,8 +48,10 @@ MappedFile::MappedFile(const std::filesystem::path& path) {
   }
 
   if (!buffered_forced()) {
-    void* p = ::mmap(nullptr, size_, PROT_READ, MAP_PRIVATE, f.fd, 0);
-    if (p != MAP_FAILED) {
+    // fsx::mmap_read returns nullptr on failure (real or injected), which
+    // degrades to the buffered path below rather than aborting the read.
+    void* p = fsx::mmap_read(f.fd, size_, path);
+    if (p != nullptr) {
       // Advisory only: every reader streams sequentially, tell the kernel
       // to read ahead aggressively. Failure is harmless.
       (void)::madvise(p, size_, MADV_SEQUENTIAL);
@@ -63,14 +63,20 @@ MappedFile::MappedFile(const std::filesystem::path& path) {
 
   // Fallback: one buffered read into an owned buffer (still a single
   // copy, unlike the old rdbuf-into-ostringstream slurp which held two).
+  // A read error (EIO) throws typed from the shim; EOF before st_size
+  // means the file shrank under us — a distinct, equally loud failure
+  // rather than a silent truncation.
   buffer_.resize(size_);
   std::size_t done = 0;
   while (done < size_) {
-    const ssize_t n = ::read(f.fd, buffer_.data() + done, size_ - done);
-    if (n < 0 && errno == EINTR) continue;
-    EPGS_CHECK(n > 0, "short read of " + path.string() + ": " +
-                          std::strerror(n < 0 ? errno : EIO));
-    done += static_cast<std::size_t>(n);
+    const std::size_t n =
+        fsx::read_some(f.fd, buffer_.data() + done, size_ - done, path);
+    if (n == 0) {
+      throw IoError("unexpected EOF reading " + path.string() + ": got " +
+                    std::to_string(done) + " of " + std::to_string(size_) +
+                    " bytes (file truncated while reading?)");
+    }
+    done += n;
   }
   data_ = buffer_.data();
 }

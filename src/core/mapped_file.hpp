@@ -20,8 +20,11 @@ namespace epgs {
 class MappedFile {
  public:
   MappedFile() = default;
-  /// Map (or read) the whole file. Throws EpgsError when the file cannot
-  /// be opened or read.
+  /// Map (or read) the whole file through the fs_shim wrappers. Throws
+  /// IoError when the file cannot be opened or read (EIO and a short read
+  /// that hits EOF early are distinct, typed failures — never a silent
+  /// truncation) and ResourceExhaustedError on fd exhaustion. An mmap
+  /// failure is not an error: it degrades to the buffered fallback.
   explicit MappedFile(const std::filesystem::path& path);
   ~MappedFile();
 

@@ -1,0 +1,65 @@
+// Cross-process coordination for the dataset cache.
+//
+// Two `epg` processes sharing one --cache-dir must elect a single builder
+// per entry: without coordination both regenerate and race the publish
+// rename, and a reader can observe a half-removed stale directory. The
+// lock is a per-entry advisory flock(2) on a sidecar file next to the
+// entry directory:
+//
+//   * flock, not lockfile existence: the kernel releases the lock the
+//     instant the holder dies (crash, SIGKILL, OOM), so a crashed builder
+//     can never wedge the cache — the "steal" of a stale lock is the
+//     kernel's auto-release, observed by the next poll.
+//   * The holder records its pid in the file purely as a diagnostic: a
+//     waiter that times out can report who it was waiting on and whether
+//     that process is still alive (a live holder is probably building a
+//     big entry — raise --lock-timeout; a dead one indicates a lock file
+//     on a filesystem without flock semantics, e.g. some NFS mounts).
+//
+// Waiters poll LOCK_EX|LOCK_NB on a short interval rather than blocking
+// in flock so they can honour a deadline; the caller maps a timeout to
+// ResourceExhaustedError and the dataset pipeline degrades to uncached
+// generation instead of aborting the sweep.
+#pragma once
+
+#include <filesystem>
+
+#include <sys/types.h>
+
+namespace epgs {
+
+class CacheLock {
+ public:
+  CacheLock() = default;
+  ~CacheLock() { release(); }
+  CacheLock(const CacheLock&) = delete;
+  CacheLock& operator=(const CacheLock&) = delete;
+
+  /// Try to take the exclusive advisory lock at `path` (created when
+  /// missing), polling until `timeout_seconds` of steady-clock time
+  /// elapse. Returns true when acquired; false on timeout. Throws IoError
+  /// when the lock file itself cannot be opened.
+  bool acquire(const std::filesystem::path& path, double timeout_seconds);
+
+  void release() noexcept;
+
+  [[nodiscard]] bool held() const { return fd_ >= 0; }
+
+  /// True when at least one poll found the lock taken (the caller lost
+  /// the election and waited).
+  [[nodiscard]] bool contended() const { return contended_; }
+
+  /// The pid recorded by the current/most recent holder; 0 when the lock
+  /// file is missing or empty.
+  [[nodiscard]] static pid_t holder_pid(const std::filesystem::path& path);
+
+  /// True when holder_pid names a process that still exists.
+  [[nodiscard]] static bool holder_alive(const std::filesystem::path& path);
+
+ private:
+  int fd_ = -1;
+  bool contended_ = false;
+  std::filesystem::path path_;
+};
+
+}  // namespace epgs

@@ -10,8 +10,10 @@
 #include <unistd.h>
 
 #include "core/error.hpp"
+#include "core/fs_shim.hpp"
 #include "core/mapped_file.hpp"
 #include "core/text_scan.hpp"
+#include "graph/cache_lock.hpp"
 
 namespace epgs {
 namespace {
@@ -107,8 +109,7 @@ std::optional<Meta> parse_meta(const std::filesystem::path& p) {
 void write_meta(const std::filesystem::path& p, std::string_view fingerprint,
                 const std::string& name, const EdgeList& el,
                 const HomogenizedDataset& ds) {
-  std::ofstream out(p, std::ios::binary);
-  EPGS_CHECK(out.good(), "cannot open " + p.string() + " for writing");
+  fsx::OutStream out(p);
   out << kMetaVersion << '\n';
   out << "fingerprint " << fingerprint << '\n';
   out << "name " << name << '\n';
@@ -121,8 +122,8 @@ void write_meta(const std::filesystem::path& p, std::string_view fingerprint,
         << path.filename().string() << '\n';
   }
   out << "end\n";
-  out.flush();
-  EPGS_CHECK(out.good(), "write to " + p.string() + " failed");
+  out.sync_now();
+  out.close();
 }
 
 /// O(1) integrity check for a snapshot: header fields, exact file size
@@ -166,8 +167,7 @@ std::string content_hash_hex(std::string_view s) {
 
 void write_packed_snapshot(const std::filesystem::path& p,
                            const EdgeList& el) {
-  std::ofstream out(p, std::ios::binary);
-  EPGS_CHECK(out.good(), "cannot open " + p.string() + " for writing");
+  fsx::OutStream out(p);
   SnapshotHeader h{kSnapshotMagic, el.num_vertices, el.num_edges(),
                    (el.weighted ? kFlagWeighted : 0) |
                        (el.directed ? kFlagDirected : 0)};
@@ -176,8 +176,8 @@ void write_packed_snapshot(const std::filesystem::path& p,
             static_cast<std::streamsize>(el.edges.size() * sizeof(Edge)));
   out.write(reinterpret_cast<const char*>(&kSnapshotTrailer),
             sizeof kSnapshotTrailer);
-  out.flush();
-  EPGS_CHECK(out.good(), "write to " + p.string() + " failed");
+  out.sync_now();
+  out.close();
 }
 
 EdgeList read_packed_snapshot(const std::filesystem::path& p) {
@@ -207,9 +207,14 @@ EdgeList read_packed_snapshot(const std::filesystem::path& p) {
   return el;
 }
 
-DatasetCache::DatasetCache(std::filesystem::path root)
-    : root_(std::move(root)) {
+DatasetCache::DatasetCache(std::filesystem::path root, CacheOptions opts)
+    : root_(std::move(root)), opts_(opts) {
   std::filesystem::create_directories(root_);
+}
+
+std::filesystem::path DatasetCache::lock_path(
+    std::string_view fingerprint) const {
+  return root_ / (content_hash_hex(fingerprint) + ".lock");
 }
 
 std::optional<CacheEntry> DatasetCache::lookup(std::string_view fingerprint) {
@@ -257,36 +262,104 @@ std::optional<CacheEntry> DatasetCache::lookup(std::string_view fingerprint) {
 
 CacheEntry DatasetCache::materialize(std::string_view fingerprint,
                                      const std::string& name,
-                                     const EdgeList& el) {
+                                     const EdgeProvider& edges) {
   const auto hash = content_hash_hex(fingerprint);
   const auto final_dir = root_ / hash;
   const auto tmp_dir =
       root_ / (".tmp-" + hash + "-" + std::to_string(::getpid()));
 
+  // Builder election: one process homogenizes; everyone else waits here
+  // and then finds the published entry. A crashed builder's flock is
+  // released by the kernel, so the next waiter simply takes over.
+  CacheLock lock;
+  if (!lock.acquire(lock_path(fingerprint), opts_.lock_timeout_seconds)) {
+    const auto lp = lock_path(fingerprint);
+    const pid_t holder = CacheLock::holder_pid(lp);
+    throw ResourceExhaustedError(
+        "timed out after " + std::to_string(opts_.lock_timeout_seconds) +
+        "s waiting for cache builder lock " + lp.string() + " (holder pid " +
+        std::to_string(holder) + ", " +
+        (CacheLock::holder_alive(lp) ? "alive — still building; raise "
+                                       "--lock-timeout"
+                                     : "dead or unknown") +
+        ")");
+  }
+  if (lock.contended()) {
+    ++stats_.lock_waits;
+    // Double-checked lookup: the process we waited on probably published
+    // this very entry. The reload is coordination, not a user-visible hit.
+    Stats saved = stats_;
+    auto published = lookup(fingerprint);
+    stats_ = saved;
+    if (published) {
+      ++stats_.builds_elided;
+      return *published;
+    }
+  }
+
+  // Disk preflight: refuse to start a publish that would fill the volume.
+  if (opts_.min_free_disk_bytes > 0) {
+    const std::uint64_t free = fsx::free_disk_bytes(root_);
+    if (free < opts_.min_free_disk_bytes) {
+      throw ResourceExhaustedError(
+          "cache preflight: " + std::to_string(free) +
+          " bytes free under " + root_.string() + ", floor is " +
+          std::to_string(opts_.min_free_disk_bytes) +
+          " (--min-free-disk)");
+    }
+  }
+
   std::error_code ec;
   std::filesystem::remove_all(tmp_dir, ec);  // leftover from a crashed run
   std::filesystem::create_directories(tmp_dir);
 
+  // A failed build (ENOSPC mid-write, a generator exception) must not
+  // leak a staging dir for the next run to trip over.
+  struct TmpGuard {
+    const std::filesystem::path& dir;
+    bool armed = true;
+    ~TmpGuard() {
+      if (armed) {
+        std::error_code ignore;
+        std::filesystem::remove_all(dir, ignore);
+      }
+    }
+  } tmp_guard{tmp_dir};
+
+  const EdgeList& el = edges();
   write_packed_snapshot(tmp_dir / "edges.bin", el);
   const HomogenizedDataset staged = homogenize(el, name, tmp_dir);
   write_meta(tmp_dir / "meta", fingerprint, name, el, staged);
+  // The snapshot and meta sync on close; harden every staged file
+  // (including GraphBIG's vertex.csv/edge.csv inside their subdirectory)
+  // so the renamed entry is durable in full, then persist the rename
+  // itself by fsyncing the parent directory.
+  for (const auto& f :
+       std::filesystem::recursive_directory_iterator(tmp_dir)) {
+    if (f.is_regular_file()) fsx::fsync_path(f.path());
+  }
   ++stats_.materializations;
 
   std::filesystem::remove_all(final_dir, ec);  // stale entry being replaced
-  std::filesystem::rename(tmp_dir, final_dir, ec);
-  if (ec) {
-    // Lost a publish race: another process renamed first. Use theirs.
-    std::filesystem::remove_all(tmp_dir, ec);
-  }
+  fsx::rename(tmp_dir, final_dir);
+  tmp_guard.armed = false;
+  fsx::fsync_dir(root_);
 
   // Reload through the validating path so the returned entry's paths point
-  // at the published directory, whoever published it.
+  // at the published directory.
   Stats saved = stats_;
   auto entry = lookup(fingerprint);
   stats_ = saved;  // the internal reload is not a user-visible hit
   EPGS_CHECK(entry.has_value(),
              "dataset cache entry vanished after materialize: " + hash);
   return *entry;
+}
+
+CacheEntry DatasetCache::materialize(std::string_view fingerprint,
+                                     const std::string& name,
+                                     const EdgeList& el) {
+  return materialize(fingerprint, name,
+                     [&el]() -> const EdgeList& { return el; });
 }
 
 }  // namespace epgs

@@ -18,6 +18,21 @@
 // header/trailer; any mismatch (stale fingerprint after a hash collision,
 // truncated file, missing format file) invalidates and removes the entry.
 //
+// Robustness layer (all I/O routes through core/fs_shim):
+//   * Cross-process builder election: materialize takes a per-entry
+//     advisory flock (see graph/cache_lock.hpp) so concurrent processes
+//     sharing one cache dir build each entry exactly once — waiters block
+//     on the lock, then find the winner's published entry. A wait past
+//     CacheOptions::lock_timeout_seconds throws ResourceExhaustedError.
+//   * Disk preflight: when CacheOptions::min_free_disk_bytes is set,
+//     materialize refuses to start a publish that would run the volume
+//     below the floor, throwing ResourceExhaustedError before any write.
+//   * Durable publish: staged files are fsync'd, the temp dir is renamed
+//     into place via the shim, and the *cache root directory* is fsync'd
+//     after the rename so a published entry survives power loss.
+//   * A failed build never leaks: the staging dir is removed on the way
+//     out of any exception.
+//
 // This layer is deliberately spec-agnostic: it never sees GraphSpec or the
 // generators (those live above it in the harness). It caches (fingerprint
 // -> files) and nothing else.
@@ -25,6 +40,7 @@
 
 #include <cstdint>
 #include <filesystem>
+#include <functional>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -57,6 +73,17 @@ struct CacheEntry {
   bool directed = true;
 };
 
+/// Robustness knobs for a cache instance.
+struct CacheOptions {
+  /// How long materialize waits on another process's builder lock before
+  /// giving up with ResourceExhaustedError. Generous by default: losing
+  /// the election and waiting is strictly cheaper than rebuilding.
+  double lock_timeout_seconds = 60.0;
+  /// Refuse to publish when the cache volume has fewer free bytes than
+  /// this; 0 disables the preflight.
+  std::uint64_t min_free_disk_bytes = 0;
+};
+
 class DatasetCache {
  public:
   struct Stats {
@@ -64,25 +91,44 @@ class DatasetCache {
     std::uint64_t misses = 0;
     std::uint64_t materializations = 0;
     std::uint64_t invalidations = 0;
+    std::uint64_t lock_waits = 0;      ///< elections lost: waited on a peer
+    std::uint64_t builds_elided = 0;   ///< a peer published while we waited
   };
 
-  explicit DatasetCache(std::filesystem::path root);
+  explicit DatasetCache(std::filesystem::path root, CacheOptions opts = {});
 
   /// Find a valid entry for `fingerprint`. A corrupt or stale entry is
   /// removed and reported as a miss.
   [[nodiscard]] std::optional<CacheEntry> lookup(std::string_view fingerprint);
 
-  /// Write snapshot + homogenized files + meta for `el` and publish the
-  /// entry atomically. Returns the published entry (re-read through
-  /// lookup if another process won the rename race).
+  /// Lazily supplies the edge list to cache; not invoked when another
+  /// process published the entry while this one waited on the lock.
+  using EdgeProvider = std::function<const EdgeList&()>;
+
+  /// Publish an entry for `fingerprint` under the per-entry cross-process
+  /// lock: elect a builder, call `edges` only when this process won, and
+  /// atomically+durably publish snapshot + homogenized files + meta.
+  /// Throws ResourceExhaustedError on lock timeout, disk-preflight
+  /// failure, or ENOSPC during the write.
+  CacheEntry materialize(std::string_view fingerprint,
+                         const std::string& name, const EdgeProvider& edges);
+
+  /// Convenience overload for callers that already hold the edges.
   CacheEntry materialize(std::string_view fingerprint,
                          const std::string& name, const EdgeList& el);
 
   [[nodiscard]] const Stats& stats() const { return stats_; }
   [[nodiscard]] const std::filesystem::path& root() const { return root_; }
+  [[nodiscard]] const CacheOptions& options() const { return opts_; }
+
+  /// The sidecar lock file guarding one entry (exposed for tests and for
+  /// waiter diagnostics).
+  [[nodiscard]] std::filesystem::path lock_path(
+      std::string_view fingerprint) const;
 
  private:
   std::filesystem::path root_;
+  CacheOptions opts_;
   Stats stats_;
 };
 

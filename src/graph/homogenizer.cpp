@@ -2,9 +2,9 @@
 
 #include <cstdio>
 #include <cstring>
-#include <fstream>
 
 #include "core/error.hpp"
+#include "core/fs_shim.hpp"
 #include "core/mapped_file.hpp"
 #include "core/text_scan.hpp"
 #include "graph/csr.hpp"
@@ -28,10 +28,11 @@ void write_vec(std::ostream& os, const std::vector<T>& v) {
            static_cast<std::streamsize>(v.size() * sizeof(T)));
 }
 
-std::ofstream open_out(const std::filesystem::path& p) {
-  std::ofstream out(p, std::ios::binary);
-  EPGS_CHECK(out.good(), "cannot open " + p.string() + " for writing");
-  return out;
+/// All homogenized-format writers emit through the fs_shim stream: an
+/// injected (or real) ENOSPC surfaces as a typed ResourceExhaustedError
+/// at the failing write, never as a silently truncated file.
+fsx::OutStream open_out(const std::filesystem::path& p) {
+  return fsx::OutStream(p);
 }
 
 /// Bounds-checked cursor over a mapped binary file: the zero-copy
@@ -136,7 +137,7 @@ void write_graph500_bin(const std::filesystem::path& p, const EdgeList& el) {
     write_pod<std::uint64_t>(out, e.dst);
     if (el.weighted) write_pod<float>(out, e.w);
   }
-  EPGS_CHECK(out.good(), "write failure: " + p.string());
+  out.close();
 }
 
 EdgeList read_graph500_bin(const std::filesystem::path& p) {
@@ -180,7 +181,7 @@ void write_gap_sg(const std::filesystem::path& p, const EdgeList& el) {
   write_vec(out, g.offsets());
   write_vec(out, g.targets());
   if (el.weighted) write_vec(out, g.weights());
-  EPGS_CHECK(out.good(), "write failure: " + p.string());
+  out.close();
 }
 
 EdgeList read_gap_sg(const std::filesystem::path& p) {
@@ -231,7 +232,7 @@ void write_graphmat_mtx(const std::filesystem::path& p, const EdgeList& el) {
     }
     out.write(buf, len);
   }
-  EPGS_CHECK(out.good(), "write failure: " + p.string());
+  out.close();
 }
 
 EdgeList read_graphmat_mtx(const std::filesystem::path& p) {
@@ -293,7 +294,7 @@ void write_graphbig_csv(const std::filesystem::path& dir, const EdgeList& el) {
     auto out = open_out(dir / "vertex.csv");
     out << "id\n";
     for (vid_t v = 0; v < el.num_vertices; ++v) out << v << '\n';
-    EPGS_CHECK(out.good(), "write failure: vertex.csv");
+    out.close();
   }
   {
     auto out = open_out(dir / "edge.csv");
@@ -309,7 +310,7 @@ void write_graphbig_csv(const std::filesystem::path& dir, const EdgeList& el) {
       }
       out.write(buf, len);
     }
-    EPGS_CHECK(out.good(), "write failure: edge.csv");
+    out.close();
   }
 }
 
@@ -375,7 +376,7 @@ void write_powergraph_tsv(const std::filesystem::path& p,
   // PowerGraph infers the vertex set from edge endpoints; isolated trailing
   // vertices need a marker so the count round-trips.
   out << "#nv\t" << el.num_vertices << '\n';
-  EPGS_CHECK(out.good(), "write failure: " + p.string());
+  out.close();
 }
 
 EdgeList read_powergraph_tsv(const std::filesystem::path& p) {
@@ -433,7 +434,7 @@ void write_ligra_adj(const std::filesystem::path& p, const EdgeList& el) {
   if (el.weighted) {
     for (const weight_t w : g.weights()) out << w << '\n';
   }
-  EPGS_CHECK(out.good(), "write failure: " + p.string());
+  out.close();
 }
 
 EdgeList read_ligra_adj(const std::filesystem::path& p) {

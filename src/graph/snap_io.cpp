@@ -2,10 +2,10 @@
 
 #include <charconv>
 #include <cstdio>
-#include <fstream>
 #include <ostream>
 
 #include "core/error.hpp"
+#include "core/fs_shim.hpp"
 #include "core/mapped_file.hpp"
 #include "core/text_scan.hpp"
 
@@ -99,11 +99,9 @@ void write_snap(std::ostream& os, const EdgeList& el) {
 }
 
 void write_snap_file(const std::filesystem::path& path, const EdgeList& el) {
-  std::ofstream out(path, std::ios::binary);
-  EPGS_CHECK(out.good(), "cannot open " + path.string() + " for writing");
+  fsx::OutStream out(path);
   write_snap(out, el);
-  out.flush();
-  EPGS_CHECK(out.good(), "write to " + path.string() + " failed");
+  out.close();
 }
 
 }  // namespace epgs

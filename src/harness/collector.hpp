@@ -43,6 +43,11 @@ class RecordCollector {
 
   [[nodiscard]] std::vector<RunRecord> take() { return std::move(records_); }
 
+  /// Why the journal stopped appending (empty while healthy/disabled).
+  [[nodiscard]] const std::string& journal_warning() const {
+    return journal_.degraded_reason();
+  }
+
  private:
   Journal journal_;
   std::map<std::string, JournalEntry> journaled_;

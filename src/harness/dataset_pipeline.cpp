@@ -56,28 +56,72 @@ std::string spec_fingerprint(const GraphSpec& spec) {
   return os.str();
 }
 
+namespace {
+
+/// The graceful-degradation path: the sweep must survive a sick cache.
+/// Whatever edges we already have (or can regenerate in RAM) carry the
+/// run; the entry is cleared so the runner uses the in-memory data path.
+PreparedDataset degrade_to_ram(const GraphSpec& spec, PreparedDataset out,
+                               const std::string& why) {
+  ++g_stats.degraded_runs;
+  out.degraded = true;
+  out.degradation = why;
+  out.cache_hit = false;
+  out.entry = CacheEntry{};
+  if (out.edges.edges.empty() && out.edges.num_vertices == 0) {
+    ++g_stats.generator_runs;
+    out.edges = materialize(spec);
+  }
+  return out;
+}
+
+}  // namespace
+
 PreparedDataset prepare_dataset(const GraphSpec& spec,
                                 const DatasetOptions& opts) {
   EPGS_CHECK(opts.enabled(), "prepare_dataset: dataset pipeline disabled");
-  DatasetCache cache(opts.cache_dir);
+  CacheOptions copts;
+  copts.lock_timeout_seconds = opts.lock_timeout_seconds;
+  copts.min_free_disk_bytes = opts.min_free_disk_bytes;
+  DatasetCache cache(opts.cache_dir, copts);
+  // Fingerprint failures propagate: they mean the *input* is unreadable
+  // (SnapFile digest), which the uncached path could not survive either.
   const std::string fp = spec_fingerprint(spec);
 
   PreparedDataset out;
-  if (auto entry = cache.lookup(fp)) {
-    ++g_stats.cache_hits;
-    ++g_stats.snapshot_loads;
-    out.entry = std::move(*entry);
-    out.cache_hit = true;
-    out.edges = read_packed_snapshot(out.entry.snapshot);
-    return out;
-  }
+  try {
+    if (auto entry = cache.lookup(fp)) {
+      ++g_stats.cache_hits;
+      ++g_stats.snapshot_loads;
+      out.entry = std::move(*entry);
+      out.cache_hit = true;
+      out.edges = read_packed_snapshot(out.entry.snapshot);
+      return out;
+    }
 
-  ++g_stats.generator_runs;
-  out.edges = materialize(spec);
-  ++g_stats.homogenize_runs;
-  out.entry = cache.materialize(fp, spec.name(), out.edges);
-  out.cache_hit = false;
-  return out;
+    bool generated = false;
+    out.entry = cache.materialize(fp, spec.name(), [&]() -> const EdgeList& {
+      // Invoked only when this process won the builder election.
+      ++g_stats.generator_runs;
+      ++g_stats.homogenize_runs;
+      generated = true;
+      out.edges = materialize(spec);
+      return out.edges;
+    });
+    if (!generated) {
+      // Lost the election: a concurrent process published while we
+      // waited on the lock. Its entry is as good as ours would have been.
+      ++g_stats.builds_elided;
+      ++g_stats.snapshot_loads;
+      out.cache_hit = true;
+      out.edges = read_packed_snapshot(out.entry.snapshot);
+    }
+    return out;
+  } catch (const ResourceExhaustedError& e) {
+    return degrade_to_ram(spec, std::move(out), e.what());
+  } catch (const IoError& e) {
+    return degrade_to_ram(spec, std::move(out), e.what());
+  }
 }
 
 }  // namespace epgs::harness

@@ -23,6 +23,8 @@ struct PipelineStats {
   std::uint64_t homogenize_runs = 0;  ///< cache materializations
   std::uint64_t snapshot_loads = 0;   ///< packed-snapshot reads
   std::uint64_t cache_hits = 0;
+  std::uint64_t builds_elided = 0;    ///< a concurrent process built it
+  std::uint64_t degraded_runs = 0;    ///< cache failed; ran uncached
 };
 
 [[nodiscard]] PipelineStats& pipeline_stats();
@@ -41,11 +43,20 @@ struct PreparedDataset {
   CacheEntry entry;
   bool cache_hit = false;
   EdgeList edges;
+  /// True when the cache could not serve this run (disk full, lock
+  /// timeout, I/O error): `edges` is still valid but `entry` is empty, so
+  /// the caller must fall back to the RAM data path.
+  bool degraded = false;
+  std::string degradation;  ///< human-readable reason, empty when healthy
 };
 
 /// Resolve `spec` through the cache at `opts.cache_dir`: a hit loads the
 /// packed snapshot; a miss runs the generators + homogenizer once and
-/// publishes the entry. Requires opts.enabled().
+/// publishes the entry (under the cross-process builder lock — when a
+/// concurrent process wins the election, its published entry is reused).
+/// Cache-side resource failures (ENOSPC, lock timeout, EIO) do not
+/// propagate: the result degrades to uncached in-RAM generation with
+/// `degraded` set. Requires opts.enabled().
 PreparedDataset prepare_dataset(const GraphSpec& spec,
                                 const DatasetOptions& opts);
 

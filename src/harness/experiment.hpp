@@ -58,6 +58,12 @@ EdgeList materialize(const GraphSpec& spec);
 struct DatasetOptions {
   std::string cache_dir;  ///< cache root; empty disables the pipeline
   bool use_cache = true;  ///< false = legacy in-memory data path
+  /// How long to wait on another process's cache builder lock before
+  /// degrading to uncached generation (see graph/cache_lock.hpp).
+  double lock_timeout_seconds = 60.0;
+  /// Refuse to publish a cache entry when the volume has fewer free bytes
+  /// than this; 0 disables the preflight.
+  std::uint64_t min_free_disk_bytes = 0;
 
   [[nodiscard]] bool enabled() const {
     return use_cache && !cache_dir.empty();
@@ -83,6 +89,14 @@ struct SupervisorOptions {
   /// pool does not survive fork(), so a multi-threaded OpenMP region in
   /// the child would deadlock.
   bool isolate = false;
+  /// Per-unit memory cap in bytes; 0 disables the governor. Isolated
+  /// children get setrlimit(RLIMIT_AS) so an over-budget allocation fails
+  /// with bad_alloc (-> Outcome::kOomKilled) instead of summoning the
+  /// kernel OOM killer; every attempt additionally runs an RSS watchdog
+  /// that polls /proc/self/statm and cancels the unit cooperatively.
+  /// Note RLIMIT_AS counts the inherited (copy-on-write) parent address
+  /// space too, so the practical floor is the parent's footprint.
+  std::uint64_t mem_limit_bytes = 0;
   /// Append-only experiment journal; empty disables journaling.
   std::string journal_path;
   /// Replay an existing journal instead of truncating it: units it

@@ -43,6 +43,13 @@ struct ExperimentResult {
   bool used_dataset_pipeline = false;
   /// With the pipeline: whether the dataset came from a cache hit.
   bool dataset_cache_hit = false;
+  /// The dataset cache failed (disk full, lock timeout, I/O error) and
+  /// the run fell back to uncached in-RAM generation.
+  bool dataset_degraded = false;
+  std::string dataset_warning;  ///< why, when dataset_degraded
+  /// Non-empty when journaling stopped mid-sweep (e.g. the disk filled):
+  /// results are complete but a --resume will re-run the unjournaled tail.
+  std::string journal_warning;
 
   /// Seconds of every successful record matching the given keys (empty
   /// algorithm matches any). DNF rows never contribute samples.

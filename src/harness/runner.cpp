@@ -265,9 +265,16 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
   if (cfg.dataset.enabled()) {
     PreparedDataset prep = prepare_dataset(cfg.graph, cfg.dataset);
     el = std::move(prep.edges);
-    files = std::move(prep.entry.files);
-    result.used_dataset_pipeline = true;
-    result.dataset_cache_hit = prep.cache_hit;
+    if (prep.degraded) {
+      // Sick cache (disk full, lock timeout, I/O error): the sweep runs
+      // anyway on the in-RAM data path and the result carries a warning.
+      result.dataset_degraded = true;
+      result.dataset_warning = prep.degradation;
+    } else {
+      files = std::move(prep.entry.files);
+      result.used_dataset_pipeline = true;
+      result.dataset_cache_hit = prep.cache_hit;
+    }
   } else {
     el = materialize(cfg.graph);
   }
@@ -295,6 +302,7 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
                         collector, backoff_rng, result.raw_logs);
   }
 
+  result.journal_warning = collector.journal_warning();
   result.records = collector.take();
   return result;
 }

@@ -1,9 +1,12 @@
 #include "harness/supervisor.hpp"
 
+#include <fcntl.h>
 #include <poll.h>
+#include <sys/resource.h>
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <cerrno>
 #include <chrono>
 #include <condition_variable>
@@ -62,6 +65,71 @@ class Watchdog {
   std::thread thread_;
 };
 
+/// Resident-set watchdog for one attempt: polls /proc/self/statm and
+/// cancels the token when RSS crosses the limit, so an over-budget unit
+/// unwinds cooperatively before the kernel OOM killer gets involved.
+/// RLIMIT_AS (applied in isolated children) is the hard backstop; this is
+/// the soft one that also works un-isolated.
+class RssWatchdog {
+ public:
+  RssWatchdog(CancellationToken& token, std::uint64_t limit_bytes)
+      : limit_bytes_(limit_bytes),
+        page_size_(static_cast<std::uint64_t>(::sysconf(_SC_PAGESIZE))) {
+    statm_fd_ = ::open("/proc/self/statm", O_RDONLY | O_CLOEXEC);
+    thread_ = std::thread([this, &token] {
+      std::unique_lock<std::mutex> lk(mutex_);
+      while (!done_) {
+        if (resident_bytes() > limit_bytes_) {
+          tripped_.store(true, std::memory_order_relaxed);
+          token.cancel();
+          return;
+        }
+        cv_.wait_for(lk, std::chrono::milliseconds(25));
+      }
+    });
+  }
+
+  ~RssWatchdog() {
+    {
+      std::lock_guard<std::mutex> lk(mutex_);
+      done_ = true;
+    }
+    cv_.notify_all();
+    thread_.join();
+    if (statm_fd_ >= 0) ::close(statm_fd_);
+  }
+
+  RssWatchdog(const RssWatchdog&) = delete;
+  RssWatchdog& operator=(const RssWatchdog&) = delete;
+
+  [[nodiscard]] bool tripped() const {
+    return tripped_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  /// statm field 2 is resident pages. Raw pread (not the fs shim: fault
+  /// injection must never blind the governor), 0 on any read problem so a
+  /// broken /proc disables rather than trips the watchdog.
+  [[nodiscard]] std::uint64_t resident_bytes() const {
+    if (statm_fd_ < 0) return 0;
+    char buf[128] = {};
+    const ssize_t n = ::pread(statm_fd_, buf, sizeof buf - 1, 0);
+    if (n <= 0) return 0;
+    unsigned long size = 0, resident = 0;
+    if (std::sscanf(buf, "%lu %lu", &size, &resident) != 2) return 0;
+    return static_cast<std::uint64_t>(resident) * page_size_;
+  }
+
+  std::uint64_t limit_bytes_;
+  std::uint64_t page_size_;
+  int statm_fd_ = -1;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool done_ = false;
+  std::atomic<bool> tripped_{false};
+  std::thread thread_;
+};
+
 std::string one_line(std::string s) {
   for (char& c : s) {
     if (c == '\n' || c == '\r') c = ' ';
@@ -69,24 +137,49 @@ std::string one_line(std::string s) {
   return s;
 }
 
-/// One attempt, in this process, under the watchdog.
+/// One attempt, in this process, under the watchdogs.
 TrialReport run_attempt(const UnitFn& fn, const SupervisorOptions& opts) {
   TrialReport r;
   CancellationToken token;
   std::optional<Watchdog> dog;
-  if (opts.timeout_seconds > 0) dog.emplace(token, opts.timeout_seconds);
+  std::optional<RssWatchdog> rss_dog;
+  try {
+    if (opts.timeout_seconds > 0) dog.emplace(token, opts.timeout_seconds);
+    // opts.isolate here means "this is the forked child": RLIMIT_AS is
+    // already the hard guard, and under a tight limit the watchdog's own
+    // thread stack may not even be mappable — skip the soft guard.
+    if (opts.mem_limit_bytes > 0 && !opts.isolate) {
+      rss_dog.emplace(token, opts.mem_limit_bytes);
+    }
+  } catch (const std::exception&) {
+    // Guard threads could not start (e.g. stack allocation refused under
+    // the memory limit): run the unit unguarded rather than fail it.
+  }
   try {
     r.records = fn(token);
     r.outcome = Outcome::kSuccess;
+  } catch (const std::bad_alloc&) {
+    r.outcome = Outcome::kOomKilled;
+    r.message = "allocation failed under the memory limit (std::bad_alloc)";
   } catch (const std::exception& e) {
     r.outcome = classify_exception(e);
     r.message = one_line(e.what());
     // A cancellation that unwound before the watchdog fired (it cancels,
     // we observe later) is still a timeout; but an exception that raced a
     // timer that never existed cannot be one.
-    if (r.outcome == Outcome::kTimeout && opts.timeout_seconds <= 0) {
+    if (r.outcome == Outcome::kTimeout && opts.timeout_seconds <= 0 &&
+        !(rss_dog && rss_dog->tripped())) {
       r.outcome = Outcome::kCrash;
     }
+  }
+  // Both watchdogs cancel the same token; when the RSS one fired, the
+  // resulting CancelledError means over-memory, not over-time.
+  if (rss_dog && rss_dog->tripped() && r.outcome == Outcome::kTimeout) {
+    r.outcome = Outcome::kOomKilled;
+    r.message =
+        "resident set exceeded the memory limit; cancelled by the RSS "
+        "watchdog (" +
+        r.message + ")";
   }
   return r;
 }
@@ -115,6 +208,15 @@ void write_all(int fd, std::string_view data) {
   // longer exists. Pin the child to one thread for correctness; the cost
   // is on the caller's DESIGN.md trade-off list.
   ThreadScope scope(1);
+  if (opts.mem_limit_bytes > 0) {
+    // Hard ceiling: any allocation past the cap fails with bad_alloc,
+    // which run_attempt classifies as kOomKilled. RLIMIT_AS counts the
+    // COW address space inherited from the parent, so the effective
+    // budget for *new* allocations is limit minus the parent footprint.
+    struct rlimit rl{};
+    rl.rlim_cur = rl.rlim_max = opts.mem_limit_bytes;
+    (void)::setrlimit(RLIMIT_AS, &rl);
+  }
   TrialReport r = run_attempt(fn, opts);
   std::ostringstream os;
   os << kPayloadOutcome << outcome_name(r.outcome) << '\n'
@@ -209,9 +311,16 @@ TrialReport run_isolated_attempt(const UnitFn& fn,
     return r;
   }
   if (WIFSIGNALED(status)) {
-    r.outcome = Outcome::kCrash;
-    r.message = "isolated trial killed by signal " +
-                std::to_string(WTERMSIG(status));
+    if (WTERMSIG(status) == SIGKILL) {
+      // We did not send it (hard_killed returned above), so this is the
+      // kernel OOM killer — the governor's worst case, still per-unit.
+      r.outcome = Outcome::kOomKilled;
+      r.message = "isolated trial SIGKILLed (kernel OOM killer)";
+    } else {
+      r.outcome = Outcome::kCrash;
+      r.message = "isolated trial killed by signal " +
+                  std::to_string(WTERMSIG(status));
+    }
     return r;
   }
   if (!WIFEXITED(status) || WEXITSTATUS(status) != 0) {
@@ -244,6 +353,12 @@ Outcome classify_exception(const std::exception& e) {
   }
   if (dynamic_cast<const ValidationFailedError*>(&e) != nullptr) {
     return Outcome::kValidationFailed;
+  }
+  if (dynamic_cast<const std::bad_alloc*>(&e) != nullptr) {
+    return Outcome::kOomKilled;
+  }
+  if (dynamic_cast<const ResourceExhaustedError*>(&e) != nullptr) {
+    return Outcome::kResourceExhausted;
   }
   return Outcome::kCrash;
 }
@@ -288,18 +403,22 @@ Journal::~Journal() { close(); }
 void Journal::open_fresh(const std::string& path,
                          const std::string& fingerprint) {
   close();
-  file_ = std::fopen(path.c_str(), "w");
-  EPGS_CHECK(file_ != nullptr, "cannot create journal: " + path);
-  std::fprintf(file_, "%s\nconfig %s\n", std::string(kJournalMagic).c_str(),
-               fingerprint.c_str());
-  std::fflush(file_);
-  ::fsync(::fileno(file_));
+  degraded_reason_.clear();
+  file_ = std::make_unique<fsx::OutStream>(path,
+                                           fsx::OutStream::Mode::kTruncate);
+  *file_ << kJournalMagic << "\nconfig " << fingerprint << '\n';
+  file_->sync_now();
+  // Durability of the file itself, not just its bytes: fsync the parent
+  // directory so the journal entry survives a crash right after creation.
+  const auto parent = std::filesystem::path(path).parent_path();
+  fsx::fsync_dir(parent.empty() ? std::filesystem::path(".") : parent);
 }
 
 void Journal::open_append(const std::string& path) {
   close();
-  file_ = std::fopen(path.c_str(), "a");
-  EPGS_CHECK(file_ != nullptr, "cannot append to journal: " + path);
+  degraded_reason_.clear();
+  file_ = std::make_unique<fsx::OutStream>(path,
+                                           fsx::OutStream::Mode::kAppend);
 }
 
 void Journal::append(const std::string& key, const TrialReport& report) {
@@ -314,18 +433,27 @@ void Journal::append(const std::string& key, const TrialReport& report) {
   }
   os << "end\n";
   const std::string group = os.str();
-  std::fwrite(group.data(), 1, group.size(), file_);
-  // fsync per group: a group is durable or absent, never half-written
-  // after a crash (replay additionally drops a torn trailing group).
-  std::fflush(file_);
-  ::fsync(::fileno(file_));
+  try {
+    *file_ << group;
+    // fsync per group: a group is durable or absent, never half-written
+    // after a crash (replay additionally drops a torn trailing group).
+    file_->sync_now();
+  } catch (const EpgsError& e) {
+    // Disk full (or injected fault) mid-sweep: journaling stops, the
+    // sweep does not. Replay tolerates the torn tail this may leave.
+    degraded_reason_ = one_line(e.what());
+    file_.reset();
+  }
 }
 
 void Journal::close() {
   if (file_ != nullptr) {
-    std::fflush(file_);
-    std::fclose(file_);
-    file_ = nullptr;
+    try {
+      file_->close();
+    } catch (const EpgsError& e) {
+      degraded_reason_ = one_line(e.what());
+    }
+    file_.reset();
   }
 }
 

@@ -21,14 +21,25 @@
 //   * journal   — every finished unit is appended (fsync'd) to a journal
 //                 that --resume replays, so a killed sweep restarts where
 //                 it stopped instead of re-running completed trials.
+//   * governor  — opts.mem_limit_bytes caps each unit's memory three
+//                 ways: setrlimit(RLIMIT_AS) in forked children (an
+//                 allocation over the cap fails with bad_alloc ->
+//                 Outcome::kOomKilled), an in-process RSS watchdog
+//                 polling /proc/self/statm that cancels the token before
+//                 the kernel's OOM killer fires, and SIGKILL'd children
+//                 classified as kOomKilled rather than generic crashes.
+//                 ResourceExhaustedError (ENOSPC, lock timeouts, fd
+//                 exhaustion) maps to Outcome::kResourceExhausted.
 #pragma once
 
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "core/cancellation.hpp"
 #include "core/error.hpp"
+#include "core/fs_shim.hpp"
 #include "core/rng.hpp"
 #include "harness/experiment.hpp"
 #include "harness/records.hpp"
@@ -84,7 +95,12 @@ struct JournalEntry {
   std::vector<RunRecord> records;
 };
 
-/// Append-only fsync'd journal writer (no-op when path is empty).
+/// Append-only fsync'd journal writer (no-op when path is empty). All
+/// bytes route through the fs_shim, and the journal's parent directory is
+/// fsync'd after creation so the file itself survives power loss. When
+/// the disk fills mid-sweep the journal degrades: it stops appending,
+/// records why (degraded_reason), and lets the sweep finish — losing
+/// resume coverage is strictly better than losing the night's run.
 class Journal {
  public:
   Journal() = default;
@@ -105,10 +121,16 @@ class Journal {
   /// Durably append one finished unit.
   void append(const std::string& key, const TrialReport& report);
 
+  /// Why appending stopped (empty while the journal is healthy).
+  [[nodiscard]] const std::string& degraded_reason() const {
+    return degraded_reason_;
+  }
+
   void close();
 
  private:
-  std::FILE* file_ = nullptr;
+  std::unique_ptr<fsx::OutStream> file_;
+  std::string degraded_reason_;
 };
 
 /// Replay a journal: validates the header and fingerprint, returns every

@@ -3,6 +3,7 @@
 #include "cli/commands.hpp"
 
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <filesystem>
 #include <fstream>
@@ -22,7 +23,8 @@ namespace fs = std::filesystem;
 class TempDir {
  public:
   TempDir() : path_(fs::temp_directory_path() /
-                    ("epgs_cli_" + std::to_string(counter_++))) {
+                    ("epgs_cli_" + std::to_string(::getpid()) + "_" +
+                     std::to_string(counter_++))) {
     fs::create_directories(path_);
   }
   ~TempDir() { fs::remove_all(path_); }

@@ -3,6 +3,7 @@
 #include "graph/dataset_cache.hpp"
 
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <algorithm>
 #include <filesystem>
@@ -22,7 +23,8 @@ namespace fs = std::filesystem;
 class TempDir {
  public:
   TempDir() : path_(fs::temp_directory_path() /
-                    ("epgs_cache_" + std::to_string(counter_++))) {
+                    ("epgs_cache_" + std::to_string(::getpid()) + "_" +
+                     std::to_string(counter_++))) {
     fs::create_directories(path_);
   }
   ~TempDir() { fs::remove_all(path_); }

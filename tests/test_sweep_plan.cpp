@@ -4,6 +4,7 @@
 #include "harness/sweep_plan.hpp"
 
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <algorithm>
 #include <filesystem>
@@ -22,7 +23,8 @@ namespace fs = std::filesystem;
 class TempDir {
  public:
   TempDir() : path_(fs::temp_directory_path() /
-                    ("epgs_plan_" + std::to_string(counter_++))) {
+                    ("epgs_plan_" + std::to_string(::getpid()) + "_" +
+                     std::to_string(counter_++))) {
     fs::create_directories(path_);
   }
   ~TempDir() { fs::remove_all(path_); }
