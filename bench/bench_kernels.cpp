@@ -18,8 +18,10 @@
 #include "graph/transforms.hpp"
 #include "systems/gap/gap_system.hpp"
 #include "systems/graph500/graph500_system.hpp"
+#include "systems/graphbig/graphbig_system.hpp"
 #include "systems/graphbig/property_graph.hpp"
 #include "systems/graphmat/dcsr.hpp"
+#include "systems/graphmat/graphmat_system.hpp"
 #include "systems/ligra/ligra_primitives.hpp"
 #include "systems/powergraph/vertex_cut.hpp"
 
@@ -339,6 +341,118 @@ void BM_LigraEdgeMapDense(benchmark::State& state) {
                           static_cast<std::int64_t>(out.num_edges()));
 }
 BENCHMARK(BM_LigraEdgeMapDense)->Arg(12);
+
+// ---------------------------------------------------------------------
+// PageRank before/after the memory-locality overhaul. Every pair runs
+// from one binary so the comparison holds the toolchain, graph, and
+// thread count fixed: the "legacy" side is the pre-overhaul kernel kept
+// verbatim behind Options::pr_mode, the other sides are the
+// contribution-precomputing pull kernel and the propagation-blocked
+// push kernel. Fixed iteration count (epsilon = 0 never converges
+// early) so both sides do identical algorithmic work.
+// ---------------------------------------------------------------------
+
+PageRankParams bench_pr_params() {
+  PageRankParams p;
+  p.epsilon = 0.0;  // fixed work: always run max_iterations
+  p.max_iterations = 20;
+  return p;
+}
+
+template <typename System, typename Options>
+void run_pagerank_bench(benchmark::State& state, const Options& opts) {
+  const auto el = bench_graph(static_cast<int>(state.range(0)));
+  ThreadScope threads(static_cast<int>(state.range(1)));
+  System sys(opts);
+  sys.set_edges(el);
+  sys.build();
+  const PageRankParams params = bench_pr_params();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sys.pagerank(params));
+  }
+  state.SetItemsProcessed(state.iterations() * params.max_iterations *
+                          static_cast<std::int64_t>(el.num_edges()));
+}
+
+void BM_PageRankGapLegacy(benchmark::State& state) {
+  systems::GapSystem::Options opts;
+  opts.pr_mode = systems::GapSystem::PrMode::kLegacy;
+  run_pagerank_bench<systems::GapSystem>(state, opts);
+}
+BENCHMARK(BM_PageRankGapLegacy)->Args({14, 1})->Args({14, 8});
+
+void BM_PageRankGapPull(benchmark::State& state) {
+  systems::GapSystem::Options opts;
+  opts.pr_mode = systems::GapSystem::PrMode::kPull;
+  run_pagerank_bench<systems::GapSystem>(state, opts);
+}
+BENCHMARK(BM_PageRankGapPull)->Args({14, 1})->Args({14, 8});
+
+void BM_PageRankGapBlocked(benchmark::State& state) {
+  systems::GapSystem::Options opts;
+  opts.pr_mode = systems::GapSystem::PrMode::kBlocked;
+  run_pagerank_bench<systems::GapSystem>(state, opts);
+}
+BENCHMARK(BM_PageRankGapBlocked)->Args({14, 1})->Args({14, 8});
+
+void BM_PageRankGraphMatPull(benchmark::State& state) {
+  systems::GraphMatSystem::Options opts;
+  opts.pr_mode = systems::GraphMatSystem::PrMode::kPull;
+  run_pagerank_bench<systems::GraphMatSystem>(state, opts);
+}
+BENCHMARK(BM_PageRankGraphMatPull)->Args({14, 1})->Args({14, 8});
+
+void BM_PageRankGraphMatBlocked(benchmark::State& state) {
+  systems::GraphMatSystem::Options opts;
+  opts.pr_mode = systems::GraphMatSystem::PrMode::kBlocked;
+  run_pagerank_bench<systems::GraphMatSystem>(state, opts);
+}
+BENCHMARK(BM_PageRankGraphMatBlocked)->Args({14, 1})->Args({14, 8});
+
+void BM_PageRankGraphBigLegacy(benchmark::State& state) {
+  systems::GraphBigSystem::Options opts;
+  opts.pr_mode = systems::GraphBigSystem::PrMode::kLegacy;
+  run_pagerank_bench<systems::GraphBigSystem>(state, opts);
+}
+BENCHMARK(BM_PageRankGraphBigLegacy)->Args({14, 1})->Args({14, 8});
+
+void BM_PageRankGraphBigBlocked(benchmark::State& state) {
+  systems::GraphBigSystem::Options opts;
+  opts.pr_mode = systems::GraphBigSystem::PrMode::kBlocked;
+  run_pagerank_bench<systems::GraphBigSystem>(state, opts);
+}
+BENCHMARK(BM_PageRankGraphBigBlocked)->Args({14, 1})->Args({14, 8});
+
+// Prefetch ablation on GAP's traversal kernels: same kernels, hints off.
+void BM_GapBfsNoPrefetch(benchmark::State& state) {
+  const auto el = bench_graph(static_cast<int>(state.range(0)));
+  ThreadScope threads(static_cast<int>(state.range(1)));
+  systems::GapSystem::Options opts;
+  opts.prefetch = false;
+  systems::GapSystem sys(opts);
+  sys.set_edges(el);
+  sys.build();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sys.bfs(1));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(el.num_edges()));
+}
+BENCHMARK(BM_GapBfsNoPrefetch)->Args({14, 8});
+
+void BM_GapBfsPrefetch(benchmark::State& state) {
+  const auto el = bench_graph(static_cast<int>(state.range(0)));
+  ThreadScope threads(static_cast<int>(state.range(1)));
+  systems::GapSystem sys;
+  sys.set_edges(el);
+  sys.build();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sys.bfs(1));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(el.num_edges()));
+}
+BENCHMARK(BM_GapBfsPrefetch)->Args({14, 8});
 
 void BM_SnapParse(benchmark::State& state) {
   std::ostringstream os;

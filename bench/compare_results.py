@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Compare two google-benchmark JSON files and warn on regressions.
+
+Usage:
+    compare_results.py BASELINE.json CURRENT.json [--threshold 0.20]
+
+Matches benchmarks by name and compares cpu_time (more stable than
+real_time on shared CI runners, and the committed baselines come from a
+single-core container where real_time at >1 thread measures
+oversubscription, not the kernel). Prints a table of ratios and emits a
+GitHub Actions `::warning` line per benchmark whose cpu_time grew by
+more than the threshold.
+
+Always exits 0: the perf-smoke job is advisory, never blocking — CI
+hardware varies too much for a hard gate, but a >20% jump on the same
+runner family is worth a human look. Standard library only.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_benchmarks(path):
+    with open(path) as f:
+        doc = json.load(f)
+    out = {}
+    for b in doc.get("benchmarks", []):
+        # Skip aggregate rows (mean/median/stddev) if repetitions were used.
+        if b.get("run_type") == "aggregate":
+            continue
+        out[b["name"]] = b
+    return out
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("baseline")
+    ap.add_argument("current")
+    ap.add_argument("--threshold", type=float, default=0.20,
+                    help="warn when cpu_time grows by more than this "
+                         "fraction (default 0.20)")
+    args = ap.parse_args()
+
+    base = load_benchmarks(args.baseline)
+    curr = load_benchmarks(args.current)
+
+    shared = sorted(set(base) & set(curr))
+    if not shared:
+        print("no overlapping benchmarks between "
+              f"{args.baseline} and {args.current}")
+        return 0
+
+    regressions = []
+    print(f"{'benchmark':<44} {'base cpu':>12} {'curr cpu':>12} {'ratio':>7}")
+    for name in shared:
+        b, c = base[name], curr[name]
+        bt, ct = b.get("cpu_time", 0.0), c.get("cpu_time", 0.0)
+        if bt <= 0.0:
+            continue
+        ratio = ct / bt
+        unit = c.get("time_unit", "ns")
+        flag = ""
+        if ratio > 1.0 + args.threshold:
+            flag = "  << REGRESSION"
+            regressions.append((name, ratio))
+        print(f"{name:<44} {bt:>10.0f}{unit} {ct:>10.0f}{unit} "
+              f"{ratio:>6.2f}x{flag}")
+
+    missing = sorted(set(base) - set(curr))
+    if missing:
+        print(f"\n{len(missing)} baseline benchmark(s) not in current run "
+              "(filtered?): " + ", ".join(missing[:5]) +
+              ("..." if len(missing) > 5 else ""))
+
+    if regressions:
+        for name, ratio in regressions:
+            print(f"::warning title=perf regression::{name} cpu_time "
+                  f"{ratio:.2f}x of committed baseline "
+                  f"(threshold {1.0 + args.threshold:.2f}x)")
+        print(f"\n{len(regressions)} benchmark(s) regressed beyond "
+              f"{args.threshold:.0%} — advisory only, not failing the job")
+    else:
+        print(f"\nno regressions beyond {args.threshold:.0%} across "
+              f"{len(shared)} benchmarks")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

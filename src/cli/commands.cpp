@@ -138,7 +138,7 @@ int cmd_run(const Args& args, std::ostream& out) {
                      "no-reconstruct", "timeout", "retries", "isolate",
                      "journal", "resume", "allow-dnf", "cache-dir",
                      "no-cache", "mem-limit", "min-free-disk",
-                     "lock-timeout"});
+                     "lock-timeout", "pin"});
   harness::ExperimentConfig cfg;
   cfg.graph = spec_from_args(args);
   cfg.systems = args.get_list("systems");
@@ -158,6 +158,7 @@ int cmd_run(const Args& args, std::ostream& out) {
   }
   cfg.num_roots = args.get_int("roots", 32);
   cfg.threads = args.get_int("threads", 0);
+  cfg.pin = args.has("pin");
   cfg.validate = args.has("validate");
   cfg.reconstruct_per_trial = !args.has("no-reconstruct");
   cfg.supervisor.timeout_seconds = args.get_double("timeout", 0.0);
@@ -195,6 +196,9 @@ int cmd_run(const Args& args, std::ostream& out) {
     out << "warning: journaling stopped mid-sweep (resume will re-run the "
            "unjournaled tail): "
         << result.journal_warning << "\n";
+  }
+  if (!result.pin_warning.empty()) {
+    out << "warning: " << result.pin_warning << "\n";
   }
 
   const std::string logdir = args.get("logdir");
@@ -475,7 +479,7 @@ std::string usage() {
       "              (exit 3 when the cache cannot be written)\n"
       "  run         [--kind ... | --kind snap --graph file.snap]\n"
       "              [--systems A,B,...] [--algorithms BFS,SSSP,...]\n"
-      "              [--roots N] [--threads N] [--validate]\n"
+      "              [--roots N] [--threads N] [--pin] [--validate]\n"
       "              [--no-reconstruct] [--csv out.csv] [--logdir DIR]\n"
       "              [--timeout SEC] [--retries N] [--isolate]\n"
       "              [--mem-limit MIB]   per-unit memory governor\n"

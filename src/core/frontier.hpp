@@ -202,9 +202,9 @@ EPGS_TSAN_NOINLINE void prefix_sum_body(const T* in, T* out, std::size_t n,
 
 }  // namespace detail
 
-template <typename T>
+template <typename T, typename AIn, typename AOut>
 EPGS_NO_SANITIZE_THREAD T parallel_exclusive_prefix_sum(
-    const std::vector<T>& in, std::vector<T>& out) {
+    const std::vector<T, AIn>& in, std::vector<T, AOut>& out) {
   const std::size_t n = in.size();
   out.resize(n + 1);
   if (n < kParallelScanThreshold || omp_get_max_threads() == 1) {

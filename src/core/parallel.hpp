@@ -8,8 +8,10 @@
 
 #include <omp.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <numeric>
 #include <vector>
 
@@ -132,8 +134,9 @@ bool atomic_cas(std::atomic<T>* p, T expected, T val) {
 /// frontier compaction) use parallel_exclusive_prefix_sum from
 /// core/frontier.hpp; this serial version remains the oracle for tests
 /// and the baseline for the prefix-sum microbenchmark.
-template <typename T>
-T exclusive_prefix_sum(const std::vector<T>& in, std::vector<T>& out) {
+template <typename T, typename AIn, typename AOut>
+T exclusive_prefix_sum(const std::vector<T, AIn>& in,
+                       std::vector<T, AOut>& out) {
   out.resize(in.size() + 1);
   T total{};
   for (std::size_t i = 0; i < in.size(); ++i) {
@@ -141,6 +144,69 @@ T exclusive_prefix_sum(const std::vector<T>& in, std::vector<T>& out) {
     total += in[i];
   }
   out[in.size()] = total;
+  return total;
+}
+
+/// Block size for deterministic_block_sum. 4096 doubles = 32 KiB, one
+/// L1-sized strip; small enough to balance, large enough to amortize.
+inline constexpr std::size_t kDetSumBlock = 4096;
+
+namespace parallel_detail {
+
+template <typename R, typename F>
+EPGS_TSAN_NOINLINE inline R sum_block(F& f, std::size_t lo,
+                                      std::size_t hi) {
+  R s{};
+  for (std::size_t i = lo; i < hi; ++i) s += f(i);
+  return s;
+}
+
+}  // namespace parallel_detail
+
+/// Deterministic parallel sum of f(0) + ... + f(n-1).
+///
+/// `#pragma omp reduction(+)` combines per-thread partials in an
+/// unspecified order, so a floating-point reduction changes in the last
+/// bits when the thread count changes — which would make PageRank's
+/// dangling mass and convergence norm (and hence every subsequent
+/// iteration) thread-count-dependent. This helper instead sums fixed
+/// kDetSumBlock-element blocks in parallel and combines the block
+/// partials serially in ascending block order: the result is a pure
+/// function of n and f, independent of the thread count and schedule.
+/// (It is a *different* rounding than a straight serial left fold, so
+/// compare against the serial oracle with a tolerance, but compare
+/// across thread counts exactly.)
+template <typename R, typename F>
+EPGS_NO_SANITIZE_THREAD R deterministic_block_sum(std::size_t n, F f) {
+  if (n == 0) return R{};
+  const std::size_t nblocks = (n + kDetSumBlock - 1) / kDetSumBlock;
+  if (nblocks == 1 || omp_get_max_threads() == 1) {
+    R total{};
+    for (std::size_t b = 0; b < nblocks; ++b) {
+      total += parallel_detail::sum_block<R>(
+          f, b * kDetSumBlock, std::min(n, (b + 1) * kDetSumBlock));
+    }
+    return total;
+  }
+  std::vector<R> partial(nblocks);
+  OmpHbEdge fork, join;
+  fork.release();
+#pragma omp parallel
+  {
+    fork.acquire();
+#pragma omp for schedule(static)
+    for (std::int64_t b = 0; b < static_cast<std::int64_t>(nblocks);
+         ++b) {
+      const auto lo = static_cast<std::size_t>(b) * kDetSumBlock;
+      partial[static_cast<std::size_t>(b)] =
+          parallel_detail::sum_block<R>(f, lo,
+                                        std::min(n, lo + kDetSumBlock));
+    }
+    join.release();
+  }
+  join.acquire();
+  R total{};
+  for (const R& p : partial) total += p;
   return total;
 }
 

@@ -1,0 +1,42 @@
+// Software prefetch hints for irregular graph traversal.
+//
+// CSR neighbor scans read `array[nbrs[i]]` for random nbrs[i]; the
+// hardware prefetcher follows the sequential nbrs stream but cannot
+// predict the indirection. Issuing an explicit prefetch for the element
+// kPrefetchDistance iterations ahead overlaps its cache miss with the
+// current iterations' work. The distance is a compromise: far enough
+// that the line arrives before use (a miss costs ~100s of cycles, an
+// iteration ~10), near enough that the line is not evicted again; 8-16
+// works across the GAP/Ligra-class kernels in practice and 16 matches
+// the lookahead used by the GAP benchmark suite's generators.
+//
+// The hints are advisory: on non-GCC/Clang compilers they compile to
+// nothing and every kernel below remains correct without them.
+#pragma once
+
+#include <cstddef>
+
+namespace epgs {
+
+/// How many neighbor slots ahead the traversal kernels prefetch.
+inline constexpr std::size_t kPrefetchDistance = 16;
+
+/// Hint that *p will be read soon. rw=0, high temporal locality.
+inline void prefetch_read(const void* p) {
+#if defined(__GNUC__) || defined(__clang__)
+  __builtin_prefetch(p, 0, 3);
+#else
+  (void)p;
+#endif
+}
+
+/// Hint that *p will be written soon (fetch line in exclusive state).
+inline void prefetch_write(const void* p) {
+#if defined(__GNUC__) || defined(__clang__)
+  __builtin_prefetch(const_cast<void*>(p), 1, 3);
+#else
+  (void)p;
+#endif
+}
+
+}  // namespace epgs

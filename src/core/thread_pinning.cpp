@@ -1,0 +1,136 @@
+#include "core/thread_pinning.hpp"
+
+#include <omp.h>
+#include <sched.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <sstream>
+#include <vector>
+
+#include "core/parallel.hpp"
+
+namespace epgs {
+
+namespace {
+
+std::atomic<bool> g_pin_enabled{[] {
+  const char* env = std::getenv("EPGS_PIN");
+  return env != nullptr &&
+         (std::strcmp(env, "1") == 0 || std::strcmp(env, "true") == 0);
+}()};
+
+/// CPUs the process was allowed to run on at startup (cgroup cpuset
+/// aware). Captured once so repeated pin/clear cycles stay stable.
+const std::vector<int>& allowed_cpus() {
+  static const std::vector<int> cpus = [] {
+    std::vector<int> out;
+    cpu_set_t mask;
+    CPU_ZERO(&mask);
+    if (sched_getaffinity(0, sizeof(mask), &mask) == 0) {
+      for (int c = 0; c < CPU_SETSIZE; ++c) {
+        if (CPU_ISSET(c, &mask)) out.push_back(c);
+      }
+    }
+    if (out.empty()) out.push_back(0);
+    return out;
+  }();
+  return cpus;
+}
+
+struct PinCounters {
+  std::atomic<int> pinned{0};
+  std::atomic<int> failed{0};
+  std::atomic<int> last_errno{0};
+};
+
+EPGS_TSAN_NOINLINE void pin_self(int cpu, PinCounters& c) {
+  cpu_set_t mask;
+  CPU_ZERO(&mask);
+  CPU_SET(cpu, &mask);
+  if (sched_setaffinity(0, sizeof(mask), &mask) == 0) {
+    c.pinned.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    // Denied (EPERM under seccomp, EINVAL on offlined CPUs): record and
+    // carry on unpinned — correctness never depends on placement.
+    c.failed.fetch_add(1, std::memory_order_relaxed);
+    c.last_errno.store(errno, std::memory_order_relaxed);
+  }
+}
+
+EPGS_TSAN_NOINLINE void unpin_self(PinCounters& c) {
+  const auto& cpus = allowed_cpus();
+  cpu_set_t mask;
+  CPU_ZERO(&mask);
+  for (const int cpu : cpus) CPU_SET(cpu, &mask);
+  if (sched_setaffinity(0, sizeof(mask), &mask) != 0) {
+    c.failed.fetch_add(1, std::memory_order_relaxed);
+    c.last_errno.store(errno, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace
+
+bool pinning_enabled() {
+  return g_pin_enabled.load(std::memory_order_relaxed);
+}
+
+void set_pinning(bool on) {
+  g_pin_enabled.store(on, std::memory_order_relaxed);
+}
+
+EPGS_NO_SANITIZE_THREAD PinReport apply_thread_pinning() {
+  PinReport r;
+  r.requested = pinning_enabled();
+  r.threads = omp_get_max_threads();
+  if (!r.requested) return r;
+
+  const auto& cpus = allowed_cpus();
+  PinCounters counters;
+  OmpHbEdge fork, join;
+  fork.release();
+#pragma omp parallel
+  {
+    fork.acquire();
+    const int t = omp_get_thread_num();
+    pin_self(cpus[static_cast<std::size_t>(t) % cpus.size()], counters);
+    join.release();
+  }
+  join.acquire();
+  r.pinned = counters.pinned.load(std::memory_order_relaxed);
+  r.failed = counters.failed.load(std::memory_order_relaxed);
+  r.last_errno = counters.last_errno.load(std::memory_order_relaxed);
+  return r;
+}
+
+EPGS_NO_SANITIZE_THREAD void clear_thread_pinning() {
+  PinCounters counters;
+  OmpHbEdge fork, join;
+  fork.release();
+#pragma omp parallel
+  {
+    fork.acquire();
+    unpin_self(counters);
+    join.release();
+  }
+  join.acquire();
+}
+
+std::string describe(const PinReport& r) {
+  std::ostringstream os;
+  if (!r.requested) {
+    os << "pinning: disabled";
+    return os.str();
+  }
+  os << "pinning: " << r.pinned << "/" << r.threads << " threads bound";
+  if (r.failed > 0) {
+    os << " (" << r.failed
+       << " denied: " << std::strerror(r.last_errno)
+       << "; continuing unpinned)";
+  }
+  return os.str();
+}
+
+}  // namespace epgs

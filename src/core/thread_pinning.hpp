@@ -1,0 +1,47 @@
+// Optional thread pinning for the OpenMP team.
+//
+// The paper's scalability runs (Figs 5/6) are sensitive to threads
+// migrating between cores mid-kernel: a migrated thread loses its
+// private-cache working set and, on multi-socket machines, its
+// first-touch page locality (see core/numa_alloc.hpp). Pinning thread t
+// of the team to the t-th allowed CPU makes the schedule(static)
+// touch/consume alignment stick for the whole run.
+//
+// Pinning is opt-in (EPGS_PIN=1 in the environment or --pin on the CLI)
+// and degrades gracefully: containers and the fork-isolated supervisor
+// children may run under seccomp/cgroup policies that deny
+// sched_setaffinity — failures are counted and reported, never fatal.
+#pragma once
+
+#include <string>
+
+namespace epgs {
+
+/// Outcome of one apply_thread_pinning() call.
+struct PinReport {
+  bool requested = false;  // pinning enabled at the time of the call
+  int threads = 0;         // team size the pin pass covered
+  int pinned = 0;          // threads successfully bound
+  int failed = 0;          // sched_setaffinity refusals (non-fatal)
+  int last_errno = 0;      // errno of the last refusal
+};
+
+/// Whether pinning is currently requested. Initialized from the
+/// EPGS_PIN environment variable ("1"/"true" enables); the CLI's --pin
+/// flag overrides via set_pinning().
+bool pinning_enabled();
+void set_pinning(bool on);
+
+/// Bind each thread of the current OpenMP team to one allowed CPU
+/// (round-robin over the process's initial affinity mask, so cgroup
+/// cpusets are respected). No-op unless pinning_enabled().
+PinReport apply_thread_pinning();
+
+/// Restore every team thread to the process's initial affinity mask.
+/// Used by tests so a pinned run does not leak into later ones.
+void clear_thread_pinning();
+
+/// One-line human summary ("pinned 8/8 threads" / "pinning denied ...").
+std::string describe(const PinReport& r);
+
+}  // namespace epgs

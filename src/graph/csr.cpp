@@ -16,8 +16,9 @@ namespace {
 /// Sort every adjacency row by target id, weights permuted alongside.
 /// Rows are independent, so this parallelizes over rows for the weighted
 /// case too (the seed only parallelized the unweighted path).
-void sort_rows(std::vector<eid_t>& offsets, std::vector<vid_t>& targets,
-               std::vector<weight_t>& weights, vid_t n, bool weighted) {
+void sort_rows(CSRGraph::OffsetVector& offsets,
+               CSRGraph::TargetVector& targets,
+               CSRGraph::WeightVector& weights, vid_t n, bool weighted) {
   if (weighted) {
 #pragma omp parallel
     {
@@ -78,8 +79,9 @@ CSRGraph CSRGraph::from_edges(const EdgeList& el, bool transpose) {
 
   // Per-thread degree counts: thread t counts its contiguous edge slice
   // into its own array (no atomics, no sharing), then the arrays are
-  // summed per vertex in parallel.
-  std::vector<eid_t> counts(g.n_, 0);
+  // summed per vertex in parallel. FirstTouchVector leaves the pages
+  // untouched until the static combine loop below writes every slot.
+  FirstTouchVector<eid_t> counts(g.n_);
   std::vector<std::vector<eid_t>> local_counts;
 #pragma omp parallel
   {
@@ -111,6 +113,16 @@ CSRGraph CSRGraph::from_edges(const EdgeList& el, bool transpose) {
 
   g.targets_.resize(g.m_);
   if (el.weighted) g.weights_.resize(g.m_);
+  // First-touch placement: resize() above touched no pages, and the
+  // scatter below writes in (random) edge order. Touch the flat
+  // adjacency arrays in static index order first, so each page lands on
+  // the thread that owns that index range in later schedule(static)
+  // scans (see core/numa_alloc.hpp for the rule).
+#pragma omp parallel for schedule(static)
+  for (std::int64_t i = 0; i < static_cast<std::int64_t>(g.m_); ++i) {
+    g.targets_[static_cast<std::size_t>(i)] = 0;
+    if (el.weighted) g.weights_[static_cast<std::size_t>(i)] = 0.0f;
+  }
   std::vector<std::atomic<eid_t>> cursor(g.n_);
 #pragma omp parallel for schedule(static)
   for (std::int64_t v = 0; v < static_cast<std::int64_t>(g.n_); ++v) {

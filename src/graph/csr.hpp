@@ -10,12 +10,20 @@
 #include <span>
 #include <vector>
 
+#include "core/numa_alloc.hpp"
 #include "graph/edge_list.hpp"
 
 namespace epgs {
 
 class CSRGraph {
  public:
+  // The flat adjacency arrays use the first-touch vector (resize leaves
+  // pages untouched; the parallel build's static passes place them) so
+  // traversal kernels scanning with schedule(static) hit local pages.
+  using OffsetVector = FirstTouchVector<eid_t>;
+  using TargetVector = FirstTouchVector<vid_t>;
+  using WeightVector = FirstTouchVector<weight_t>;
+
   CSRGraph() = default;
 
   /// Build an out-neighborhood CSR from an edge list (parallel Kernel-1
@@ -48,11 +56,9 @@ class CSRGraph {
             static_cast<std::size_t>(degree(u))};
   }
 
-  [[nodiscard]] const std::vector<eid_t>& offsets() const { return offsets_; }
-  [[nodiscard]] const std::vector<vid_t>& targets() const { return targets_; }
-  [[nodiscard]] const std::vector<weight_t>& weights() const {
-    return weights_;
-  }
+  [[nodiscard]] const OffsetVector& offsets() const { return offsets_; }
+  [[nodiscard]] const TargetVector& targets() const { return targets_; }
+  [[nodiscard]] const WeightVector& weights() const { return weights_; }
 
   /// Estimated resident size in bytes (for log/power accounting).
   [[nodiscard]] std::size_t bytes() const;
@@ -63,9 +69,9 @@ class CSRGraph {
  private:
   vid_t n_ = 0;
   eid_t m_ = 0;
-  std::vector<eid_t> offsets_;   // size n+1
-  std::vector<vid_t> targets_;   // size m
-  std::vector<weight_t> weights_;  // size m when weighted, else empty
+  OffsetVector offsets_;   // size n+1
+  TargetVector targets_;   // size m
+  WeightVector weights_;   // size m when weighted, else empty
 };
 
 }  // namespace epgs

@@ -21,8 +21,8 @@ void write_pod(std::ostream& os, const T& v) {
   os.write(reinterpret_cast<const char*>(&v), sizeof v);
 }
 
-template <typename T>
-void write_vec(std::ostream& os, const std::vector<T>& v) {
+template <typename T, typename A>
+void write_vec(std::ostream& os, const std::vector<T, A>& v) {
   write_pod<std::uint64_t>(os, v.size());
   os.write(reinterpret_cast<const char*>(v.data()),
            static_cast<std::streamsize>(v.size() * sizeof(T)));

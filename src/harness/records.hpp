@@ -50,6 +50,10 @@ struct ExperimentResult {
   /// Non-empty when journaling stopped mid-sweep (e.g. the disk filled):
   /// results are complete but a --resume will re-run the unjournaled tail.
   std::string journal_warning;
+  /// Non-empty when thread pinning was requested (--pin / EPGS_PIN) but
+  /// sched_setaffinity refused some or all binds; the run continued
+  /// unpinned on those threads.
+  std::string pin_warning;
 
   /// Seconds of every successful record matching the given keys (empty
   /// algorithm matches any). DNF rows never contribute samples.

@@ -6,6 +6,7 @@
 
 #include "core/error.hpp"
 #include "core/parallel.hpp"
+#include "core/thread_pinning.hpp"
 #include "graph/csr.hpp"
 #include "harness/collector.hpp"
 #include "harness/dataset_pipeline.hpp"
@@ -294,6 +295,17 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
   // front.
   const SweepPlan plan =
       plan_sweep(cfg, files ? &*files : nullptr, collector.journaled());
+
+  // Pin the worker team before any kernel runs. OpenMP pools its team
+  // threads, so binds applied here stick for every later parallel
+  // region at the same thread count. Refused binds downgrade to a
+  // warning — containers may deny sched_setaffinity.
+  if (cfg.pin) set_pinning(true);
+  if (pinning_enabled()) {
+    ThreadScope pin_scope(plan.threads);
+    const PinReport pin_rep = apply_thread_pinning();
+    if (pin_rep.failed > 0) result.pin_warning = describe(pin_rep);
+  }
 
   // Execute.
   Xoshiro256 backoff_rng(sup.backoff_seed);

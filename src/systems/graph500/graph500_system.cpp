@@ -4,7 +4,9 @@
 
 #include "core/bitmap.hpp"
 #include "core/frontier.hpp"
+#include "core/numa_alloc.hpp"
 #include "core/parallel.hpp"
+#include "core/prefetch.hpp"
 
 namespace epgs::systems {
 
@@ -24,10 +26,8 @@ BfsResult Graph500System::do_bfs(vid_t root) {
   r.root = root;
   r.parent.assign(n, kNoVertex);
 
-  std::vector<std::atomic<vid_t>> parent(n);
-  for (vid_t v = 0; v < n; ++v) {
-    parent[v].store(kNoVertex, std::memory_order_relaxed);
-  }
+  // First-touch parallel fill (see core/numa_alloc.hpp).
+  NumaArray<std::atomic<vid_t>> parent(n, kNoVertex);
   parent[root].store(root, std::memory_order_relaxed);
 
   Bitmap visited(n);
@@ -50,7 +50,15 @@ BfsResult Graph500System::do_bfs(vid_t root) {
       for (std::int64_t i = 0;
            i < static_cast<std::int64_t>(queue.size()); ++i) {
         const vid_t u = queue.begin()[i];
-        for (const vid_t v : csr_.neighbors(u)) {
+        const auto nbrs = csr_.neighbors(u);
+        for (std::size_t e = 0; e < nbrs.size(); ++e) {
+          // Prefetch the CAS target ahead; the visited-bitmap probe for
+          // the same vertex rides on the adjacent line often enough
+          // that one hint covers the scan's random traffic.
+          if (e + kPrefetchDistance < nbrs.size()) {
+            prefetch_write(&parent[nbrs[e + kPrefetchDistance]]);
+          }
+          const vid_t v = nbrs[e];
           ++scanned;
           if (visited.test(v)) continue;  // cheap pre-check
           vid_t expected = kNoVertex;

@@ -16,6 +16,7 @@
 
 #include "core/bitmap.hpp"
 #include "core/cancellation.hpp"
+#include "core/prefetch.hpp"
 #include "systems/graphmat/dcsr.hpp"
 
 namespace epgs::systems::graphmat_detail {
@@ -75,6 +76,11 @@ EngineResult<Program> run_graph_program(
       for (std::size_t i = 0; i < cols.size(); ++i) {
         ++scanned;
         const vid_t u = cols[i];
+        // The message gather x[u] is the row scan's only random read;
+        // prefetch a few columns ahead to overlap its miss.
+        if (i + kPrefetchDistance < cols.size()) {
+          prefetch_read(&x[cols[i + kPrefetchDistance]]);
+        }
         if (!active.test(u)) continue;
         prog.process_message(x[u],
                              a_transpose.weighted() ? vals[i] : weight_t{1},

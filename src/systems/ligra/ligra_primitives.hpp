@@ -16,6 +16,7 @@
 
 #include "core/bitmap.hpp"
 #include "core/frontier.hpp"
+#include "core/prefetch.hpp"
 #include "graph/csr.hpp"
 
 namespace epgs::systems::ligra_detail {
@@ -75,6 +76,11 @@ inline constexpr eid_t kDenseThresholdDivisor = 20;
 ///   bool update_atomic(vid_t s, vid_t d, weight_t w); // CAS flavour
 ///   bool cond(vid_t d);                               // skip if false
 /// update returns true when d should join the output subset.
+///
+/// Optionally it may provide `void prefetch(vid_t v)` to hint the
+/// per-vertex state its update will touch; the push traversal calls it
+/// kPrefetchDistance edges ahead so the state load overlaps the
+/// neighbour scan instead of stalling at the CAS.
 template <typename F>
 VertexSubset edge_map(const CSRGraph& out, const CSRGraph& in,
                       const VertexSubset& frontier, F&& f,
@@ -107,6 +113,11 @@ VertexSubset edge_map(const CSRGraph& out, const CSRGraph& in,
         bool added = false;
         for (std::size_t i = 0; i < nbrs.size(); ++i) {
           ++examined;
+          // The frontier-membership probe is the pull scan's only
+          // random read; hint its bitmap word a few columns ahead.
+          if (i + kPrefetchDistance < nbrs.size()) {
+            members.prefetch(nbrs[i + kPrefetchDistance]);
+          }
           if (!members.test(nbrs[i])) continue;
           if (f.update(nbrs[i], v, in.weighted() ? ws[i] : weight_t{1}) &&
               !added) {
@@ -134,6 +145,11 @@ VertexSubset edge_map(const CSRGraph& out, const CSRGraph& in,
                                        : std::span<const weight_t>{};
         for (std::size_t e = 0; e < nbrs.size(); ++e) {
           ++examined;
+          if constexpr (requires(vid_t d) { f.prefetch(d); }) {
+            if (e + kPrefetchDistance < nbrs.size()) {
+              f.prefetch(nbrs[e + kPrefetchDistance]);
+            }
+          }
           const vid_t v = nbrs[e];
           if (!f.cond(v)) continue;
           if (f.update_atomic(u, v, out.weighted() ? ws[e] : weight_t{1}) &&

@@ -5,7 +5,9 @@
 #include <cmath>
 #include <numeric>
 
+#include "core/numa_alloc.hpp"
 #include "core/parallel.hpp"
+#include "core/prefetch.hpp"
 #include "systems/ligra/ligra_primitives.hpp"
 
 namespace epgs::systems {
@@ -29,6 +31,7 @@ namespace {
 struct BfsF {
   std::atomic<vid_t>* parent;
 
+  void prefetch(vid_t d) const { prefetch_write(&parent[d]); }
   bool cond(vid_t d) const {
     return parent[d].load(std::memory_order_relaxed) == kNoVertex;
   }
@@ -47,6 +50,7 @@ struct BfsF {
 struct SsspF {
   std::atomic<weight_t>* dist;
 
+  void prefetch(vid_t d) const { prefetch_write(&dist[d]); }
   bool cond(vid_t) const { return true; }
   bool update(vid_t s, vid_t d, weight_t w) const {
     const weight_t nd = dist[s].load(std::memory_order_relaxed) + w;
@@ -65,6 +69,7 @@ struct SsspF {
 struct WccF {
   std::atomic<vid_t>* comp;
 
+  void prefetch(vid_t d) const { prefetch_write(&comp[d]); }
   bool cond(vid_t) const { return true; }
   bool update(vid_t s, vid_t d, weight_t) const {
     const vid_t cs = comp[s].load(std::memory_order_relaxed);
@@ -84,8 +89,8 @@ struct WccF {
 
 BfsResult LigraSystem::do_bfs(vid_t root) {
   const vid_t n = out_.num_vertices();
-  std::vector<std::atomic<vid_t>> parent(n);
-  for (auto& p : parent) p.store(kNoVertex, std::memory_order_relaxed);
+  // First-touch parallel fill (see core/numa_alloc.hpp).
+  NumaArray<std::atomic<vid_t>> parent(n, kNoVertex);
   parent[root].store(root, std::memory_order_relaxed);
 
   std::uint64_t examined = 0;
@@ -112,8 +117,7 @@ SsspResult LigraSystem::do_sssp(vid_t root) {
   // Ligra's Bellman-Ford: iterate edgeMap from the set of improved
   // vertices until quiescence.
   const vid_t n = out_.num_vertices();
-  std::vector<std::atomic<weight_t>> dist(n);
-  for (auto& d : dist) d.store(kInfDist, std::memory_order_relaxed);
+  NumaArray<std::atomic<weight_t>> dist(n, kInfDist);
   dist[root].store(0.0f, std::memory_order_relaxed);
 
   std::uint64_t examined = 0;
@@ -138,38 +142,70 @@ SsspResult LigraSystem::do_sssp(vid_t root) {
 
 PageRankResult LigraSystem::do_pagerank(const PageRankParams& params) {
   // Dense pull iterations (Ligra's PageRank uses edgeMap with an
-  // all-active frontier; the pull body is identical).
+  // all-active frontier; the pull body is identical). Per-edge work is
+  // one load from a precomputed contribution array — rank[u]/deg(u) is
+  // hoisted out of the edge loop — and both global sums use the
+  // deterministic block reduction so the ranks are a pure function of
+  // the graph, independent of thread count.
   const vid_t n = out_.num_vertices();
   PageRankResult r;
-  r.rank.assign(n, n > 0 ? 1.0 / n : 0.0);
-  std::vector<double> next(n);
   std::uint64_t edge_work = 0;
+  if (n == 0) return r;
+
+  FirstTouchVector<double> rank;
+  FirstTouchVector<double> next;
+  FirstTouchVector<double> contrib;
+  rank.resize(n);
+  next.resize(n);
+  contrib.resize(n);
+  const double init = 1.0 / n;
+  // First-touch init: the same schedule(static) partition the pull
+  // loop's streaming writes use (see core/numa_alloc.hpp).
+#pragma omp parallel for schedule(static)
+  for (std::int64_t v = 0; v < static_cast<std::int64_t>(n); ++v) {
+    rank[static_cast<std::size_t>(v)] = init;
+    next[static_cast<std::size_t>(v)] = 0.0;
+    contrib[static_cast<std::size_t>(v)] = 0.0;
+  }
 
   for (int it = 0; it < params.max_iterations; ++it) {
     checkpoint();  // PageRank iteration boundary
-    double dangling = 0.0;
-#pragma omp parallel for reduction(+ : dangling) schedule(static)
+#pragma omp parallel for schedule(static)
     for (std::int64_t v = 0; v < static_cast<std::int64_t>(n); ++v) {
-      if (out_.degree(static_cast<vid_t>(v)) == 0) dangling += r.rank[v];
+      const auto d =
+          static_cast<double>(out_.degree(static_cast<vid_t>(v)));
+      contrib[static_cast<std::size_t>(v)] =
+          d > 0.0 ? rank[static_cast<std::size_t>(v)] / d : 0.0;
     }
+    const double dangling = deterministic_block_sum<double>(
+        n, [&](std::size_t v) {
+          return out_.degree(static_cast<vid_t>(v)) == 0 ? rank[v] : 0.0;
+        });
     const double base =
         (1.0 - params.damping) / n + params.damping * dangling / n;
 
-    double l1 = 0.0;
-#pragma omp parallel for reduction(+ : l1) schedule(dynamic, 1024)
+    // Edge-bound power-law loop: dynamic with page-spanning chunks
+    // (scheduling rule in core/numa_alloc.hpp).
+#pragma omp parallel for schedule(dynamic, 1024)
     for (std::int64_t v = 0; v < static_cast<std::int64_t>(n); ++v) {
+      const auto nbrs = in_.neighbors(static_cast<vid_t>(v));
       double sum = 0.0;
-      for (const vid_t u : in_.neighbors(static_cast<vid_t>(v))) {
-        sum += r.rank[u] / static_cast<double>(out_.degree(u));
+      for (std::size_t i = 0; i < nbrs.size(); ++i) {
+        if (i + kPrefetchDistance < nbrs.size()) {
+          prefetch_read(&contrib[nbrs[i + kPrefetchDistance]]);
+        }
+        sum += contrib[nbrs[i]];
       }
       next[v] = base + params.damping * sum;
-      l1 += std::abs(next[v] - r.rank[v]);
     }
-    r.rank.swap(next);
+    const double l1 = deterministic_block_sum<double>(
+        n, [&](std::size_t v) { return std::abs(next[v] - rank[v]); });
+    rank.swap(next);
     ++r.iterations;
     edge_work += in_.num_edges();
     if (l1 < params.epsilon) break;
   }
+  r.rank.assign(rank.begin(), rank.end());
   work_.edges_processed = edge_work;
   work_.vertex_updates = static_cast<std::uint64_t>(n) * r.iterations;
   work_.bytes_touched = edge_work * (sizeof(vid_t) + sizeof(double));
@@ -178,10 +214,8 @@ PageRankResult LigraSystem::do_pagerank(const PageRankParams& params) {
 
 WccResult LigraSystem::do_wcc() {
   const vid_t n = out_.num_vertices();
-  std::vector<std::atomic<vid_t>> comp(n);
-  for (vid_t v = 0; v < n; ++v) {
-    comp[v].store(v, std::memory_order_relaxed);
-  }
+  NumaArray<std::atomic<vid_t>> comp(n);
+  comp.fill_with([](std::size_t i) { return static_cast<vid_t>(i); });
 
   std::uint64_t examined = 0;
   VertexSubset frontier = VertexSubset::all(n);
@@ -223,16 +257,23 @@ BcResult LigraSystem::do_bc(vid_t source) {
   r.source = source;
   r.dependency.assign(n, 0.0);
 
-  std::vector<double> sigma(n, 0.0);
-  std::vector<vid_t> level(n, kNoVertex);
-  std::vector<std::atomic<vid_t>> visited(n);
-  for (auto& v : visited) v.store(kNoVertex, std::memory_order_relaxed);
+  FirstTouchVector<double> sigma;
+  FirstTouchVector<vid_t> level;
+  sigma.resize(n);
+  level.resize(n);
+#pragma omp parallel for schedule(static)
+  for (std::int64_t v = 0; v < static_cast<std::int64_t>(n); ++v) {
+    sigma[static_cast<std::size_t>(v)] = 0.0;
+    level[static_cast<std::size_t>(v)] = kNoVertex;
+  }
+  NumaArray<std::atomic<vid_t>> visited(n, kNoVertex);
   visited[source].store(source, std::memory_order_relaxed);
   sigma[source] = 1.0;
   level[source] = 0;
 
   struct VisitF {
     std::atomic<vid_t>* visited;
+    void prefetch(vid_t d) const { prefetch_write(&visited[d]); }
     bool cond(vid_t d) const {
       return visited[d].load(std::memory_order_relaxed) == kNoVertex;
     }

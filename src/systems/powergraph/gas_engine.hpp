@@ -21,6 +21,7 @@
 //   bool apply(VData& v, const Gather& acc, bool any_gather) const;
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <unordered_map>
 #include <vector>
@@ -313,19 +314,28 @@ class GasEngine {
   void build_local_graphs() {
     const int np = vc_.num_partitions();
     locals_.resize(static_cast<std::size_t>(np));
+    // Partitions are independent, so their local CSR builds run in
+    // parallel; dynamic rides out the skew in partition edge counts.
+#pragma omp parallel for schedule(dynamic, 1)
     for (int p = 0; p < np; ++p) {
       auto& lg = locals_[static_cast<std::size_t>(p)];
       const auto& edges = vc_.edges_of(p);
 
+      // Collect the partition's vertex set, then assign local ids in
+      // ascending *global* order. Local id order never changes results
+      // (per-vertex gather order is edge order and master merge order
+      // is replica order, both id-independent) — it only fixes the
+      // memory layout. Ascending ids make the master -> mirror
+      // broadcast read master_[] monotonically, so each cache block of
+      // master state is consumed whole instead of being re-fetched in
+      // first-encounter order.
       for (const auto& e : edges) {
-        if (lg.g2l.emplace(e.src, static_cast<vid_t>(lg.vertices.size()))
-                .second) {
-          lg.vertices.push_back(e.src);
-        }
-        if (lg.g2l.emplace(e.dst, static_cast<vid_t>(lg.vertices.size()))
-                .second) {
-          lg.vertices.push_back(e.dst);
-        }
+        if (lg.g2l.emplace(e.src, 0).second) lg.vertices.push_back(e.src);
+        if (lg.g2l.emplace(e.dst, 0).second) lg.vertices.push_back(e.dst);
+      }
+      std::sort(lg.vertices.begin(), lg.vertices.end());
+      for (std::size_t lv = 0; lv < lg.vertices.size(); ++lv) {
+        lg.g2l[lg.vertices[lv]] = static_cast<vid_t>(lv);
       }
       const auto nl = static_cast<vid_t>(lg.vertices.size());
       lg.mirror.resize(nl);

@@ -7,6 +7,7 @@
 #include <cmath>
 
 #include "core/parallel.hpp"
+#include "core/thread_pinning.hpp"
 #include "gen/datasets.hpp"
 #include "gen/kronecker.hpp"
 #include "graph/csr.hpp"
@@ -14,6 +15,9 @@
 #include "systems/common/reference.hpp"
 #include "systems/common/registry.hpp"
 #include "systems/common/validation.hpp"
+#include "systems/gap/gap_system.hpp"
+#include "systems/graphmat/graphmat_system.hpp"
+#include "systems/powergraph/powergraph_system.hpp"
 #include "test_util.hpp"
 
 namespace epgs {
@@ -279,11 +283,184 @@ TEST_P(CrossSystemThreads, BfsSsspPageRankEquivalentAtEveryThreadCount) {
   }
 }
 
+// The locality-overhaul PageRank kernels (GAP, GraphBIG, GraphMat,
+// Ligra) are pure functions of the graph: contributions are
+// precomputed, push bins reduce in a fixed chunk order, and the global
+// sums use the deterministic block reduction. So the ranks must be
+// *bit-identical* across thread counts, not merely within tolerance —
+// the single-threaded run of the same kernel is the baseline.
+// (PowerGraph sizes its vertex cut from the worker count by design, so
+// its ranks are a function of the partition count — covered at a fixed
+// partitioning by PrVariants.PowerGraphDeterministicAtFixedPartitions.)
+TEST_P(CrossSystemThreads, PageRankBitIdenticalAcrossThreadCounts) {
+  const int num_threads = GetParam();
+  const auto el = dedupe(symmetrize([] {
+    gen::KroneckerParams p;
+    p.scale = 8;
+    p.edgefactor = 8;
+    return gen::kronecker(p);
+  }()));
+  PageRankParams pr_params;
+
+  auto names = all_system_names();
+  const auto ext = extension_system_names();
+  names.insert(names.end(), ext.begin(), ext.end());
+  std::erase(names, "PowerGraph");  // partition count tracks threads
+  for (const auto name : names) {
+    std::vector<double> baseline;
+    {
+      ThreadScope scope(1);
+      auto sys = make_system(name);
+      if (!sys->capabilities().pagerank) continue;
+      sys->set_edges(el);
+      sys->build();
+      baseline = sys->pagerank(pr_params).rank;
+    }
+    ThreadScope scope(num_threads);
+    auto sys = make_system(name);
+    sys->set_edges(el);
+    sys->build();
+    const auto r = sys->pagerank(pr_params);
+    ASSERT_EQ(r.rank.size(), baseline.size()) << name;
+    for (std::size_t v = 0; v < baseline.size(); ++v) {
+      ASSERT_EQ(r.rank[v], baseline[v])
+          << name << " PageRank not deterministic @" << num_threads
+          << "t vertex " << v;
+    }
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(ThreadSweep, CrossSystemThreads,
                          ::testing::Values(1, 2, 4, 8),
                          [](const auto& info) {
                            return "threads_" + std::to_string(info.param);
                          });
+
+// GAP's propagation-blocked push kernel bins contributions by fixed
+// source chunk and reduces chunks in ascending order, which equals the
+// pull kernel's sorted in-neighbor order — the two variants must agree
+// bit-for-bit (the header documents this contract).
+TEST(PrVariants, GapPullAndBlockedBitIdentical) {
+  const auto el = dedupe(symmetrize([] {
+    gen::KroneckerParams p;
+    p.scale = 9;
+    p.edgefactor = 8;
+    return gen::kronecker(p);
+  }()));
+  PageRankParams pr_params;
+  ThreadScope scope(4);
+
+  const auto run = [&](systems::GapSystem::PrMode mode) {
+    systems::GapSystem::Options opts;
+    opts.pr_mode = mode;
+    systems::GapSystem sys(opts);
+    sys.set_edges(el);
+    sys.build();
+    return sys.pagerank(pr_params).rank;
+  };
+  const auto pull = run(systems::GapSystem::PrMode::kPull);
+  const auto blocked = run(systems::GapSystem::PrMode::kBlocked);
+  const auto legacy = run(systems::GapSystem::PrMode::kLegacy);
+  ASSERT_EQ(pull.size(), blocked.size());
+  for (std::size_t v = 0; v < pull.size(); ++v) {
+    ASSERT_EQ(pull[v], blocked[v]) << "vertex " << v;
+  }
+  // Legacy reorders the sums, so only tolerance equality holds there.
+  for (std::size_t v = 0; v < pull.size(); ++v) {
+    ASSERT_NEAR(pull[v], legacy[v], 1e-12 + 1e-9 * legacy[v])
+        << "vertex " << v;
+  }
+}
+
+TEST(PrVariants, GraphMatPullAndBlockedBitIdentical) {
+  const auto el = dedupe(symmetrize([] {
+    gen::KroneckerParams p;
+    p.scale = 9;
+    p.edgefactor = 8;
+    return gen::kronecker(p);
+  }()));
+  PageRankParams pr_params;
+  ThreadScope scope(4);
+
+  const auto run = [&](systems::GraphMatSystem::PrMode mode) {
+    systems::GraphMatSystem::Options opts;
+    opts.pr_mode = mode;
+    systems::GraphMatSystem sys(opts);
+    sys.set_edges(el);
+    sys.build();
+    return sys.pagerank(pr_params).rank;
+  };
+  const auto pull = run(systems::GraphMatSystem::PrMode::kPull);
+  const auto blocked = run(systems::GraphMatSystem::PrMode::kBlocked);
+  ASSERT_EQ(pull.size(), blocked.size());
+  for (std::size_t v = 0; v < pull.size(); ++v) {
+    ASSERT_EQ(pull[v], blocked[v]) << "vertex " << v;
+  }
+}
+
+// With the partition count held fixed, PowerGraph's GAS PageRank is
+// deterministic too: per-vertex gather order is local edge order,
+// master-side combine order is replica order, and both are independent
+// of the thread schedule.
+TEST(PrVariants, PowerGraphDeterministicAtFixedPartitions) {
+  const auto el = dedupe(symmetrize([] {
+    gen::KroneckerParams p;
+    p.scale = 8;
+    p.edgefactor = 8;
+    return gen::kronecker(p);
+  }()));
+  PageRankParams pr_params;
+
+  const auto run = [&](int threads) {
+    ThreadScope scope(threads);
+    systems::PowerGraphSystem::Options opts;
+    opts.num_partitions = 8;
+    systems::PowerGraphSystem sys(opts);
+    sys.set_edges(el);
+    sys.build();
+    return sys.pagerank(pr_params).rank;
+  };
+  const auto baseline = run(1);
+  for (const int t : {2, 4, 8}) {
+    const auto ranks = run(t);
+    ASSERT_EQ(ranks.size(), baseline.size());
+    for (std::size_t v = 0; v < baseline.size(); ++v) {
+      ASSERT_EQ(ranks[v], baseline[v]) << "threads " << t << " vertex " << v;
+    }
+  }
+}
+
+// A pinned run must give the same answers as an unpinned one (pinning
+// only moves threads; kernels are deterministic), and refused binds
+// must not turn into failures.
+TEST(PrVariants, PinnedRunMatchesUnpinned) {
+  const auto el = dedupe(symmetrize([] {
+    gen::KroneckerParams p;
+    p.scale = 8;
+    p.edgefactor = 8;
+    return gen::kronecker(p);
+  }()));
+  PageRankParams pr_params;
+  ThreadScope scope(4);
+
+  const auto run = [&] {
+    systems::GapSystem sys;
+    sys.set_edges(el);
+    sys.build();
+    return sys.pagerank(pr_params).rank;
+  };
+  const auto unpinned = run();
+  const bool saved = pinning_enabled();
+  set_pinning(true);
+  apply_thread_pinning();  // graceful even when the sandbox denies it
+  const auto pinned = run();
+  clear_thread_pinning();
+  set_pinning(saved);
+  ASSERT_EQ(pinned.size(), unpinned.size());
+  for (std::size_t v = 0; v < unpinned.size(); ++v) {
+    ASSERT_EQ(pinned[v], unpinned[v]) << "vertex " << v;
+  }
+}
 
 // Every system must agree with every *other* system on BFS level sets
 // (parent trees may differ; levels may not).
