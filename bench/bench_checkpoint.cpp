@@ -1,0 +1,149 @@
+// Checkpoint overhead microbenchmark.
+//
+// The ISSUE's acceptance bar: snapshotting at the default cadence must
+// cost < 5% on a PageRank sweep at Kronecker scale 14. The default is
+// time-based (0.25 s between saves) precisely because per-iteration
+// fsyncs dwarf sub-millisecond iterations; this bench quantifies both.
+// Times four cadences per system — no session at all (the baseline), the
+// 0.25 s time default, snapshot every iteration, and snapshot every 4
+// iterations — and reports per-cadence medians plus the relative
+// overhead. Writes a JSON summary (argv[1], default
+// results_checkpoint.json) for the non-blocking perf smoke. Knobs:
+// EPGS_SCALE, EPGS_ROOTS, EPGS_THREADS.
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/checkpoint.hpp"
+#include "core/stats.hpp"
+#include "core/timer.hpp"
+#include "systems/common/registry.hpp"
+
+namespace fs = std::filesystem;
+using namespace epgs;
+
+namespace {
+
+struct CadenceResult {
+  std::string label;
+  double median_seconds = 0.0;
+  int iterations = 0;
+  int saves = 0;
+};
+
+/// Median PageRank kernel time over `trials` runs; `every` and
+/// `every_seconds` both 0 means no checkpoint session at all (the
+/// uninstrumented baseline).
+CadenceResult time_cadence(System& sys, const fs::path& dir,
+                           const std::string& label, int every,
+                           double every_seconds, int trials) {
+  CadenceResult out;
+  out.label = label;
+  std::vector<double> secs;
+  for (int t = 0; t < trials; ++t) {
+    CheckpointConfig cfg;
+    cfg.dir = dir.string();
+    cfg.unit_key = "bench|" + label;
+    cfg.fingerprint = "bench";
+    cfg.every_iterations = every;
+    cfg.every_seconds = every_seconds;
+    CheckpointSession session(cfg);
+    if (every > 0 || every_seconds > 0) sys.set_checkpoint_session(&session);
+    WallTimer timer;
+    const auto r = sys.pagerank();
+    secs.push_back(timer.seconds());
+    sys.set_checkpoint_session(nullptr);
+    out.iterations = r.iterations;
+    if (every > 0 || every_seconds > 0) out.saves = session.saves();
+    session.remove_snapshot();
+  }
+  out.median_seconds = box_stats(secs).median;
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string out_path =
+      argc > 1 ? argv[1] : "results_checkpoint.json";
+  bench::print_header(
+      "Checkpoint overhead (PageRank, cadence off/default/1/4)",
+      "framework extension (mid-trial checkpoint/restore)");
+
+  harness::GraphSpec spec;
+  spec.kind = harness::GraphSpec::Kind::kKronecker;
+  spec.scale = bench::bench_scale();
+  spec.edgefactor = 16;
+  const EdgeList el = harness::materialize(spec);
+  ThreadScope scope(bench::bench_threads());
+
+  const fs::path dir = fs::temp_directory_path() / "epgs_bench_ckpt";
+  fs::create_directories(dir);
+  const int trials = bench::bench_roots();
+
+  struct SystemRow {
+    std::string system;
+    std::vector<CadenceResult> cadences;
+  };
+  std::vector<SystemRow> rows;
+  for (const std::string system :
+       {"GAP", "Ligra", "GraphMat", "GraphBIG", "PowerGraph"}) {
+    auto sys = make_system(system);
+    sys->set_edges(el);
+    sys->build();
+    SystemRow row;
+    row.system = system;
+    row.cadences.push_back(time_cadence(*sys, dir, "off", 0, 0.0, trials));
+    row.cadences.push_back(
+        time_cadence(*sys, dir, "default", 0, 0.25, trials));
+    row.cadences.push_back(
+        time_cadence(*sys, dir, "every-1", 1, 0.0, trials));
+    row.cadences.push_back(
+        time_cadence(*sys, dir, "every-4", 4, 0.0, trials));
+    const double base = row.cadences[0].median_seconds;
+    std::printf("%s (%d iterations, %d snapshots at cadence 1):\n",
+                system.c_str(), row.cadences[2].iterations,
+                row.cadences[2].saves);
+    for (const auto& c : row.cadences) {
+      const double overhead =
+          base > 0 ? (c.median_seconds / base - 1.0) * 100.0 : 0.0;
+      std::printf("  cadence %-8s median=%.5fs overhead=%+.2f%%\n",
+                  c.label.c_str(), c.median_seconds, overhead);
+    }
+    rows.push_back(std::move(row));
+  }
+
+  std::FILE* f = std::fopen(out_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(f, "{\n  \"dataset\": \"%s\",\n  \"systems\": [\n",
+               spec.name().c_str());
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const auto& row = rows[i];
+    const double base = row.cadences[0].median_seconds;
+    std::fprintf(f, "    {\"system\": \"%s\", \"iterations\": %d, ",
+                 row.system.c_str(), row.cadences[2].iterations);
+    std::fprintf(f, "\"cadences\": [\n");
+    for (std::size_t j = 0; j < row.cadences.size(); ++j) {
+      const auto& c = row.cadences[j];
+      std::fprintf(
+          f,
+          "      {\"label\": \"%s\", \"median_seconds\": %.6f, "
+          "\"saves\": %d, \"overhead_pct\": %.2f}%s\n",
+          c.label.c_str(), c.median_seconds, c.saves,
+          base > 0 ? (c.median_seconds / base - 1.0) * 100.0 : 0.0,
+          j + 1 < row.cadences.size() ? "," : "");
+    }
+    std::fprintf(f, "    ]}%s\n", i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", out_path.c_str());
+
+  fs::remove_all(dir);
+  return 0;
+}

@@ -1,12 +1,15 @@
 #include "cli/commands.hpp"
 
 #include <algorithm>
+#include <csignal>
 #include <filesystem>
 #include <fstream>
 #include <map>
 #include <ostream>
 #include <sstream>
 #include <tuple>
+
+#include <unistd.h>
 
 #include "core/error.hpp"
 #include "core/stats.hpp"
@@ -18,6 +21,7 @@
 #include "harness/dataset_pipeline.hpp"
 #include "graphalytics/comparator.hpp"
 #include "harness/predictor.hpp"
+#include "harness/supervisor.hpp"
 #include "harness/tuning.hpp"
 #include "harness/runner.hpp"
 #include "systems/common/registry.hpp"
@@ -61,6 +65,32 @@ std::ofstream open_out_file(const std::string& path) {
   EPGS_CHECK(f.good(), "cannot open " + path + " for writing");
   return f;
 }
+
+/// SIGINT/SIGTERM during `epg run`: the first signal requests a graceful
+/// stop (the interrupt watcher cancels the in-flight unit, whose final
+/// checkpoint keeps it resumable; finished units flush to journal + CSV);
+/// a second signal hard-exits with the conventional 128+sig status.
+/// Async-signal-safe: one atomic load/store and _exit, nothing else.
+extern "C" void handle_run_signal(int sig) {
+  if (harness::interrupt_requested()) _exit(128 + sig);
+  harness::request_interrupt(sig);
+}
+
+/// RAII signal-handler installation so every exit path from cmd_run
+/// (including thrown EpgsErrors) restores the default disposition.
+struct RunSignalScope {
+  RunSignalScope() {
+    harness::reset_interrupt();
+    harness::enable_interrupt_watch(true);
+    std::signal(SIGINT, handle_run_signal);
+    std::signal(SIGTERM, handle_run_signal);
+  }
+  ~RunSignalScope() {
+    std::signal(SIGINT, SIG_DFL);
+    std::signal(SIGTERM, SIG_DFL);
+    harness::enable_interrupt_watch(false);
+  }
+};
 
 }  // namespace
 
@@ -138,7 +168,8 @@ int cmd_run(const Args& args, std::ostream& out) {
                      "no-reconstruct", "timeout", "retries", "isolate",
                      "journal", "resume", "allow-dnf", "cache-dir",
                      "no-cache", "mem-limit", "min-free-disk",
-                     "lock-timeout", "pin"});
+                     "lock-timeout", "pin", "checkpoint-dir",
+                     "checkpoint-every", "checkpoint-every-seconds"});
   harness::ExperimentConfig cfg;
   cfg.graph = spec_from_args(args);
   cfg.systems = args.get_list("systems");
@@ -170,6 +201,11 @@ int cmd_run(const Args& args, std::ostream& out) {
              "--resume requires --journal <file>");
   cfg.supervisor.mem_limit_bytes =
       args.get_u64("mem-limit", 0) << 20;  // MiB -> bytes
+  cfg.supervisor.checkpoint_dir = args.get("checkpoint-dir");
+  cfg.supervisor.checkpoint_every_iterations =
+      args.get_int("checkpoint-every", 0);
+  cfg.supervisor.checkpoint_every_seconds =
+      args.get_double("checkpoint-every-seconds", 0.25);
   cfg.dataset.cache_dir = args.get("cache-dir");
   cfg.dataset.use_cache = !args.has("no-cache");
   cfg.dataset.lock_timeout_seconds = args.get_double("lock-timeout", 60.0);
@@ -180,6 +216,7 @@ int cmd_run(const Args& args, std::ostream& out) {
     cfg.graph.add_weights = true;
   }
 
+  const RunSignalScope signal_scope;
   const auto result = harness::run_experiment(cfg);
 
   // Dataset-path status line (grepped by the CI warm-cache smoke test).
@@ -228,11 +265,18 @@ int cmd_run(const Args& args, std::ostream& out) {
     out << failures << " trial(s) did not finish"
         << (args.has("allow-dnf") ? " (tolerated by --allow-dnf)" : "")
         << "\n";
-    // A sweep with DNFs is distinct both from success (0) and from a
-    // configuration/usage error (1/2): scripts chaining runs must be able
-    // to tell "data is partial" apart from "nothing ran".
-    if (!args.has("allow-dnf")) return 3;
   }
+  if (const int sig = harness::interrupt_signal(); sig != 0) {
+    // Conventional 128+sig exit (130 for SIGINT, 143 for SIGTERM) so
+    // wrappers can tell "operator stopped it" from DNFs and usage errors.
+    out << "interrupted by signal " << sig
+        << "; finished units were flushed (continue with --resume)\n";
+    return 128 + sig;
+  }
+  // A sweep with DNFs is distinct both from success (0) and from a
+  // configuration/usage error (1/2): scripts chaining runs must be able
+  // to tell "data is partial" apart from "nothing ran".
+  if (failures > 0 && !args.has("allow-dnf")) return 3;
   return 0;
 }
 
@@ -484,6 +528,10 @@ std::string usage() {
       "              [--timeout SEC] [--retries N] [--isolate]\n"
       "              [--mem-limit MIB]   per-unit memory governor\n"
       "              [--journal FILE [--resume]] [--allow-dnf]\n"
+      "              [--checkpoint-dir DIR [--checkpoint-every N]\n"
+      "               [--checkpoint-every-seconds SEC]]  mid-trial\n"
+      "              snapshots: killed/timed-out units resume mid-kernel\n"
+      "              (SIGINT/SIGTERM stop gracefully, exit 128+sig)\n"
       "              [--cache-dir DIR [--no-cache]]\n"
       "              [--lock-timeout SEC] [--min-free-disk MIB]\n"
       "              exit 3 when any trial DNFs (unless --allow-dnf)\n"

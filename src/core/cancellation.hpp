@@ -19,7 +19,11 @@ namespace epgs {
 
 class CancellationToken {
  public:
-  void cancel() noexcept { cancelled_.store(true, std::memory_order_release); }
+  /// const: cancellers often only hold the observer-side pointer the
+  /// System carries (e.g. the deterministic cancel-at-iteration fault).
+  void cancel() const noexcept {
+    cancelled_.store(true, std::memory_order_release);
+  }
 
   [[nodiscard]] bool cancelled() const noexcept {
     return cancelled_.load(std::memory_order_acquire);
@@ -33,7 +37,7 @@ class CancellationToken {
   }
 
  private:
-  std::atomic<bool> cancelled_{false};
+  mutable std::atomic<bool> cancelled_{false};
 };
 
 }  // namespace epgs

@@ -81,9 +81,10 @@ enum class Outcome {
   kUnsupported,       ///< capability advertised but not implemented
   kOomKilled,         ///< memory limit: bad_alloc, RSS watchdog, or SIGKILL
   kResourceExhausted, ///< disk/fd exhaustion: ENOSPC, preflight, lock wait
+  kInterrupted,       ///< SIGINT/SIGTERM: cancelled, journaled, resumable
 };
 
-inline constexpr int kNumOutcomes = 9;
+inline constexpr int kNumOutcomes = 10;
 
 [[nodiscard]] constexpr std::string_view outcome_name(Outcome o) {
   switch (o) {
@@ -96,6 +97,7 @@ inline constexpr int kNumOutcomes = 9;
     case Outcome::kUnsupported: return "unsupported";
     case Outcome::kOomKilled: return "oom-killed";
     case Outcome::kResourceExhausted: return "resource-exhausted";
+    case Outcome::kInterrupted: return "interrupted";
   }
   return "?";
 }

@@ -5,12 +5,41 @@
 
 namespace epgs::harness {
 
+namespace {
+
+/// Should a replayed entry with this outcome be re-run instead of kept?
+/// Interrupted units always re-run (the sweep was cancelled under them);
+/// other recoverable failures re-run only when the unit left a resumable
+/// snapshot behind, so --resume continues it mid-kernel.
+bool should_rerun(const JournalEntry& e, const SupervisorOptions& sup) {
+  if (e.outcome == Outcome::kInterrupted) return true;
+  if (sup.checkpoint_dir.empty()) return false;
+  switch (e.outcome) {
+    case Outcome::kTimeout:
+    case Outcome::kCrash:
+    case Outcome::kOomKilled:
+    case Outcome::kTransient:
+    case Outcome::kResourceExhausted:
+      return std::filesystem::exists(
+          CheckpointSession::path_for(sup.checkpoint_dir, e.key));
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
 RecordCollector::RecordCollector(const SupervisorOptions& sup,
                                  std::string fingerprint) {
   if (sup.journal_path.empty()) return;
   if (sup.resume && std::filesystem::exists(sup.journal_path)) {
     for (auto& e : replay_journal(sup.journal_path, fingerprint)) {
-      journaled_.emplace(e.key, std::move(e));
+      // Last-wins: a resumed sweep that re-ran a unit journals it twice.
+      journaled_[e.key] = std::move(e);
+    }
+    for (auto it = journaled_.begin(); it != journaled_.end();) {
+      it = should_rerun(it->second, sup) ? journaled_.erase(it)
+                                         : std::next(it);
     }
     journal_.open_append(sup.journal_path);
   } else {
@@ -36,6 +65,8 @@ void RecordCollector::store(const std::string& key,
   TrialReport journaled_rep;
   journaled_rep.outcome = rep.outcome;
   journaled_rep.attempts = rep.attempts;
+  journaled_rep.last_failure = rep.last_failure;
+  journaled_rep.resumed_from_iter = rep.resumed_from_iter;
   journaled_rep.message = rep.message;
   journaled_rep.elapsed_seconds = rep.elapsed_seconds;
   journaled_rep.records = recs;
@@ -46,6 +77,11 @@ void RecordCollector::store(const std::string& key,
 
 void RecordCollector::add(RunRecord rec) {
   records_.push_back(std::move(rec));
+}
+
+void RecordCollector::note_checkpoint(const std::string& key,
+                                      std::uint64_t iteration) {
+  journal_.append_checkpoint(key, iteration);
 }
 
 }  // namespace epgs::harness

@@ -41,6 +41,11 @@ class RecordCollector {
   /// a resume should retry those).
   void add(RunRecord rec);
 
+  /// Journal a "ckpt" breadcrumb: `key` failed but left a resumable
+  /// snapshot covering `iteration` completed iterations, so a --resume
+  /// will re-run it from there rather than trust the journaled failure.
+  void note_checkpoint(const std::string& key, std::uint64_t iteration);
+
   [[nodiscard]] std::vector<RunRecord> take() { return std::move(records_); }
 
   /// Why the journal stopped appending (empty while healthy/disabled).

@@ -18,11 +18,15 @@
 namespace epgs::harness {
 namespace {
 
-/// RAII detach of the supervisor token from a system: the token dies with
-/// the attempt, so the system must never keep a pointer past it.
+/// RAII detach of the supervisor token (and checkpoint session) from a
+/// system: both die with the attempt/trial, so the system must never keep
+/// a pointer past it.
 struct TokenGuard {
   System* sys;
-  ~TokenGuard() { sys->set_cancellation(nullptr); }
+  ~TokenGuard() {
+    sys->set_cancellation(nullptr);
+    sys->set_checkpoint_session(nullptr);
+  }
 };
 
 RunRecord failure_record(const SweepPlan& plan,
@@ -157,14 +161,31 @@ void execute_system_plan(const ExperimentConfig& cfg, const SweepPlan& plan,
     return once_built;
   };
 
+  const std::string fingerprint = config_fingerprint(cfg);
   for (const PlannedTrial& t : sp.trials) {
     if (build_failed) break;
+    if (interrupt_requested()) break;  // graceful SIGINT/SIGTERM
     if (t.replayed) continue;  // replayed, not re-run
     if (!sp.rebuild_per_trial && !ensure_built()) break;
+
+    // One checkpoint session per trial: kernels attach their iteration
+    // state to it, failed attempts leave a snapshot behind, and the next
+    // attempt (or a --resume) continues from it.
+    std::optional<CheckpointSession> session;
+    if (!sup.checkpoint_dir.empty()) {
+      CheckpointConfig cc;
+      cc.dir = sup.checkpoint_dir;
+      cc.unit_key = t.key;
+      cc.fingerprint = fingerprint;
+      cc.every_iterations = sup.checkpoint_every_iterations;
+      cc.every_seconds = sup.checkpoint_every_seconds;
+      session.emplace(cc);
+    }
 
     const vid_t root = roots[static_cast<std::size_t>(t.trial)];
     const UnitFn unit = [&](CancellationToken& token) {
       sys->set_cancellation(&token);
+      sys->set_checkpoint_session(session ? &*session : nullptr);
       TokenGuard guard{sys.get()};
       const std::size_t mark = sys->log().entries().size();
       if (sp.rebuild_per_trial) {
@@ -226,19 +247,38 @@ void execute_system_plan(const ExperimentConfig& cfg, const SweepPlan& plan,
       // simply run the algorithm 32 times").
     };
 
-    TrialReport rep = supervise_unit(unit, sup, backoff_rng);
+    TrialReport rep =
+        supervise_unit(unit, sup, backoff_rng, session ? &*session : nullptr);
     if (rep.outcome == Outcome::kSuccess) {
-      if (rep.attempts > 1) {
-        for (auto& rec : rep.records) {
+      for (auto& rec : rep.records) {
+        if (rep.attempts > 1) {
           rec.extra["attempts"] = std::to_string(rep.attempts);
+          rec.extra["last_failure"] = std::string(outcome_name(rep.last_failure));
+        }
+        if (rep.resumed_from_iter >= 0) {
+          rec.extra["resumed_from_iter"] =
+              std::to_string(rep.resumed_from_iter);
         }
       }
       collector.store(t.key, std::move(rep.records), rep);
     } else {
+      // A failure that left a snapshot behind is resumable: breadcrumb it
+      // so --resume re-runs this unit from the snapshot instead of
+      // trusting the journaled failure. Peek the file for the iteration —
+      // a SIGKILLed fork child wrote it, so this process's in-memory
+      // counter never saw the save.
+      if (session && session->snapshot_exists()) {
+        const std::int64_t iter =
+            CheckpointSession::peek_iteration(session->snapshot_path());
+        collector.note_checkpoint(
+            t.key, iter >= 0 ? static_cast<std::uint64_t>(iter)
+                             : session->last_saved_iteration());
+      }
       collector.store(t.key,
                       {failure_record(plan, sp.system, t.alg_name, t.trial,
                                       phase::kAlgorithm, rep)},
                       rep);
+      if (rep.outcome == Outcome::kInterrupted) break;
     }
   }
 
@@ -310,6 +350,7 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
   // Execute.
   Xoshiro256 backoff_rng(sup.backoff_seed);
   for (const SystemPlan& sp : plan.systems) {
+    if (interrupt_requested()) break;  // flush what finished, stop cleanly
     execute_system_plan(cfg, plan, sp, el, result.roots, oracle_csr,
                         collector, backoff_rng, result.raw_logs);
   }

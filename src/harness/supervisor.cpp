@@ -137,12 +137,56 @@ std::string one_line(std::string s) {
   return s;
 }
 
+// --- Interrupt handling --------------------------------------------------
+
+std::atomic<int> g_interrupt_signal{0};
+std::atomic<bool> g_interrupt_watch{false};
+
+/// Per-attempt interrupt watcher: cancels the token as soon as a SIGINT/
+/// SIGTERM has been recorded, so the running kernel unwinds at its next
+/// iteration boundary (writing a final snapshot on the way out).
+class InterruptWatcher {
+ public:
+  explicit InterruptWatcher(CancellationToken& token) {
+    thread_ = std::thread([this, &token] {
+      std::unique_lock<std::mutex> lk(mutex_);
+      while (!done_) {
+        if (g_interrupt_signal.load(std::memory_order_relaxed) != 0) {
+          token.cancel();
+          return;
+        }
+        cv_.wait_for(lk, std::chrono::milliseconds(25));
+      }
+    });
+  }
+
+  ~InterruptWatcher() {
+    {
+      std::lock_guard<std::mutex> lk(mutex_);
+      done_ = true;
+    }
+    cv_.notify_all();
+    thread_.join();
+  }
+
+  InterruptWatcher(const InterruptWatcher&) = delete;
+  InterruptWatcher& operator=(const InterruptWatcher&) = delete;
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool done_ = false;
+  std::thread thread_;
+};
+
 /// One attempt, in this process, under the watchdogs.
-TrialReport run_attempt(const UnitFn& fn, const SupervisorOptions& opts) {
+TrialReport run_attempt(const UnitFn& fn, const SupervisorOptions& opts,
+                        CheckpointSession* session) {
   TrialReport r;
   CancellationToken token;
   std::optional<Watchdog> dog;
   std::optional<RssWatchdog> rss_dog;
+  std::optional<InterruptWatcher> int_dog;
   try {
     if (opts.timeout_seconds > 0) dog.emplace(token, opts.timeout_seconds);
     // opts.isolate here means "this is the forked child": RLIMIT_AS is
@@ -150,6 +194,9 @@ TrialReport run_attempt(const UnitFn& fn, const SupervisorOptions& opts) {
     // thread stack may not even be mappable — skip the soft guard.
     if (opts.mem_limit_bytes > 0 && !opts.isolate) {
       rss_dog.emplace(token, opts.mem_limit_bytes);
+    }
+    if (g_interrupt_watch.load(std::memory_order_relaxed)) {
+      int_dog.emplace(token);
     }
   } catch (const std::exception&) {
     // Guard threads could not start (e.g. stack allocation refused under
@@ -164,6 +211,16 @@ TrialReport run_attempt(const UnitFn& fn, const SupervisorOptions& opts) {
   } catch (const std::exception& e) {
     r.outcome = classify_exception(e);
     r.message = one_line(e.what());
+    // All three guards cancel the same token; disambiguate what the
+    // resulting CancelledError meant. An interrupt trumps everything —
+    // the unit is journaled as interrupted and re-run on --resume.
+    if (r.outcome == Outcome::kTimeout &&
+        g_interrupt_signal.load(std::memory_order_relaxed) != 0) {
+      r.outcome = Outcome::kInterrupted;
+      r.message = "interrupted by signal " +
+                  std::to_string(g_interrupt_signal.load()) + " (" +
+                  r.message + ")";
+    }
     // A cancellation that unwound before the watchdog fired (it cancels,
     // we observe later) is still a timeout; but an exception that raced a
     // timer that never existed cannot be one.
@@ -172,8 +229,8 @@ TrialReport run_attempt(const UnitFn& fn, const SupervisorOptions& opts) {
       r.outcome = Outcome::kCrash;
     }
   }
-  // Both watchdogs cancel the same token; when the RSS one fired, the
-  // resulting CancelledError means over-memory, not over-time.
+  // When the RSS watchdog fired, the CancelledError means over-memory,
+  // not over-time.
   if (rss_dog && rss_dog->tripped() && r.outcome == Outcome::kTimeout) {
     r.outcome = Outcome::kOomKilled;
     r.message =
@@ -181,6 +238,7 @@ TrialReport run_attempt(const UnitFn& fn, const SupervisorOptions& opts) {
         "watchdog (" +
         r.message + ")";
   }
+  if (session != nullptr) r.resumed_from_iter = session->resumed_from();
   return r;
 }
 
@@ -188,6 +246,7 @@ TrialReport run_attempt(const UnitFn& fn, const SupervisorOptions& opts) {
 
 constexpr std::string_view kPayloadOutcome = "outcome ";
 constexpr std::string_view kPayloadMessage = "message ";
+constexpr std::string_view kPayloadResumed = "resumed ";
 constexpr std::string_view kPayloadRecords = "records";
 
 void write_all(int fd, std::string_view data) {
@@ -202,7 +261,7 @@ void write_all(int fd, std::string_view data) {
 }
 
 [[noreturn]] void child_main(const UnitFn& fn, const SupervisorOptions& opts,
-                             int fd) {
+                             int fd, CheckpointSession* session) {
   // libgomp's worker threads do not survive fork(): a multi-threaded
   // parallel region in the child deadlocks waiting for a pool that no
   // longer exists. Pin the child to one thread for correctness; the cost
@@ -217,10 +276,11 @@ void write_all(int fd, std::string_view data) {
     rl.rlim_cur = rl.rlim_max = opts.mem_limit_bytes;
     (void)::setrlimit(RLIMIT_AS, &rl);
   }
-  TrialReport r = run_attempt(fn, opts);
+  TrialReport r = run_attempt(fn, opts, session);
   std::ostringstream os;
   os << kPayloadOutcome << outcome_name(r.outcome) << '\n'
      << kPayloadMessage << one_line(r.message) << '\n'
+     << kPayloadResumed << r.resumed_from_iter << '\n'
      << kPayloadRecords << '\n'
      << records_to_csv(r.records);
   write_all(fd, os.str());
@@ -247,7 +307,19 @@ TrialReport parse_child_payload(const std::string& payload) {
   r.message = payload.substr(line_start + kPayloadMessage.size(),
                              pos - line_start - kPayloadMessage.size());
 
+  // Optional "resumed <n>" line (absent in pre-checkpoint payloads).
   line_start = pos + 1;
+  if (payload.compare(line_start, kPayloadResumed.size(), kPayloadResumed) ==
+      0) {
+    pos = payload.find('\n', line_start);
+    EPGS_CHECK(pos != std::string::npos,
+               "isolated child payload: torn resumed line");
+    r.resumed_from_iter =
+        std::stoll(payload.substr(line_start + kPayloadResumed.size(),
+                                  pos - line_start - kPayloadResumed.size()));
+    line_start = pos + 1;
+  }
+
   pos = payload.find('\n', line_start);
   EPGS_CHECK(pos != std::string::npos &&
                  payload.compare(line_start, pos - line_start,
@@ -258,7 +330,8 @@ TrialReport parse_child_payload(const std::string& payload) {
 }
 
 TrialReport run_isolated_attempt(const UnitFn& fn,
-                                 const SupervisorOptions& opts) {
+                                 const SupervisorOptions& opts,
+                                 CheckpointSession* session) {
   int fds[2];
   EPGS_CHECK(::pipe(fds) == 0, "pipe() failed for trial isolation");
 
@@ -266,7 +339,7 @@ TrialReport run_isolated_attempt(const UnitFn& fn,
   EPGS_CHECK(pid >= 0, "fork() failed for trial isolation");
   if (pid == 0) {
     ::close(fds[0]);
-    child_main(fn, opts, fds[1]);  // never returns
+    child_main(fn, opts, fds[1], session);  // never returns
   }
   ::close(fds[1]);
 
@@ -371,20 +444,53 @@ double backoff_delay(const SupervisorOptions& opts, int attempt,
   return d < opts.backoff_max_seconds ? d : opts.backoff_max_seconds;
 }
 
+void request_interrupt(int signal) noexcept {
+  g_interrupt_signal.store(signal, std::memory_order_relaxed);
+}
+
+int interrupt_signal() noexcept {
+  return g_interrupt_signal.load(std::memory_order_relaxed);
+}
+
+bool interrupt_requested() noexcept { return interrupt_signal() != 0; }
+
+void reset_interrupt() noexcept {
+  g_interrupt_signal.store(0, std::memory_order_relaxed);
+}
+
+void enable_interrupt_watch(bool on) noexcept {
+  g_interrupt_watch.store(on, std::memory_order_relaxed);
+}
+
 TrialReport supervise_unit(const UnitFn& fn, const SupervisorOptions& opts,
-                           Xoshiro256& rng) {
+                           Xoshiro256& rng, CheckpointSession* session) {
   TrialReport report;
   WallTimer total;
   for (int attempt = 1;; ++attempt) {
-    TrialReport r =
-        opts.isolate ? run_isolated_attempt(fn, opts) : run_attempt(fn, opts);
+    TrialReport r = opts.isolate ? run_isolated_attempt(fn, opts, session)
+                                 : run_attempt(fn, opts, session);
     report.outcome = r.outcome;
     report.message = std::move(r.message);
     report.records = std::move(r.records);
+    report.resumed_from_iter = r.resumed_from_iter;
     report.attempts = attempt;
-    if (report.outcome != Outcome::kTransient || attempt > opts.max_retries) {
+    if (report.outcome == Outcome::kSuccess ||
+        report.outcome == Outcome::kInterrupted ||
+        attempt > opts.max_retries) {
       break;
     }
+    // Transient failures have always been retryable. With a snapshot on
+    // disk, a timed-out / crashed / OOM-killed attempt is too: the retry
+    // restores the snapshot and continues from iteration N instead of
+    // repeating the work that already failed once.
+    const bool snapshot_resumable =
+        session != nullptr && session->snapshot_exists() &&
+        (report.outcome == Outcome::kTimeout ||
+         report.outcome == Outcome::kCrash ||
+         report.outcome == Outcome::kOomKilled);
+    if (report.outcome != Outcome::kTransient && !snapshot_resumable) break;
+    if (interrupt_requested()) break;  // don't start new attempts
+    report.last_failure = report.outcome;
     const double delay = backoff_delay(opts, attempt, rng);
     std::this_thread::sleep_for(std::chrono::duration<double>(delay));
   }
@@ -431,7 +537,9 @@ void Journal::append(const std::string& key, const TrialReport& report) {
     os << "rec ";
     w.write_row(record_to_csv_row(rec));
   }
-  os << "end\n";
+  os << "end " << report.attempts << '|'
+     << outcome_name(report.last_failure) << '|' << report.resumed_from_iter
+     << '\n';
   const std::string group = os.str();
   try {
     *file_ << group;
@@ -441,6 +549,20 @@ void Journal::append(const std::string& key, const TrialReport& report) {
   } catch (const EpgsError& e) {
     // Disk full (or injected fault) mid-sweep: journaling stops, the
     // sweep does not. Replay tolerates the torn tail this may leave.
+    degraded_reason_ = one_line(e.what());
+    file_.reset();
+  }
+}
+
+void Journal::append_checkpoint(const std::string& key,
+                                std::uint64_t iteration) {
+  if (file_ == nullptr) return;
+  std::ostringstream os;
+  os << "ckpt " << key << '|' << iteration << '\n';
+  try {
+    *file_ << os.str();
+    file_->sync_now();
+  } catch (const EpgsError& e) {
     degraded_reason_ = one_line(e.what());
     file_.reset();
   }
@@ -474,6 +596,10 @@ std::vector<JournalEntry> replay_journal(const std::string& path,
 
   std::vector<JournalEntry> entries;
   while (std::getline(in, line)) {
+    // "ckpt" breadcrumbs interleave with unit groups; they carry no replay
+    // state (the snapshot file itself is the state) so skip them. A torn
+    // ckpt tail fails the "unit " prefix check below like any torn line.
+    if (line.rfind("ckpt ", 0) == 0) continue;
     if (line.rfind("unit ", 0) != 0) break;  // torn or foreign: stop here
     // unit <key>|<outcome>|<attempts>|<nrec> — key may itself contain '|',
     // so split from the right.
@@ -511,8 +637,25 @@ std::vector<JournalEntry> replay_journal(const std::string& path,
         break;
       }
     }
-    if (!complete || !std::getline(in, line) || line != "end") {
+    if (!complete || !std::getline(in, line)) {
       break;  // torn trailing group: the in-flight unit simply re-runs
+    }
+    if (line.rfind("end ", 0) == 0) {
+      // end <attempts>|<last_failure>|<resumed_from_iter>
+      const std::string tail = line.substr(4);
+      const std::size_t q1 = tail.find('|');
+      const std::size_t q2 =
+          q1 == std::string::npos ? std::string::npos : tail.find('|', q1 + 1);
+      if (q2 == std::string::npos) break;
+      try {
+        e.attempts = std::stoi(tail.substr(0, q1));
+        e.last_failure = outcome_from_name(tail.substr(q1 + 1, q2 - q1 - 1));
+        e.resumed_from_iter = std::stoll(tail.substr(q2 + 1));
+      } catch (const std::exception&) {
+        break;
+      }
+    } else if (line != "end") {  // bare "end": pre-checkpoint grammar
+      break;
     }
     entries.push_back(std::move(e));
   }

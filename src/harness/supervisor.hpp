@@ -32,12 +32,14 @@
 //                 exhaustion) maps to Outcome::kResourceExhausted.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "core/cancellation.hpp"
+#include "core/checkpoint.hpp"
 #include "core/error.hpp"
 #include "core/fs_shim.hpp"
 #include "core/rng.hpp"
@@ -50,6 +52,12 @@ namespace epgs::harness {
 struct TrialReport {
   Outcome outcome = Outcome::kSuccess;
   int attempts = 1;            ///< total attempts, including the success
+  /// Outcome of the last failed attempt (kSuccess when the first attempt
+  /// passed), so "clean pass" and "passed on retry 3" are distinguishable.
+  Outcome last_failure = Outcome::kSuccess;
+  /// Completed-iteration count the final attempt restored from its
+  /// checkpoint snapshot; -1 when it started fresh.
+  std::int64_t resumed_from_iter = -1;
   std::string message;         ///< failure detail; empty on success
   double elapsed_seconds = 0;  ///< wall time across all attempts
   std::vector<RunRecord> records;  ///< timed phases of the final attempt
@@ -69,9 +77,34 @@ using UnitFn = std::function<std::vector<RunRecord>(CancellationToken&)>;
 
 /// Execute one unit under the configured guard rails. Never throws for
 /// unit failures — they come back as the report's outcome. `rng` feeds
-/// backoff jitter and is advanced deterministically.
+/// backoff jitter and is advanced deterministically. When `session` is
+/// non-null, the unit body is expected to attach it to its System: a
+/// snapshot left behind by a timed-out/crashed/OOM-killed attempt makes
+/// that failure retryable (within max_retries) with the retry continuing
+/// from the snapshot, and the report carries resumed_from_iter.
 TrialReport supervise_unit(const UnitFn& fn, const SupervisorOptions& opts,
-                           Xoshiro256& rng);
+                           Xoshiro256& rng,
+                           CheckpointSession* session = nullptr);
+
+// --- Interrupt handling --------------------------------------------------
+//
+// Graceful SIGINT/SIGTERM: the CLI's signal handler calls
+// request_interrupt() (async-signal-safe), the per-attempt interrupt
+// watcher (a thread, gated by enable_interrupt_watch so library users and
+// tests do not pay for it) cancels the active unit's token, and the
+// resulting CancelledError classifies as Outcome::kInterrupted — never
+// retried, dropped from journal replay so a --resume re-runs the unit
+// from its final checkpoint snapshot.
+
+/// Record that an interrupt signal arrived. Async-signal-safe.
+void request_interrupt(int signal) noexcept;
+/// The recorded signal number, or 0 when none arrived.
+[[nodiscard]] int interrupt_signal() noexcept;
+[[nodiscard]] bool interrupt_requested() noexcept;
+/// Clear the recorded signal (tests).
+void reset_interrupt() noexcept;
+/// Gate the per-attempt interrupt watcher thread (default off).
+void enable_interrupt_watch(bool on) noexcept;
 
 // --- Journal -------------------------------------------------------------
 //
@@ -81,17 +114,25 @@ TrialReport supervise_unit(const UnitFn& fn, const SupervisorOptions& opts,
 //   config <fingerprint>
 //   unit <key>|<outcome>|<attempts>|<num_records>
 //   rec <one CSV row, record_to_csv_row form>      (x num_records)
-//   end
+//   end <attempts>|<last_failure>|<resumed_from_iter>
+//   ckpt <key>|<iteration>                         (breadcrumb, any point)
 //
-// Each journal_record() appends one unit..end group and fsyncs, so a group
+// Each journal append writes one unit..end group and fsyncs, so a group
 // is either durable or absent; replay ignores a trailing partial group
 // (the unit that was in flight when the process died simply re-runs).
+// A bare "end" (the pre-checkpoint grammar) is still accepted on replay
+// with attempts taken from the unit line. "ckpt" breadcrumb lines record
+// that a unit left a resumable snapshot behind; replay skips them (torn
+// ckpt tails are tolerated like torn groups). When the same key appears
+// twice (a resumed sweep re-ran a unit), the later group wins.
 
 /// One replayed journal entry.
 struct JournalEntry {
   std::string key;  ///< unit key, e.g. "GAP|BFS|3" or "GAP|build"
   Outcome outcome = Outcome::kSuccess;
   int attempts = 1;
+  Outcome last_failure = Outcome::kSuccess;
+  std::int64_t resumed_from_iter = -1;
   std::vector<RunRecord> records;
 };
 
@@ -120,6 +161,10 @@ class Journal {
 
   /// Durably append one finished unit.
   void append(const std::string& key, const TrialReport& report);
+
+  /// Durably append a "ckpt" breadcrumb: `key` left a resumable snapshot
+  /// covering `iteration` completed iterations.
+  void append_checkpoint(const std::string& key, std::uint64_t iteration);
 
   /// Why appending stopped (empty while the journal is healthy).
   [[nodiscard]] const std::string& degraded_reason() const {

@@ -2,6 +2,8 @@
 
 #include <atomic>
 #include <chrono>
+#include <csignal>
+#include <cstdint>
 #include <cstdlib>
 #include <thread>
 
@@ -83,6 +85,78 @@ void on_phase_start(std::string_view system, std::string_view phase,
 
 bool take_wrong_output() {
   return g_corrupt_pending.exchange(false);
+}
+
+// --- Checkpoint-boundary faults ----------------------------------------
+
+namespace {
+
+KillPlan g_kill_plan;
+std::atomic<bool> g_kill_armed{false};
+CancelPlan g_cancel_plan;
+std::atomic<bool> g_cancel_armed{false};
+
+}  // namespace
+
+void arm_kill_at_checkpoint(const KillPlan& plan) {
+  g_kill_plan = plan;
+  g_kill_armed.store(true, std::memory_order_release);
+}
+
+void disarm_kill_at_checkpoint() {
+  g_kill_armed.store(false, std::memory_order_release);
+  g_kill_plan = KillPlan{};
+}
+
+bool kill_armed() { return g_kill_armed.load(std::memory_order_acquire); }
+
+void on_checkpoint_saved(std::string_view system, std::uint64_t iteration) {
+  if (!kill_armed()) return;
+  if (!g_kill_plan.system.empty() && g_kill_plan.system != system) return;
+  if (iteration != g_kill_plan.at_iteration) return;
+  // The snapshot covering `iteration` is durable: die the way a kernel
+  // OOM kill or power loss would, with no chance to clean up.
+  ::raise(SIGKILL);
+}
+
+void arm_kill_from_env() {
+  const char* spec = std::getenv("EPGS_KILL_AT_CKPT");
+  if (spec == nullptr || *spec == '\0') return;
+  KillPlan plan;
+  std::string_view s(spec);
+  const std::size_t colon = s.rfind(':');
+  if (colon != std::string_view::npos) {
+    plan.system = std::string(s.substr(0, colon));
+    s = s.substr(colon + 1);
+  }
+  try {
+    plan.at_iteration = std::stoull(std::string(s));
+  } catch (const std::exception&) {
+    throw EpgsError("malformed EPGS_KILL_AT_CKPT spec: '" +
+                    std::string(spec) + "' (want \"[system:]iteration\")");
+  }
+  arm_kill_at_checkpoint(plan);
+}
+
+void arm_cancel_at_iteration(const CancelPlan& plan) {
+  g_cancel_plan = plan;
+  g_cancel_armed.store(true, std::memory_order_release);
+}
+
+void disarm_cancel_at_iteration() {
+  g_cancel_armed.store(false, std::memory_order_release);
+  g_cancel_plan = CancelPlan{};
+}
+
+void on_iteration_boundary(std::string_view system, std::uint64_t completed,
+                           const CancellationToken* token) {
+  if (!g_cancel_armed.load(std::memory_order_acquire)) return;
+  if (token == nullptr) return;
+  if (!g_cancel_plan.system.empty() && g_cancel_plan.system != system) {
+    return;
+  }
+  if (completed != g_cancel_plan.at_iteration) return;
+  token->cancel();
 }
 
 }  // namespace epgs::fault

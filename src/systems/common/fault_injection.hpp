@@ -77,4 +77,50 @@ class Scoped {
   Scoped& operator=(const Scoped&) = delete;
 };
 
+// --- Checkpoint-boundary faults ----------------------------------------
+//
+// The kill-resume correctness bar ("a trial SIGKILLed mid-kernel and
+// resumed is bit-identical to an uninterrupted run") needs deaths at
+// exact snapshot boundaries. Both plans key on the *iteration* a snapshot
+// covers, not a fire counter: a resumed kernel never re-writes the
+// snapshot for iteration N, so the fault naturally fires exactly once
+// even though fork children inherit the armed plan by value.
+
+/// SIGKILL the current process right after the snapshot covering
+/// completed iteration `at_iteration` of a matching system became
+/// durable. Only survivable under --isolate (the child dies, the parent
+/// resumes it) — exactly the production failure mode being rehearsed.
+struct KillPlan {
+  std::string system;  ///< exact System::name() match; empty = any system
+  std::uint64_t at_iteration = 1;
+};
+
+void arm_kill_at_checkpoint(const KillPlan& plan);
+void disarm_kill_at_checkpoint();
+[[nodiscard]] bool kill_armed();
+
+/// Called by System after every durable snapshot write.
+void on_checkpoint_saved(std::string_view system, std::uint64_t iteration);
+
+/// Arm from $EPGS_KILL_AT_CKPT ("[<system>:]<iteration>") when set; the
+/// CI kill-resume smoke drives the real `epg` binary with it. A missing
+/// or empty variable is a no-op; a malformed spec throws EpgsError.
+void arm_kill_from_env();
+
+/// Cancel the unit's token when a matching system reaches completed
+/// iteration `at_iteration` — the in-process flavour of KillPlan for
+/// tests that cannot afford a real SIGKILL. The kernel unwinds through
+/// its cancellation checkpoint, which writes a final snapshot first.
+struct CancelPlan {
+  std::string system;  ///< exact System::name() match; empty = any system
+  std::uint64_t at_iteration = 1;
+};
+
+void arm_cancel_at_iteration(const CancelPlan& plan);
+void disarm_cancel_at_iteration();
+
+/// Called by System at every iteration boundary, before the token poll.
+void on_iteration_boundary(std::string_view system, std::uint64_t completed,
+                           const CancellationToken* token);
+
 }  // namespace epgs::fault

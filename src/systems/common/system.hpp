@@ -16,6 +16,7 @@
 #include <string_view>
 
 #include "core/cancellation.hpp"
+#include "core/checkpoint.hpp"
 #include "core/error.hpp"
 #include "core/phase_log.hpp"
 #include "graph/edge_list.hpp"
@@ -109,6 +110,13 @@ class System {
   /// it at iteration boundaries and unwind with CancelledError.
   void set_cancellation(const CancellationToken* token) { cancel_ = token; }
 
+  /// Attach (or detach, with nullptr) the per-unit checkpoint session.
+  /// Kernels register their iteration state through ckpt_begin() and
+  /// snapshot/restore at the same boundaries where they poll the token.
+  void set_checkpoint_session(CheckpointSession* session) {
+    ckpt_ = session;
+  }
+
  protected:
   /// Subclass hooks. do_build() consumes staged_ into the native
   /// representation and reports the bytes of the built structure.
@@ -131,9 +139,30 @@ class System {
   /// Cancellation point: adapters call this at iteration boundaries
   /// (frontier swaps, PageRank iterations, delta-stepping epochs) — never
   /// inside an OpenMP region, where throwing would terminate the process.
+  /// When a checkpoint session holds registered state, a final snapshot
+  /// is written before the CancelledError unwinds the kernel, so timed-out
+  /// and interrupted trials resume from their last completed iteration.
   void checkpoint() const {
+    if (cancel_ != nullptr && cancel_->cancelled() && ckpt_ != nullptr) {
+      ckpt_->save_now();
+    }
     if (cancel_ != nullptr) cancel_->checkpoint();
   }
+
+  /// Register the kernel's serializable iteration state with the attached
+  /// session (no-op returning 0 when unsupervised): restores a valid
+  /// snapshot into `state` and returns the completed-iteration count to
+  /// continue from, or 0 on a fresh start.
+  std::uint64_t ckpt_begin(std::string_view stage, Checkpointable& state);
+
+  /// The snapshot-point flavour of checkpoint(): `completed` iterations
+  /// are done and the registered state is consistent. Ticks the session
+  /// (cadence-based save), reports durable saves to the fault injector
+  /// (kill-at-checkpoint), then polls the token.
+  void iter_checkpoint(std::uint64_t completed);
+
+  /// Kernel ran to completion: drop the registration and the snapshot.
+  void ckpt_end();
 
   /// The attached token (null when unsupervised), for engines that loop
   /// outside the adapter (e.g. the PowerGraph GAS engine).
@@ -151,6 +180,7 @@ class System {
   bool built_ = false;
   PhaseLog log_;
   const CancellationToken* cancel_ = nullptr;
+  CheckpointSession* ckpt_ = nullptr;
 };
 
 }  // namespace epgs

@@ -71,8 +71,60 @@ BfsResult GapSystem::do_bfs(vid_t root) {
     return d;
   };
 
+  // Snapshot state: the claimed-parent array, the live frontier (queue
+  // window or bitmap, whichever representation is current), and the
+  // direction/accounting scalars the alpha-beta heuristic needs.
+  FnCheckpointable ckpt_state(
+      [&](StateWriter& w) {
+        std::vector<vid_t> par(n);
+        for (vid_t v = 0; v < n; ++v) {
+          par[v] = parent[v].load(std::memory_order_relaxed);
+        }
+        w.put_vec(par);
+        std::vector<vid_t> frontier;
+        if (bottom_up) {
+          for (vid_t v = 0; v < n; ++v) {
+            if (front_bm.test(v)) frontier.push_back(v);
+          }
+        } else {
+          frontier.assign(queue.begin(), queue.begin() + queue.size());
+        }
+        w.put_vec(frontier);
+        w.put_u64(bottom_up ? 1 : 0);
+        w.put_u64(awake);
+        w.put_i64(edges_remaining);
+        w.put_u64(edges_scanned);
+      },
+      [&](StateReader& rd) {
+        const auto par = rd.get_vec<vid_t>();
+        EPGS_CHECK(par.size() == static_cast<std::size_t>(n),
+                   "BFS snapshot vertex count mismatch");
+        const auto frontier = rd.get_vec<vid_t>();
+        const bool bu = rd.get_u64() != 0;
+        const std::uint64_t aw = rd.get_u64();
+        const std::int64_t er = rd.get_i64();
+        const std::uint64_t es = rd.get_u64();
+        for (vid_t v = 0; v < n; ++v) {
+          parent[v].store(par[v], std::memory_order_relaxed);
+        }
+        front_bm.reset();
+        next_bm.reset();
+        queue.reset();  // zeroes the lifetime-append counter too
+        if (bu) {
+          for (const vid_t v : frontier) front_bm.set(v);
+        } else {
+          for (const vid_t v : frontier) queue.push_back(v);
+          queue.slide_window();
+        }
+        bottom_up = bu;
+        awake = aw;
+        edges_remaining = er;
+        edges_scanned = es;
+      });
+  std::uint64_t round = ckpt_begin("bfs", ckpt_state);
+
   while (awake > 0) {
-    checkpoint();  // frontier swap boundary
+    iter_checkpoint(round);  // frontier swap boundary (snapshot point)
     if (!bottom_up) {
       const std::int64_t scout = frontier_out_degree();
       if (static_cast<double>(scout) >
@@ -148,7 +200,9 @@ BfsResult GapSystem::do_bfs(vid_t root) {
       queue.slide_window();
       awake = queue.size();
     }
+    ++round;
   }
+  ckpt_end();
 
   for (vid_t v = 0; v < n; ++v) {
     r.parent[v] = parent[v].load(std::memory_order_relaxed);
@@ -213,8 +267,38 @@ SsspResult GapSystem::do_sssp(vid_t root) {
     for (auto& bins : thread_bins) bins.clear();
   };
 
-  for (std::size_t i = 0; i < buckets.size(); ++i) {
-    checkpoint();  // delta-stepping epoch boundary
+  // Snapshot state at an epoch boundary: tentative distances, every
+  // not-yet-settled bucket, and the relaxation counter. The epoch index
+  // itself is the session's iteration number.
+  FnCheckpointable ckpt_state(
+      [&](StateWriter& w) {
+        std::vector<weight_t> d(n);
+        for (vid_t v = 0; v < n; ++v) {
+          d[v] = dist[v].load(std::memory_order_relaxed);
+        }
+        w.put_vec(d);
+        w.put_u64(buckets.size());
+        for (const auto& b : buckets) w.put_vec(b);
+        w.put_u64(relaxations);
+      },
+      [&](StateReader& rd) {
+        const auto d = rd.get_vec<weight_t>();
+        EPGS_CHECK(d.size() == static_cast<std::size_t>(n),
+                   "SSSP snapshot vertex count mismatch");
+        const auto nb = rd.get_u64();
+        std::vector<std::vector<vid_t>> bk(nb);
+        for (auto& b : bk) b = rd.get_vec<vid_t>();
+        relaxations = rd.get_u64();
+        for (vid_t v = 0; v < n; ++v) {
+          dist[v].store(d[v], std::memory_order_relaxed);
+        }
+        buckets = std::move(bk);
+      });
+  const std::uint64_t start_epoch = ckpt_begin("sssp", ckpt_state);
+
+  for (std::size_t i = static_cast<std::size_t>(start_epoch);
+       i < buckets.size(); ++i) {
+    iter_checkpoint(i);  // delta-stepping epoch boundary (snapshot point)
     std::vector<vid_t> deleted;
     std::vector<std::vector<vid_t>> thread_deleted(nt);
     while (!buckets[i].empty()) {
@@ -292,6 +376,7 @@ SsspResult GapSystem::do_sssp(vid_t root) {
     relaxations += relaxed;
     merge_bins(i + 1);
   }
+  ckpt_end();
 
   r.dist.resize(n);
   for (vid_t v = 0; v < n; ++v) {
@@ -370,8 +455,28 @@ PageRankResult GapSystem::do_pagerank(const PageRankParams& params) {
   for (auto& chunk_bins : bins) chunk_bins.resize(num_blocks);
 
   std::uint64_t edge_work = 0;
-  for (int it = 0; it < params.max_iterations; ++it) {
-    checkpoint();  // PageRank iteration boundary
+  // Snapshot state: the rank vector after `it` completed iterations plus
+  // the two counters the result reports. contrib/next/bins are rebuilt
+  // every iteration, so restoring ranks alone reproduces the remaining
+  // iterations bit-identically (the kernel is a pure function of rank).
+  FnCheckpointable ckpt_state(
+      [&](StateWriter& w) {
+        w.put_array(&rank[0], static_cast<std::size_t>(n));
+        w.put_u64(static_cast<std::uint64_t>(r.iterations));
+        w.put_u64(edge_work);
+      },
+      [&](StateReader& rd) {
+        const auto saved = rd.get_vec<double>();
+        EPGS_CHECK(saved.size() == static_cast<std::size_t>(n),
+                   "PageRank snapshot vertex count mismatch");
+        std::copy(saved.begin(), saved.end(), rank.begin());
+        r.iterations = static_cast<int>(rd.get_u64());
+        edge_work = rd.get_u64();
+      });
+  const auto start_it = static_cast<int>(ckpt_begin("pagerank", ckpt_state));
+
+  for (int it = start_it; it < params.max_iterations; ++it) {
+    iter_checkpoint(static_cast<std::uint64_t>(it));  // snapshot point
 #pragma omp parallel for schedule(static)
     for (std::int64_t v = 0; v < static_cast<std::int64_t>(n); ++v) {
       const eid_t d = out_.degree(static_cast<vid_t>(v));
@@ -460,6 +565,7 @@ PageRankResult GapSystem::do_pagerank(const PageRankParams& params) {
     edge_work += in_.num_edges();
     if (l1 < params.epsilon) break;
   }
+  ckpt_end();
 
   r.rank.assign(rank.begin(), rank.end());
   work_.edges_processed = edge_work;
@@ -479,8 +585,24 @@ PageRankResult GapSystem::pagerank_legacy(const PageRankParams& params) {
   std::vector<double> next(n);
   std::uint64_t edge_work = 0;
 
-  for (int it = 0; it < params.max_iterations; ++it) {
-    checkpoint();  // PageRank iteration boundary
+  FnCheckpointable ckpt_state(
+      [&](StateWriter& w) {
+        w.put_vec(r.rank);
+        w.put_u64(static_cast<std::uint64_t>(r.iterations));
+        w.put_u64(edge_work);
+      },
+      [&](StateReader& rd) {
+        auto saved = rd.get_vec<double>();
+        EPGS_CHECK(saved.size() == static_cast<std::size_t>(n),
+                   "PageRank snapshot vertex count mismatch");
+        r.rank = std::move(saved);
+        r.iterations = static_cast<int>(rd.get_u64());
+        edge_work = rd.get_u64();
+      });
+  const auto start_it = static_cast<int>(ckpt_begin("pagerank", ckpt_state));
+
+  for (int it = start_it; it < params.max_iterations; ++it) {
+    iter_checkpoint(static_cast<std::uint64_t>(it));  // snapshot point
     double dangling = 0.0;
 #pragma omp parallel for reduction(+ : dangling) schedule(static)
     for (std::int64_t v = 0; v < static_cast<std::int64_t>(n); ++v) {
@@ -504,6 +626,7 @@ PageRankResult GapSystem::pagerank_legacy(const PageRankParams& params) {
     edge_work += in_.num_edges();
     if (l1 < params.epsilon) break;
   }
+  ckpt_end();
   work_.edges_processed = edge_work;
   work_.vertex_updates = static_cast<std::uint64_t>(n) * r.iterations;
   work_.bytes_touched = edge_work * (sizeof(vid_t) + sizeof(double));

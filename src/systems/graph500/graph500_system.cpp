@@ -40,8 +40,44 @@ BfsResult Graph500System::do_bfs(vid_t root) {
   queue.slide_window();
   std::uint64_t edges_scanned = 0;
 
+  // Snapshot state: parent claims, the visited set (as a vertex list —
+  // bitmap words are not part of the format), the current frontier, and
+  // the scan counter.
+  FnCheckpointable ckpt_state(
+      [&](StateWriter& w) {
+        std::vector<vid_t> par(n);
+        std::vector<vid_t> vis;
+        for (vid_t v = 0; v < n; ++v) {
+          par[v] = parent[v].load(std::memory_order_relaxed);
+          if (visited.test(v)) vis.push_back(v);
+        }
+        w.put_vec(par);
+        w.put_vec(vis);
+        std::vector<vid_t> frontier(queue.begin(),
+                                    queue.begin() + queue.size());
+        w.put_vec(frontier);
+        w.put_u64(edges_scanned);
+      },
+      [&](StateReader& rd) {
+        const auto par = rd.get_vec<vid_t>();
+        EPGS_CHECK(par.size() == static_cast<std::size_t>(n),
+                   "BFS snapshot vertex count mismatch");
+        const auto vis = rd.get_vec<vid_t>();
+        const auto frontier = rd.get_vec<vid_t>();
+        edges_scanned = rd.get_u64();
+        for (vid_t v = 0; v < n; ++v) {
+          parent[v].store(par[v], std::memory_order_relaxed);
+        }
+        visited.reset();
+        for (const vid_t v : vis) visited.set(v);
+        queue.reset();  // zeroes the lifetime-append counter too
+        for (const vid_t v : frontier) queue.push_back(v);
+        queue.slide_window();
+      });
+  std::uint64_t level = ckpt_begin("bfs", ckpt_state);
+
   while (!queue.empty()) {
-    checkpoint();  // K2 frontier-level boundary
+    iter_checkpoint(level);  // K2 frontier-level boundary (snapshot point)
 #pragma omp parallel
     {
       LocalBuffer<vid_t> next(queue);
@@ -74,7 +110,9 @@ BfsResult Graph500System::do_bfs(vid_t root) {
       edges_scanned += scanned;
     }
     queue.slide_window();
+    ++level;
   }
+  ckpt_end();
 
   for (vid_t v = 0; v < n; ++v) {
     r.parent[v] = parent[v].load(std::memory_order_relaxed);

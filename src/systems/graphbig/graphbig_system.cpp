@@ -190,8 +190,33 @@ PageRankResult GraphBigSystem::do_pagerank(const PageRankParams& params) {
   for (auto& chunk_bins : bins) chunk_bins.resize(num_blocks);
   std::uint64_t edge_work = 0;
 
-  for (int it = 0; it < params.max_iterations; ++it) {
-    checkpoint();  // PageRank iteration boundary
+  // Snapshot state: the vprop[0] ranks plus the result/work counters.
+  // At the iteration boundary vprop[1] (accumulator) is zero and
+  // vprop[2] (contribution cache) is recomputed, so neither is saved.
+  FnCheckpointable ckpt_state(
+      [&](StateWriter& w) {
+        std::vector<double> rank(n);
+        for (vid_t v = 0; v < n; ++v) rank[v] = g_.vertex(v).vprop[0];
+        w.put_vec(rank);
+        w.put_u64(static_cast<std::uint64_t>(r.iterations));
+        w.put_u64(edge_work);
+      },
+      [&](StateReader& rd) {
+        const auto rank = rd.get_vec<double>();
+        EPGS_CHECK(rank.size() == static_cast<std::size_t>(n),
+                   "PageRank snapshot vertex count mismatch");
+        r.iterations = static_cast<int>(rd.get_u64());
+        edge_work = rd.get_u64();
+        for (vid_t v = 0; v < n; ++v) {
+          auto& obj = g_.vertex(v);
+          obj.vprop[0] = rank[v];
+          obj.vprop[1] = 0.0;
+        }
+      });
+  const int start_it = static_cast<int>(ckpt_begin("pagerank", ckpt_state));
+
+  for (int it = start_it; it < params.max_iterations; ++it) {
+    iter_checkpoint(static_cast<std::uint64_t>(it));  // iteration boundary
 #pragma omp parallel for schedule(static)
     for (std::int64_t v = 0; v < static_cast<std::int64_t>(n); ++v) {
       auto& src = g_.vertex(static_cast<vid_t>(v));
@@ -255,6 +280,7 @@ PageRankResult GraphBigSystem::do_pagerank(const PageRankParams& params) {
     ++r.iterations;
     if (l1 < params.epsilon) break;
   }
+  ckpt_end();
 
   r.rank.resize(n);
   for (vid_t v = 0; v < n; ++v) r.rank[v] = g_.vertex(v).vprop[0];
@@ -280,8 +306,30 @@ PageRankResult GraphBigSystem::pagerank_legacy(
   }
   std::uint64_t edge_work = 0;
 
-  for (int it = 0; it < params.max_iterations; ++it) {
-    checkpoint();  // PageRank iteration boundary
+  FnCheckpointable ckpt_state(
+      [&](StateWriter& w) {
+        std::vector<double> rank(n);
+        for (vid_t v = 0; v < n; ++v) rank[v] = g_.vertex(v).vprop[0];
+        w.put_vec(rank);
+        w.put_u64(static_cast<std::uint64_t>(r.iterations));
+        w.put_u64(edge_work);
+      },
+      [&](StateReader& rd) {
+        const auto rank = rd.get_vec<double>();
+        EPGS_CHECK(rank.size() == static_cast<std::size_t>(n),
+                   "PageRank snapshot vertex count mismatch");
+        r.iterations = static_cast<int>(rd.get_u64());
+        edge_work = rd.get_u64();
+        for (vid_t v = 0; v < n; ++v) {
+          auto& obj = g_.vertex(v);
+          obj.vprop[0] = rank[v];
+          obj.vprop[1] = 0.0;
+        }
+      });
+  const int start_it = static_cast<int>(ckpt_begin("pagerank", ckpt_state));
+
+  for (int it = start_it; it < params.max_iterations; ++it) {
+    iter_checkpoint(static_cast<std::uint64_t>(it));  // iteration boundary
     double dangling = 0.0;
 #pragma omp parallel for reduction(+ : dangling) schedule(static)
     for (std::int64_t v = 0; v < static_cast<std::int64_t>(n); ++v) {
@@ -314,6 +362,7 @@ PageRankResult GraphBigSystem::pagerank_legacy(
     ++r.iterations;
     if (l1 < params.epsilon) break;
   }
+  ckpt_end();
 
   r.rank.resize(n);
   for (vid_t v = 0; v < n; ++v) r.rank[v] = g_.vertex(v).vprop[0];

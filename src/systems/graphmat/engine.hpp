@@ -12,6 +12,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "core/bitmap.hpp"
@@ -37,7 +38,8 @@ template <typename Program>
 EngineResult<Program> run_graph_program(
     const Program& prog, const DCSR& a_transpose,
     std::vector<typename Program::State>& states, Bitmap& active,
-    int max_iterations, const CancellationToken* cancel = nullptr) {
+    int max_iterations, const CancellationToken* cancel = nullptr,
+    const std::function<void(int)>* epoch_hook = nullptr) {
   using Msg = typename Program::Msg;
   const vid_t n = a_transpose.num_vertices();
   EngineResult<Program> result;
@@ -46,7 +48,13 @@ EngineResult<Program> run_graph_program(
   Bitmap next_active(n);
 
   for (int it = 0; it < max_iterations; ++it) {
-    if (cancel != nullptr) cancel->checkpoint();  // SpMV epoch boundary
+    // SpMV epoch boundary: the adapter's hook (checkpoint ticking +
+    // cancellation) subsumes the bare token poll.
+    if (epoch_hook != nullptr) {
+      (*epoch_hook)(it);
+    } else if (cancel != nullptr) {
+      cancel->checkpoint();
+    }
     if (active.count() == 0) break;
 
     // Phase 1: materialise messages from active vertices (dense x).

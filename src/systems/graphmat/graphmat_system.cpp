@@ -94,9 +94,14 @@ BfsResult GraphMatSystem::do_bfs(vid_t root) {
   Bitmap active(n);
   active.set(root);
 
+  // SpMV rounds tick the checkpoint session (no state registered for the
+  // engine-run kernels, so this is cancellation + fault-injection only).
+  const std::function<void(int)> epoch_hook = [this](int it) {
+    iter_checkpoint(static_cast<std::uint64_t>(it));
+  };
   const auto stats = run_graph_program(BfsProgram{}, in_, states, active,
                                        static_cast<int>(n) + 1,
-                                       cancellation());
+                                       cancellation(), &epoch_hook);
   BfsResult r;
   r.root = root;
   r.parent.resize(n);
@@ -116,9 +121,12 @@ SsspResult GraphMatSystem::do_sssp(vid_t root) {
   Bitmap active(n);
   active.set(root);
 
+  const std::function<void(int)> epoch_hook = [this](int it) {
+    iter_checkpoint(static_cast<std::uint64_t>(it));
+  };
   const auto stats = run_graph_program(SsspProgram{}, in_, states, active,
                                        static_cast<int>(n) + 1,
-                                       cancellation());
+                                       cancellation(), &epoch_hook);
   SsspResult r;
   r.root = root;
   r.dist.resize(n);
@@ -178,8 +186,26 @@ PageRankResult GraphMatSystem::do_pagerank(const PageRankParams& params) {
   log().add(std::string(phase::kEngineInit), init_timer.seconds());
   std::uint64_t edge_work = 0;
 
-  for (int it = 0; it < params.max_iterations; ++it) {
-    checkpoint();  // SpMV PageRank iteration boundary
+  // Snapshot state: the single-precision rank vector plus the
+  // result/work counters. contrib/next/bins are per-iteration scratch.
+  FnCheckpointable ckpt_state(
+      [&](StateWriter& w) {
+        w.put_array(&rank[0], n);
+        w.put_u64(static_cast<std::uint64_t>(r.iterations));
+        w.put_u64(edge_work);
+      },
+      [&](StateReader& rd) {
+        const auto saved = rd.get_vec<float>();
+        EPGS_CHECK(saved.size() == static_cast<std::size_t>(n),
+                   "PageRank snapshot vertex count mismatch");
+        r.iterations = static_cast<int>(rd.get_u64());
+        edge_work = rd.get_u64();
+        std::copy(saved.begin(), saved.end(), &rank[0]);
+      });
+  const int start_it = static_cast<int>(ckpt_begin("pagerank", ckpt_state));
+
+  for (int it = start_it; it < params.max_iterations; ++it) {
+    iter_checkpoint(static_cast<std::uint64_t>(it));  // SpMV boundary
     double dangling = 0.0;
 #pragma omp parallel for reduction(+ : dangling) schedule(static)
     for (std::int64_t v = 0; v < static_cast<std::int64_t>(n); ++v) {
@@ -264,6 +290,7 @@ PageRankResult GraphMatSystem::do_pagerank(const PageRankParams& params) {
     ++r.iterations;
     if (!changed) break;
   }
+  ckpt_end();
 
   WallTimer output_timer;
   r.rank.assign(rank.begin(), rank.end());

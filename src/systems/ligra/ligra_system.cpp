@@ -95,11 +95,39 @@ BfsResult LigraSystem::do_bfs(vid_t root) {
 
   std::uint64_t examined = 0;
   VertexSubset frontier = VertexSubset::single(n, root);
+
+  // Snapshot state: the parent claims, the sparse frontier (a
+  // vertexSubset is just its vertex list), and the edge counter.
+  FnCheckpointable ckpt_state(
+      [&](StateWriter& w) {
+        std::vector<vid_t> par(n);
+        for (vid_t v = 0; v < n; ++v) {
+          par[v] = parent[v].load(std::memory_order_relaxed);
+        }
+        w.put_vec(par);
+        w.put_vec(frontier.vertices());
+        w.put_u64(examined);
+      },
+      [&](StateReader& rd) {
+        const auto par = rd.get_vec<vid_t>();
+        EPGS_CHECK(par.size() == static_cast<std::size_t>(n),
+                   "BFS snapshot vertex count mismatch");
+        auto front = rd.get_vec<vid_t>();
+        examined = rd.get_u64();
+        for (vid_t v = 0; v < n; ++v) {
+          parent[v].store(par[v], std::memory_order_relaxed);
+        }
+        frontier = VertexSubset::from_sparse(n, std::move(front));
+      });
+  std::uint64_t round = ckpt_begin("bfs", ckpt_state);
+
   while (!frontier.empty()) {
-    checkpoint();  // edgeMap round boundary
+    iter_checkpoint(round);  // edgeMap round boundary (snapshot point)
     frontier = edge_map(out_, in_, frontier, BfsF{parent.data()},
                         examined);
+    ++round;
   }
+  ckpt_end();
 
   BfsResult r;
   r.root = root;
@@ -168,8 +196,28 @@ PageRankResult LigraSystem::do_pagerank(const PageRankParams& params) {
     contrib[static_cast<std::size_t>(v)] = 0.0;
   }
 
-  for (int it = 0; it < params.max_iterations; ++it) {
-    checkpoint();  // PageRank iteration boundary
+  // Snapshot state: the rank vector plus the result/work counters, so a
+  // resumed trial reports the same iteration and edge totals as an
+  // uninterrupted one. `next` and `contrib` are scratch recomputed every
+  // iteration.
+  FnCheckpointable ckpt_state(
+      [&](StateWriter& w) {
+        w.put_array(&rank[0], n);
+        w.put_u64(static_cast<std::uint64_t>(r.iterations));
+        w.put_u64(edge_work);
+      },
+      [&](StateReader& rd) {
+        const auto saved = rd.get_vec<double>();
+        EPGS_CHECK(saved.size() == static_cast<std::size_t>(n),
+                   "PageRank snapshot vertex count mismatch");
+        r.iterations = static_cast<int>(rd.get_u64());
+        edge_work = rd.get_u64();
+        std::copy(saved.begin(), saved.end(), &rank[0]);
+      });
+  const int start_it = static_cast<int>(ckpt_begin("pagerank", ckpt_state));
+
+  for (int it = start_it; it < params.max_iterations; ++it) {
+    iter_checkpoint(static_cast<std::uint64_t>(it));  // iteration boundary
 #pragma omp parallel for schedule(static)
     for (std::int64_t v = 0; v < static_cast<std::int64_t>(n); ++v) {
       const auto d =
@@ -205,6 +253,7 @@ PageRankResult LigraSystem::do_pagerank(const PageRankParams& params) {
     edge_work += in_.num_edges();
     if (l1 < params.epsilon) break;
   }
+  ckpt_end();
   r.rank.assign(rank.begin(), rank.end());
   work_.edges_processed = edge_work;
   work_.vertex_updates = static_cast<std::uint64_t>(n) * r.iterations;

@@ -23,6 +23,7 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <functional>
 #include <unordered_map>
 #include <vector>
 
@@ -55,17 +56,27 @@ class GasEngine {
   [[nodiscard]] std::vector<VData>& data() { return master_; }
   [[nodiscard]] Program& program() { return prog_; }
   [[nodiscard]] const EngineCounters& counters() const { return counters_; }
+  /// Mutable counter access, so a checkpoint restore can reinstate the
+  /// work totals accumulated before the trial was killed.
+  [[nodiscard]] EngineCounters& counters() { return counters_; }
 
   /// Attach the supervisor's cancellation token; checked at superstep
   /// boundaries (and every 1024 async activations).
   void set_cancellation(const CancellationToken* token) { cancel_ = token; }
 
   /// Run supersteps from `initial_active` until quiescence or max_iters.
-  int run(std::vector<vid_t> initial_active, int max_iters) {
+  /// When the adapter supplies a superstep hook (checkpoint ticking +
+  /// cancellation), it subsumes the bare token poll at each boundary.
+  int run(std::vector<vid_t> initial_active, int max_iters,
+          const std::function<void(int)>* superstep_hook = nullptr) {
     std::vector<vid_t> active = std::move(initial_active);
     int iters = 0;
     while (!active.empty() && iters < max_iters) {
-      if (cancel_ != nullptr) cancel_->checkpoint();
+      if (superstep_hook != nullptr) {
+        (*superstep_hook)(iters);
+      } else if (cancel_ != nullptr) {
+        cancel_->checkpoint();
+      }
       active = superstep(active);
       ++iters;
     }

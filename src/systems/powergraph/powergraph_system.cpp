@@ -157,10 +157,15 @@ SsspResult PowerGraphSystem::do_sssp(vid_t root) {
 
   engine.data()[root].dist = 0.0f;
   auto active = engine.scatter_from({root});
+  // Superstep boundaries tick the checkpoint session (no state registered
+  // for the engine-run kernels: cancellation + fault-injection only).
+  const std::function<void(int)> hook = [this](int it) {
+    iter_checkpoint(static_cast<std::uint64_t>(it));
+  };
   if (opts_.async_engine) {
     engine.run_async(std::move(active), ~0ull);
   } else {
-    engine.run(std::move(active), static_cast<int>(n) + 1);
+    engine.run(std::move(active), static_cast<int>(n) + 1, &hook);
   }
 
   SsspResult r;
@@ -197,8 +202,42 @@ PageRankResult PowerGraphSystem::do_pagerank(const PageRankParams& params) {
   std::vector<double> prev(n, init);
   const auto all = engine.all_vertices();
 
-  for (int it = 0; it < params.max_iterations; ++it) {
-    checkpoint();  // superstep boundary
+  // Snapshot state: master ranks, the previous-iteration ranks (the L1
+  // convergence reference), the result counter, and the engine's work
+  // counters, so a resumed trial reports identical totals.
+  FnCheckpointable ckpt_state(
+      [&](StateWriter& w) {
+        std::vector<double> rank(n);
+        for (vid_t v = 0; v < n; ++v) rank[v] = data[v].rank;
+        w.put_vec(rank);
+        w.put_vec(prev);
+        w.put_u64(static_cast<std::uint64_t>(r.iterations));
+        const auto& c = engine.counters();
+        w.put_u64(c.gather_edges);
+        w.put_u64(c.scatter_signals);
+        w.put_u64(c.sync_copies);
+        w.put_u64(static_cast<std::uint64_t>(c.supersteps));
+      },
+      [&](StateReader& rd) {
+        const auto rank = rd.get_vec<double>();
+        EPGS_CHECK(rank.size() == static_cast<std::size_t>(n),
+                   "PageRank snapshot vertex count mismatch");
+        auto saved_prev = rd.get_vec<double>();
+        EPGS_CHECK(saved_prev.size() == static_cast<std::size_t>(n),
+                   "PageRank snapshot vertex count mismatch");
+        r.iterations = static_cast<int>(rd.get_u64());
+        auto& c = engine.counters();
+        c.gather_edges = rd.get_u64();
+        c.scatter_signals = rd.get_u64();
+        c.sync_copies = rd.get_u64();
+        c.supersteps = static_cast<int>(rd.get_u64());
+        for (vid_t v = 0; v < n; ++v) data[v].rank = rank[v];
+        prev = std::move(saved_prev);
+      });
+  const int start_it = static_cast<int>(ckpt_begin("pagerank", ckpt_state));
+
+  for (int it = start_it; it < params.max_iterations; ++it) {
+    iter_checkpoint(static_cast<std::uint64_t>(it));  // superstep boundary
     double dangling = 0.0;
     for (vid_t v = 0; v < n; ++v) {
       if (out_degree_[v] == 0) dangling += data[v].rank;
@@ -216,6 +255,7 @@ PageRankResult PowerGraphSystem::do_pagerank(const PageRankParams& params) {
     }
     if (l1 < params.epsilon) break;
   }
+  ckpt_end();
 
   r.rank.resize(n);
   for (vid_t v = 0; v < n; ++v) r.rank[v] = data[v].rank;
@@ -238,7 +278,10 @@ CdlpResult PowerGraphSystem::do_cdlp(int max_iterations) {
   for (vid_t v = 0; v < n; ++v) data[v].label = v;
 
   CdlpResult r;
-  r.iterations = engine.run(engine.all_vertices(), max_iterations);
+  const std::function<void(int)> hook = [this](int it) {
+    iter_checkpoint(static_cast<std::uint64_t>(it));
+  };
+  r.iterations = engine.run(engine.all_vertices(), max_iterations, &hook);
   r.label.resize(n);
   for (vid_t v = 0; v < n; ++v) r.label[v] = data[v].label;
 
@@ -258,10 +301,13 @@ WccResult PowerGraphSystem::do_wcc() {
 
   auto& data = engine.data();
   for (vid_t v = 0; v < n; ++v) data[v].label = v;
+  const std::function<void(int)> hook = [this](int it) {
+    iter_checkpoint(static_cast<std::uint64_t>(it));
+  };
   if (opts_.async_engine) {
     engine.run_async(engine.all_vertices(), ~0ull);
   } else {
-    engine.run(engine.all_vertices(), static_cast<int>(n) + 1);
+    engine.run(engine.all_vertices(), static_cast<int>(n) + 1, &hook);
   }
 
   WccResult r;

@@ -14,6 +14,7 @@
 
 #include "core/error.hpp"
 #include "harness/analysis.hpp"
+#include "harness/collector.hpp"
 #include "harness/runner.hpp"
 #include "systems/common/fault_injection.hpp"
 #include "systems/common/system.hpp"
@@ -342,6 +343,127 @@ TEST_F(SupervisorDir, JournalRoundTripsUnits) {
   EXPECT_TRUE(entries[1].records.empty());
 }
 
+TEST_F(SupervisorDir, JournalEndLineCarriesRetryAndResumeDetail) {
+  Journal j;
+  j.open_fresh(journal_path(), "fp");
+  TrialReport rep;
+  rep.outcome = Outcome::kSuccess;
+  rep.attempts = 3;
+  rep.last_failure = Outcome::kOomKilled;
+  rep.resumed_from_iter = 17;
+  j.append("GAP|PageRank|0", rep);
+  j.close();
+
+  const auto entries = replay_journal(journal_path(), "fp");
+  ASSERT_EQ(entries.size(), 1u);
+  EXPECT_EQ(entries[0].attempts, 3);
+  EXPECT_EQ(entries[0].last_failure, Outcome::kOomKilled);
+  EXPECT_EQ(entries[0].resumed_from_iter, 17);
+}
+
+TEST_F(SupervisorDir, ReplayAcceptsBareEndFromLegacyJournals) {
+  // Journals written before the checkpoint layer closed groups with a
+  // bare "end"; replay must keep accepting them.
+  std::ofstream(journal_path())
+      << "epgs-journal-v1\nconfig fp\n"
+      << "unit GAP|BFS|0|success|2|0\nend\n";
+  const auto entries = replay_journal(journal_path(), "fp");
+  ASSERT_EQ(entries.size(), 1u);
+  EXPECT_EQ(entries[0].attempts, 2);
+  EXPECT_EQ(entries[0].last_failure, Outcome::kSuccess);
+  EXPECT_EQ(entries[0].resumed_from_iter, -1);
+}
+
+TEST_F(SupervisorDir, ReplaySkipsCheckpointBreadcrumbs) {
+  Journal j;
+  j.open_fresh(journal_path(), "fp");
+  TrialReport ok;
+  j.append("GAP|PageRank|0", ok);
+  j.append_checkpoint("GAP|PageRank|1", 7);
+  TrialReport fail;
+  fail.outcome = Outcome::kCrash;
+  j.append("GAP|PageRank|1", fail);
+  j.append_checkpoint("GAP|PageRank|2", 3);
+  j.close();
+
+  const auto entries = replay_journal(journal_path(), "fp");
+  ASSERT_EQ(entries.size(), 2u);
+  EXPECT_EQ(entries[0].key, "GAP|PageRank|0");
+  EXPECT_EQ(entries[1].outcome, Outcome::kCrash);
+}
+
+TEST_F(SupervisorDir, ReplayToleratesTornCheckpointTail) {
+  Journal j;
+  j.open_fresh(journal_path(), "fp");
+  TrialReport ok;
+  j.append("GAP|PageRank|0", ok);
+  j.close();
+  {
+    // Crash mid-breadcrumb: a half-written ckpt line ends the file.
+    std::ofstream f(journal_path(), std::ios::app);
+    f << "ckpt GAP|Page";
+  }
+  const auto entries = replay_journal(journal_path(), "fp");
+  ASSERT_EQ(entries.size(), 1u);
+  EXPECT_EQ(entries[0].key, "GAP|PageRank|0");
+}
+
+TEST_F(SupervisorDir, ReplayDuplicateKeysLastWins) {
+  // A resumed sweep re-runs a unit that earlier failed with a snapshot:
+  // the journal holds both groups and the collector must keep the later.
+  Journal j;
+  j.open_fresh(journal_path(), "fp");
+  TrialReport fail;
+  fail.outcome = Outcome::kTimeout;
+  j.append("GAP|PageRank|0", fail);
+  TrialReport ok;
+  ok.attempts = 1;
+  ok.resumed_from_iter = 9;
+  j.append("GAP|PageRank|0", ok);
+  j.close();
+
+  const auto entries = replay_journal(journal_path(), "fp");
+  ASSERT_EQ(entries.size(), 2u);  // replay returns both, in order
+  EXPECT_EQ(entries[1].outcome, Outcome::kSuccess);
+  EXPECT_EQ(entries[1].resumed_from_iter, 9);
+
+  SupervisorOptions sup;
+  sup.journal_path = journal_path();
+  sup.resume = true;
+  RecordCollector collector(sup, "fp");
+  ASSERT_TRUE(collector.is_journaled("GAP|PageRank|0"));
+  EXPECT_EQ(collector.journaled().at("GAP|PageRank|0").outcome,
+            Outcome::kSuccess);
+}
+
+TEST_F(SupervisorDir, ResumableFailureWithSnapshotIsRerunOnResume) {
+  const fs::path ckpt_dir = dir_ / "ckpts";
+  fs::create_directories(ckpt_dir);
+  Journal j;
+  j.open_fresh(journal_path(), "fp");
+  TrialReport crash;
+  crash.outcome = Outcome::kCrash;
+  j.append("GAP|PageRank|0", crash);  // snapshot exists -> re-run
+  TrialReport timeout;
+  timeout.outcome = Outcome::kTimeout;
+  j.append("GAP|PageRank|1", timeout);  // no snapshot -> settled DNF
+  TrialReport interrupted;
+  interrupted.outcome = Outcome::kInterrupted;
+  j.append("GAP|PageRank|2", interrupted);  // always re-run
+  j.close();
+  std::ofstream(CheckpointSession::path_for(ckpt_dir, "GAP|PageRank|0"))
+      << "placeholder";
+
+  SupervisorOptions sup;
+  sup.journal_path = journal_path();
+  sup.resume = true;
+  sup.checkpoint_dir = ckpt_dir.string();
+  RecordCollector collector(sup, "fp");
+  EXPECT_FALSE(collector.is_journaled("GAP|PageRank|0"));
+  EXPECT_TRUE(collector.is_journaled("GAP|PageRank|1"));
+  EXPECT_FALSE(collector.is_journaled("GAP|PageRank|2"));
+}
+
 TEST_F(SupervisorDir, ReplayRejectsFingerprintMismatch) {
   Journal j;
   j.open_fresh(journal_path(), "fp-1");
@@ -401,10 +523,10 @@ TEST_F(SupervisorDir, ResumeRunsOnlyTheTornTrial) {
   buf << in.rdbuf();
   in.close();
   std::string text = buf.str();
-  const auto last_end = text.rfind("end\n");
+  const auto last_end = text.rfind("\nend ");
   ASSERT_NE(last_end, std::string::npos);
   std::ofstream(journal_path(), std::ios::trunc)
-      << text.substr(0, last_end);
+      << text.substr(0, last_end + 1);
 
   cfg.supervisor.resume = true;
   fault::Scoped probe(
