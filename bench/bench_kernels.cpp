@@ -9,9 +9,11 @@
 #include <numeric>
 #include <sstream>
 
+#include "core/cancellation.hpp"
 #include "core/frontier.hpp"
 #include "core/parallel.hpp"
 #include "core/phase_log.hpp"
+#include "systems/common/kernel_run.hpp"
 #include "gen/kronecker.hpp"
 #include "graph/csr.hpp"
 #include "graph/snap_io.hpp"
@@ -453,6 +455,53 @@ void BM_GapBfsPrefetch(benchmark::State& state) {
                           static_cast<std::int64_t>(el.num_edges()));
 }
 BENCHMARK(BM_GapBfsPrefetch)->Args({14, 8});
+
+// ---------------------------------------------------------------------
+// KernelRun scope A/B: the shared runtime's per-iteration-boundary cost
+// (telemetry row close/open + checkpoint-cadence tick + cancellation
+// poll) against the bare token poll the adapters used to hand-roll at
+// the same boundary. Per-boundary cost = cpu_time / items_per_second
+// denominator; the committed baseline makes growth in the scope's
+// fixed overhead visible in the perf smoke.
+// ---------------------------------------------------------------------
+
+constexpr int kBoundaries = 1 << 12;
+
+void BM_IterBoundaryHandRolled(benchmark::State& state) {
+  CancellationToken token;
+  const CancellationToken* cancel = &token;
+  for (auto _ : state) {
+    std::uint64_t edges = 0;
+    for (int i = 0; i < kBoundaries; ++i) {
+      cancel->checkpoint();  // the old per-iteration orchestration
+      edges += 7;            // stand-in kernel work
+      benchmark::DoNotOptimize(edges);
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * kBoundaries);
+}
+BENCHMARK(BM_IterBoundaryHandRolled);
+
+void BM_IterBoundaryKernelRun(benchmark::State& state) {
+  systems::GapSystem sys;
+  sys.set_edges(bench_graph(6));
+  sys.build();
+  CancellationToken token;
+  sys.set_cancellation(&token);
+  for (auto _ : state) {
+    std::uint64_t edges = 0;
+    KernelRun run(sys, "bench");
+    run.watch_edges(&edges);
+    for (int i = 0; i < kBoundaries; ++i) {
+      run.iteration(static_cast<std::uint64_t>(i), 0);
+      edges += 7;
+      benchmark::DoNotOptimize(edges);
+    }
+    run.finish();
+  }
+  state.SetItemsProcessed(state.iterations() * kBoundaries);
+}
+BENCHMARK(BM_IterBoundaryKernelRun);
 
 void BM_SnapParse(benchmark::State& state) {
   std::ostringstream os;

@@ -169,7 +169,8 @@ int cmd_run(const Args& args, std::ostream& out) {
                      "journal", "resume", "allow-dnf", "cache-dir",
                      "no-cache", "mem-limit", "min-free-disk",
                      "lock-timeout", "pin", "checkpoint-dir",
-                     "checkpoint-every", "checkpoint-every-seconds"});
+                     "checkpoint-every", "checkpoint-every-seconds",
+                     "iter-trace"});
   harness::ExperimentConfig cfg;
   cfg.graph = spec_from_args(args);
   cfg.systems = args.get_list("systems");
@@ -206,6 +207,7 @@ int cmd_run(const Args& args, std::ostream& out) {
       args.get_int("checkpoint-every", 0);
   cfg.supervisor.checkpoint_every_seconds =
       args.get_double("checkpoint-every-seconds", 0.25);
+  cfg.iter_trace_dir = args.get("iter-trace");
   cfg.dataset.cache_dir = args.get("cache-dir");
   cfg.dataset.use_cache = !args.has("no-cache");
   cfg.dataset.lock_timeout_seconds = args.get_double("lock-timeout", 60.0);
@@ -236,6 +238,9 @@ int cmd_run(const Args& args, std::ostream& out) {
   }
   if (!result.pin_warning.empty()) {
     out << "warning: " << result.pin_warning << "\n";
+  }
+  if (!result.iter_trace_warning.empty()) {
+    out << "warning: " << result.iter_trace_warning << "\n";
   }
 
   const std::string logdir = args.get("logdir");
@@ -532,6 +537,7 @@ std::string usage() {
       "               [--checkpoint-every-seconds SEC]]  mid-trial\n"
       "              snapshots: killed/timed-out units resume mid-kernel\n"
       "              (SIGINT/SIGTERM stop gracefully, exit 128+sig)\n"
+      "              [--iter-trace DIR]  per-iteration telemetry JSONL\n"
       "              [--cache-dir DIR [--no-cache]]\n"
       "              [--lock-timeout SEC] [--min-free-disk MIB]\n"
       "              exit 3 when any trial DNFs (unless --allow-dnf)\n"

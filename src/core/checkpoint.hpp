@@ -200,6 +200,86 @@ class FnCheckpointable final : public Checkpointable {
   std::function<void(StateReader&)> restore_;
 };
 
+// --- Shared kernel-state shapes ---------------------------------------
+//
+// Five adapters' PageRank kernels snapshot the same state shape — the
+// rank vector, the completed-iteration counter, and the accumulated edge
+// work — and previously each spelled out the same StateWriter/StateReader
+// lambda pair by hand. These helpers build that Checkpointable once.
+// `extra_save`/`extra_restore` append kernel-specific trailing fields
+// (e.g. PowerGraph's engine counters) after the common prefix.
+
+/// Checkpointable over a contiguous scalar array (std::vector data(),
+/// FirstTouchVector storage, ...) plus an iteration counter and an edge
+/// work counter. The restore validates the element count, so a snapshot
+/// from a different graph is rejected as invalid instead of misread.
+template <typename T, typename IterT>
+[[nodiscard]] inline FnCheckpointable ckpt_scalar_vector(
+    T* data, std::size_t count, IterT* iterations, std::uint64_t* edge_work,
+    std::string what = "kernel",
+    std::function<void(StateWriter&)> extra_save = {},
+    std::function<void(StateReader&)> extra_restore = {}) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  return FnCheckpointable(
+      [=, extra = std::move(extra_save)](StateWriter& w) {
+        w.put_array(data, count);
+        w.put_u64(static_cast<std::uint64_t>(*iterations));
+        w.put_u64(*edge_work);
+        if (extra) extra(w);
+      },
+      [=, extra = std::move(extra_restore)](StateReader& r) {
+        const auto v = r.get_vec<T>();
+        EPGS_CHECK(v.size() == count,
+                   what + " snapshot vertex count mismatch");
+        for (std::size_t i = 0; i < count; ++i) data[i] = v[i];
+        *iterations = static_cast<IterT>(r.get_u64());
+        *edge_work = r.get_u64();
+        if (extra) extra(r);
+      });
+}
+
+/// Accessor flavour of ckpt_scalar_vector for non-contiguous per-vertex
+/// state (GraphBIG's AoS vertex objects, PowerGraph's VData structs):
+/// `get(i)` reads and `set(i, value)` writes vertex i's scalar. The save
+/// stages through a temporary vector so the frame layout is identical to
+/// the contiguous flavour.
+template <typename T, typename IterT, typename GetFn, typename SetFn>
+[[nodiscard]] inline FnCheckpointable ckpt_scalar_field(
+    std::size_t count, GetFn get, SetFn set, IterT* iterations,
+    std::uint64_t* edge_work, std::string what = "kernel",
+    std::function<void(StateWriter&)> extra_save = {},
+    std::function<void(StateReader&)> extra_restore = {}) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  return FnCheckpointable(
+      [=, extra = std::move(extra_save)](StateWriter& w) {
+        std::vector<T> staged(count);
+        for (std::size_t i = 0; i < count; ++i) staged[i] = get(i);
+        w.put_vec(staged);
+        w.put_u64(static_cast<std::uint64_t>(*iterations));
+        w.put_u64(*edge_work);
+        if (extra) extra(w);
+      },
+      [=, extra = std::move(extra_restore)](StateReader& r) {
+        const auto v = r.get_vec<T>();
+        EPGS_CHECK(v.size() == count,
+                   what + " snapshot vertex count mismatch");
+        for (std::size_t i = 0; i < count; ++i) set(i, v[i]);
+        *iterations = static_cast<IterT>(r.get_u64());
+        *edge_work = r.get_u64();
+        if (extra) extra(r);
+      });
+}
+
+/// The PageRank spelling: double rank vector + int iteration counter +
+/// edge-work counter, shared by the GAP/Ligra adapters (GraphMat's float
+/// ranks and GraphBIG's AoS layout use the general flavours above).
+[[nodiscard]] inline FnCheckpointable ckpt_f64_vector(
+    double* data, std::size_t count, int* iterations,
+    std::uint64_t* edge_work, std::string what = "PageRank") {
+  return ckpt_scalar_vector<double, int>(data, count, iterations, edge_work,
+                                         std::move(what));
+}
+
 /// One session's identity and cadence. A session snapshots exactly one
 /// supervised unit; the fingerprint ties the snapshot to the experiment
 /// configuration the same way the journal's config line does.

@@ -12,6 +12,8 @@ namespace {
 //   * <name>: <seconds> sec [edges=N] [vupdates=N] [bytes=N] [k=v]...
 // Attribute lines:
 //   # <key> = <value>
+// Per-iteration timeline lines (continuations of the preceding '*' line):
+//   @ iter=N sec=S front=N edges=N [resid=R]
 std::string_view trim(std::string_view s) {
   while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) {
     s.remove_prefix(1);
@@ -33,12 +35,25 @@ std::uint64_t parse_u64(std::string_view s, std::string_view what) {
   return v;
 }
 
+double parse_f64(std::string_view s, std::string_view what) {
+  try {
+    return std::stod(std::string(s));
+  } catch (const std::exception&) {
+    throw std::runtime_error("PhaseLog: bad number for " + std::string(what) +
+                             ": '" + std::string(s) + "'");
+  }
+}
+
 }  // namespace
 
 void PhaseLog::add(std::string name, double seconds, WorkStats work,
                    std::map<std::string, std::string> extra) {
   entries_.push_back(PhaseEntry{std::move(name), seconds, work,
-                                std::move(extra)});
+                                std::move(extra), {}});
+}
+
+void PhaseLog::add(PhaseEntry entry) {
+  entries_.push_back(std::move(entry));
 }
 
 void PhaseLog::set_attr(std::string key, std::string value) {
@@ -101,6 +116,12 @@ std::string PhaseLog::to_log_text() const {
     if (e.work.bytes_touched != 0) os << " bytes=" << e.work.bytes_touched;
     for (const auto& [k, v] : e.extra) os << ' ' << k << '=' << v;
     os << '\n';
+    for (const auto& it : e.timeline) {
+      os << "@ iter=" << it.iter << " sec=" << it.seconds
+         << " front=" << it.frontier << " edges=" << it.edges;
+      if (it.has_residual()) os << " resid=" << it.residual;
+      os << '\n';
+    }
   }
   return os.str();
 }
@@ -125,6 +146,45 @@ PhaseLog PhaseLog::parse_log_text(std::string_view text) {
       }
       log.set_attr(std::string(trim(line.substr(0, eq))),
                    std::string(trim(line.substr(eq + 1))));
+      continue;
+    }
+    if (line.front() == '@') {
+      if (log.entries_.empty()) {
+        throw std::runtime_error(
+            "PhaseLog: timeline line with no preceding phase");
+      }
+      line.remove_prefix(1);
+      line = trim(line);
+      IterRecord rec;
+      while (!line.empty()) {
+        const std::size_t end = line.find(' ');
+        std::string_view tok = line.substr(
+            0, end == std::string_view::npos ? line.size() : end);
+        line = end == std::string_view::npos ? std::string_view{}
+                                             : trim(line.substr(end + 1));
+        const std::size_t eq = tok.find('=');
+        if (eq == std::string_view::npos) {
+          throw std::runtime_error("PhaseLog: bad timeline token: '" +
+                                   std::string(tok) + "'");
+        }
+        const std::string_view key = tok.substr(0, eq);
+        const std::string_view val = tok.substr(eq + 1);
+        if (key == "iter") {
+          rec.iter = parse_u64(val, key);
+        } else if (key == "sec") {
+          rec.seconds = parse_f64(val, key);
+        } else if (key == "front") {
+          rec.frontier = parse_u64(val, key);
+        } else if (key == "edges") {
+          rec.edges = parse_u64(val, key);
+        } else if (key == "resid") {
+          rec.residual = parse_f64(val, key);
+        } else {
+          throw std::runtime_error("PhaseLog: unknown timeline key: '" +
+                                   std::string(key) + "'");
+        }
+      }
+      log.entries_.back().timeline.push_back(rec);
       continue;
     }
     if (line.front() != '*') {

@@ -8,8 +8,10 @@
 // exactly as in the paper.
 #pragma once
 
+#include <cmath>
 #include <cstdint>
 #include <iosfwd>
+#include <limits>
 #include <map>
 #include <optional>
 #include <string>
@@ -33,12 +35,33 @@ struct WorkStats {
   }
 };
 
+/// One per-iteration telemetry row of a kernel phase: wall time of the
+/// iteration, active-vertex/frontier size at its start, edges traversed
+/// during it, and the convergence residual where the kernel computes one
+/// (the paper's Fig 4 plots exactly these trajectories). Rows are emitted
+/// by the KernelRun scope, one per iteration boundary.
+struct IterRecord {
+  std::uint64_t iter = 0;     ///< 0-based iteration index
+  double seconds = 0.0;       ///< wall time of this iteration
+  std::uint64_t frontier = 0; ///< active vertices entering the iteration
+  std::uint64_t edges = 0;    ///< edges traversed during the iteration
+  /// Convergence residual computed by the iteration (PageRank L1 delta);
+  /// NaN when the kernel has no residual notion (BFS, WCC, ...).
+  double residual = std::numeric_limits<double>::quiet_NaN();
+
+  [[nodiscard]] bool has_residual() const { return !std::isnan(residual); }
+};
+
 /// One timed phase of execution ("load graph", "run algorithm", ...).
 struct PhaseEntry {
   std::string name;
   double seconds = 0.0;
   WorkStats work;
   std::map<std::string, std::string> extra;  ///< e.g. iterations=87
+  /// Per-iteration timeline (empty for non-kernel phases). Serialised as
+  /// '@' continuation lines under the phase's '*' line and round-tripped
+  /// by parse_log_text like every other field.
+  std::vector<IterRecord> timeline;
 };
 
 /// Append-only log of phases for a single run of a single system.
@@ -47,6 +70,9 @@ class PhaseLog {
   /// Record a completed phase.
   void add(std::string name, double seconds, WorkStats work = {},
            std::map<std::string, std::string> extra = {});
+
+  /// Record a completed phase with all fields (incl. timeline) prepared.
+  void add(PhaseEntry entry);
 
   /// Record/overwrite a free-form key for the whole run (system name, ...).
   void set_attr(std::string key, std::string value);

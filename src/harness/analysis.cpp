@@ -1,6 +1,9 @@
 #include "harness/analysis.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
 
 #include "core/error.hpp"
 #include "systems/common/system.hpp"
@@ -115,6 +118,81 @@ std::vector<ScalabilityCurve> scalability_sweep(
     }
   }
   return curves;
+}
+
+bool TrajectoryPoint::has_residual() const {
+  return !std::isnan(mean_residual);
+}
+
+std::vector<TrajectoryPoint> iteration_trajectory(
+    const ExperimentResult& result, std::string_view system,
+    std::string_view algorithm) {
+  std::vector<TrajectoryPoint> points;
+  std::vector<int> residual_samples;
+  for (const auto& r : result.records) {
+    if (r.system != system || r.algorithm != algorithm ||
+        r.phase != phase::kAlgorithm || r.outcome != Outcome::kSuccess) {
+      continue;
+    }
+    for (const IterRecord& row : r.timeline) {
+      // Timelines index iterations densely from 0, so iter doubles as
+      // the position; grow on first sight.
+      while (points.size() <= row.iter) {
+        TrajectoryPoint p;
+        p.iter = points.size();
+        points.push_back(p);
+        residual_samples.push_back(0);
+      }
+      auto& p = points[row.iter];
+      ++p.samples;
+      p.mean_seconds += row.seconds;
+      p.mean_frontier += static_cast<double>(row.frontier);
+      p.mean_edges += static_cast<double>(row.edges);
+      if (row.has_residual()) {
+        p.mean_residual += row.residual;
+        ++residual_samples[row.iter];
+      }
+    }
+  }
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    auto& p = points[i];
+    if (p.samples > 0) {
+      p.mean_seconds /= p.samples;
+      p.mean_frontier /= p.samples;
+      p.mean_edges /= p.samples;
+    }
+    p.mean_residual = residual_samples[i] > 0
+                          ? p.mean_residual / residual_samples[i]
+                          : std::numeric_limits<double>::quiet_NaN();
+  }
+  return points;
+}
+
+std::string trajectories_to_csv(const ExperimentResult& result) {
+  // (system, algorithm) pairs in first-seen record order.
+  std::vector<std::pair<std::string, std::string>> groups;
+  for (const auto& r : result.records) {
+    if (r.phase != phase::kAlgorithm || r.timeline.empty()) continue;
+    const auto g = std::make_pair(r.system, r.algorithm);
+    if (std::find(groups.begin(), groups.end(), g) == groups.end()) {
+      groups.push_back(g);
+    }
+  }
+
+  std::ostringstream os;
+  os.precision(17);
+  os << "system,algorithm,iter,samples,mean_seconds,mean_frontier,"
+        "mean_edges,mean_residual\n";
+  for (const auto& [system, algorithm] : groups) {
+    for (const auto& p : iteration_trajectory(result, system, algorithm)) {
+      os << system << ',' << algorithm << ',' << p.iter << ',' << p.samples
+         << ',' << p.mean_seconds << ',' << p.mean_frontier << ','
+         << p.mean_edges << ',';
+      if (p.has_residual()) os << p.mean_residual;
+      os << '\n';
+    }
+  }
+  return os.str();
 }
 
 std::vector<power::PowerEstimate> per_trial_power(

@@ -5,6 +5,7 @@
 
 #include <array>
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -66,6 +67,36 @@ struct ScalabilityCurve {
 /// as on the paper's 72-thread box.
 std::vector<ScalabilityCurve> scalability_sweep(ExperimentConfig base,
                                                 const std::vector<int>& ladder);
+
+// --- Iteration telemetry (KernelRun timelines) -------------------------
+
+/// One point of a per-iteration trajectory, averaged across the trials
+/// whose timelines reached this iteration index.
+struct TrajectoryPoint {
+  std::uint64_t iter = 0;
+  int samples = 0;             ///< trials contributing this iteration
+  double mean_seconds = 0.0;   ///< mean per-iteration wall time
+  double mean_frontier = 0.0;  ///< mean active-set size
+  double mean_edges = 0.0;     ///< mean edges traversed this iteration
+  /// Mean convergence residual; NaN when no contributing sample carried
+  /// one (traversal kernels report frontiers, not residuals).
+  double mean_residual = 0.0;
+  [[nodiscard]] bool has_residual() const;
+};
+
+/// The per-iteration trajectory of one (system, algorithm): KernelRun
+/// timelines of every successful "run algorithm" record, averaged per
+/// iteration index. Empty when no matching record carries telemetry
+/// (journal-replayed units lose their timelines). This is the data behind
+/// a convergence plot (residual vs iteration) or a BFS frontier curve.
+std::vector<TrajectoryPoint> iteration_trajectory(
+    const ExperimentResult& result, std::string_view system,
+    std::string_view algorithm);
+
+/// Render every (system, algorithm) trajectory in `result` as one CSV
+/// (header: system,algorithm,iter,samples,mean_seconds,mean_frontier,
+/// mean_edges,mean_residual; residual empty when absent) for plotting.
+std::string trajectories_to_csv(const ExperimentResult& result);
 
 // --- Energy (Table III and Fig 9) --------------------------------------
 

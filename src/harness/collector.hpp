@@ -3,10 +3,13 @@
 // execute stage never touches the journal or the record vector directly.
 #pragma once
 
+#include <filesystem>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "core/fs_shim.hpp"
 #include "harness/supervisor.hpp"
 
 namespace epgs::harness {
@@ -16,7 +19,17 @@ class RecordCollector {
   /// Opens the journal per `sup`: on resume, replays completed units
   /// (validated against `fingerprint`) and reopens for append; otherwise
   /// starts fresh. No-op when journaling is disabled.
-  RecordCollector(const SupervisorOptions& sup, std::string fingerprint);
+  ///
+  /// A non-empty `iter_trace_dir` additionally opens the per-iteration
+  /// telemetry sidecar `<dir>/itertrace-<fingerprint>.jsonl` (sanitized
+  /// name + FNV tag, same scheme as checkpoint files): one JSON object
+  /// per KernelRun iteration row, appended as units finish. Opened for
+  /// append on --resume so a continued sweep extends the same file;
+  /// journal-replayed units carry no timelines, so their rows are the
+  /// ones written before the interruption. Sidecar I/O errors degrade to
+  /// trace_warning(), never fail the sweep.
+  RecordCollector(const SupervisorOptions& sup, std::string fingerprint,
+                  const std::string& iter_trace_dir = {});
 
   /// Replayed journal entries keyed by unit key (empty without --resume).
   [[nodiscard]] const std::map<std::string, JournalEntry>& journaled()
@@ -53,10 +66,27 @@ class RecordCollector {
     return journal_.degraded_reason();
   }
 
+  /// Why the iter-trace sidecar stopped (empty while healthy/disabled).
+  [[nodiscard]] const std::string& trace_warning() const {
+    return trace_warning_;
+  }
+
+  /// Sidecar path (empty when tracing is disabled).
+  [[nodiscard]] const std::filesystem::path& trace_path() const {
+    return trace_path_;
+  }
+
  private:
+  /// Append one JSONL row per IterRecord across `recs`; degrades the
+  /// sidecar (sets trace_warning_, closes the stream) on the first error.
+  void write_timelines(const std::vector<RunRecord>& recs);
+
   Journal journal_;
   std::map<std::string, JournalEntry> journaled_;
   std::vector<RunRecord> records_;
+  std::filesystem::path trace_path_;
+  std::unique_ptr<fsx::OutStream> trace_;
+  std::string trace_warning_;
 };
 
 }  // namespace epgs::harness

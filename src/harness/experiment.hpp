@@ -144,6 +144,11 @@ struct ExperimentConfig {
   SupervisorOptions supervisor;
   /// Dataset cache / zero-copy data path configuration.
   DatasetOptions dataset;
+  /// Directory for the per-iteration telemetry sidecar (--iter-trace).
+  /// Empty (the default) disables it. Deliberately NOT part of
+  /// config_fingerprint: tracing is observability, not identity, so
+  /// toggling it must not invalidate a resumable journal.
+  std::string iter_trace_dir;
 };
 
 /// Pick `count` distinct roots with total degree > min_degree (the paper

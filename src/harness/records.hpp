@@ -29,6 +29,11 @@ struct RunRecord {
   WorkStats work;
   std::map<std::string, std::string> extra;  ///< e.g. iterations
   Outcome outcome = Outcome::kSuccess;
+  /// Per-iteration telemetry (KernelRun rows). In-memory only: the CSV
+  /// row format deliberately omits it (kill/resume byte-identity), so it
+  /// reaches downstream consumers via the --iter-trace sidecar instead.
+  /// Units replayed from the journal come back with an empty timeline.
+  std::vector<IterRecord> timeline;
 };
 
 /// Result of a full experiment.
@@ -50,6 +55,9 @@ struct ExperimentResult {
   /// Non-empty when journaling stopped mid-sweep (e.g. the disk filled):
   /// results are complete but a --resume will re-run the unjournaled tail.
   std::string journal_warning;
+  /// Non-empty when the --iter-trace sidecar could not be opened or
+  /// stopped mid-sweep; results are unaffected, telemetry is partial.
+  std::string iter_trace_warning;
   /// Non-empty when thread pinning was requested (--pin / EPGS_PIN) but
   /// sched_setaffinity refused some or all binds; the run continued
   /// unpinned on those threads.

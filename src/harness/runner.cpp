@@ -90,6 +90,7 @@ void execute_system_plan(const ExperimentConfig& cfg, const SweepPlan& plan,
       rec.seconds = e.seconds;
       rec.work = e.work;
       rec.extra = e.extra;
+      rec.timeline = e.timeline;
       recs.push_back(std::move(rec));
     }
     return recs;
@@ -328,7 +329,8 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
 
   // Collect: journal replay (on --resume) happens before planning so the
   // plan can mark every already-finished unit.
-  RecordCollector collector(sup, config_fingerprint(cfg));
+  RecordCollector collector(sup, config_fingerprint(cfg),
+                            cfg.iter_trace_dir);
   collector.emit_replayed(cfg.systems);
 
   // Plan: every unit and every data-path/rebuild/replay decision, up
@@ -356,6 +358,7 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
   }
 
   result.journal_warning = collector.journal_warning();
+  result.iter_trace_warning = collector.trace_warning();
   result.records = collector.take();
   return result;
 }

@@ -12,6 +12,7 @@
 #include <condition_variable>
 #include <csignal>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <mutex>
 #include <optional>
@@ -247,6 +248,10 @@ TrialReport run_attempt(const UnitFn& fn, const SupervisorOptions& opts,
 constexpr std::string_view kPayloadOutcome = "outcome ";
 constexpr std::string_view kPayloadMessage = "message ";
 constexpr std::string_view kPayloadResumed = "resumed ";
+// "tl <record_index> <iter> <seconds> <frontier> <edges> <residual>" —
+// one line per iteration-telemetry row, re-attached to records by index.
+// Optional (absent in pre-telemetry payloads and for empty timelines).
+constexpr std::string_view kPayloadTimeline = "tl ";
 constexpr std::string_view kPayloadRecords = "records";
 
 void write_all(int fd, std::string_view data) {
@@ -278,11 +283,18 @@ void write_all(int fd, std::string_view data) {
   }
   TrialReport r = run_attempt(fn, opts, session);
   std::ostringstream os;
+  os.precision(17);
   os << kPayloadOutcome << outcome_name(r.outcome) << '\n'
      << kPayloadMessage << one_line(r.message) << '\n'
-     << kPayloadResumed << r.resumed_from_iter << '\n'
-     << kPayloadRecords << '\n'
-     << records_to_csv(r.records);
+     << kPayloadResumed << r.resumed_from_iter << '\n';
+  for (std::size_t i = 0; i < r.records.size(); ++i) {
+    for (const IterRecord& row : r.records[i].timeline) {
+      os << kPayloadTimeline << i << ' ' << row.iter << ' ' << row.seconds
+         << ' ' << row.frontier << ' ' << row.edges << ' ' << row.residual
+         << '\n';
+    }
+  }
+  os << kPayloadRecords << '\n' << records_to_csv(r.records);
   write_all(fd, os.str());
   ::close(fd);
   ::_exit(0);  // skip atexit/static destructors: this is not our process
@@ -320,12 +332,44 @@ TrialReport parse_child_payload(const std::string& payload) {
     line_start = pos + 1;
   }
 
+  // Optional "tl ..." telemetry lines (absent in pre-telemetry payloads).
+  std::vector<std::pair<std::size_t, IterRecord>> timeline_rows;
+  while (payload.compare(line_start, kPayloadTimeline.size(),
+                         kPayloadTimeline) == 0) {
+    pos = payload.find('\n', line_start);
+    EPGS_CHECK(pos != std::string::npos,
+               "isolated child payload: torn timeline line");
+    std::istringstream is(payload.substr(
+        line_start + kPayloadTimeline.size(),
+        pos - line_start - kPayloadTimeline.size()));
+    std::size_t idx = 0;
+    IterRecord row;
+    std::string residual_tok;
+    is >> idx >> row.iter >> row.seconds >> row.frontier >> row.edges >>
+        residual_tok;
+    EPGS_CHECK(!is.fail(), "isolated child payload: bad timeline line");
+    // istream's num_get grammar rejects "nan" (the no-residual marker);
+    // strtod accepts it alongside ordinary doubles.
+    char* tok_end = nullptr;
+    row.residual = std::strtod(residual_tok.c_str(), &tok_end);
+    EPGS_CHECK(!residual_tok.empty() &&
+                   tok_end == residual_tok.c_str() + residual_tok.size(),
+               "isolated child payload: bad timeline residual");
+    timeline_rows.emplace_back(idx, row);
+    line_start = pos + 1;
+  }
+
   pos = payload.find('\n', line_start);
   EPGS_CHECK(pos != std::string::npos &&
                  payload.compare(line_start, pos - line_start,
                                  kPayloadRecords) == 0,
              "isolated child payload: missing records marker");
   r.records = records_from_csv(payload.substr(pos + 1));
+  for (auto& [idx, row] : timeline_rows) {
+    EPGS_CHECK(idx < r.records.size(),
+               "isolated child payload: timeline row for missing record");
+    r.records[idx].timeline.push_back(row);
+  }
   return r;
 }
 

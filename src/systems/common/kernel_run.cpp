@@ -1,0 +1,68 @@
+#include "systems/common/kernel_run.hpp"
+
+#include <utility>
+
+#include "systems/common/system.hpp"
+
+namespace epgs {
+
+KernelRun::KernelRun(System& sys, std::string_view stage,
+                     Checkpointable* state)
+    : sys_(sys) {
+  if (state != nullptr) {
+    resumed_ = sys_.ckpt_begin(stage, *state);
+    registered_ = true;
+  }
+}
+
+KernelRun::~KernelRun() {
+  if (finished_) return;
+  // Unwinding mid-kernel (cancellation, injected fault): the registered
+  // state references the dying stack frame, so detach it from the session
+  // while leaving the snapshot on disk for the retry. The partial
+  // timeline dies with the attempt — the retry re-reports its own.
+  if (registered_ && sys_.ckpt_ != nullptr) sys_.ckpt_->detach();
+}
+
+void KernelRun::watch_edges(const std::uint64_t* counter) {
+  edges_counter_ = counter;
+  edges_mark_ = counter != nullptr ? *counter : 0;
+}
+
+void KernelRun::close_row() {
+  if (!row_open_) return;
+  row_.seconds = timer_.seconds();
+  if (edges_counter_ != nullptr) {
+    row_.edges = *edges_counter_ - edges_mark_;
+    edges_mark_ = *edges_counter_;
+  }
+  timeline_.push_back(row_);
+  row_open_ = false;
+}
+
+void KernelRun::iteration(std::uint64_t completed, std::uint64_t frontier) {
+  close_row();
+  // The boundary proper — exactly the old iter_checkpoint() sequence:
+  // fault hook, cadence tick, durable-save report, cancellation poll
+  // (which snapshots once more and throws when the token fired).
+  sys_.iter_checkpoint(completed);
+  row_ = IterRecord{};
+  row_.iter = completed;
+  row_.frontier = frontier;
+  row_open_ = true;
+  timer_.reset();
+}
+
+void KernelRun::residual(double r) {
+  if (row_open_) row_.residual = r;
+}
+
+void KernelRun::finish() {
+  close_row();
+  if (registered_) sys_.ckpt_end();
+  sys_.pending_timeline_ = std::move(timeline_);
+  timeline_.clear();
+  finished_ = true;
+}
+
+}  // namespace epgs

@@ -156,15 +156,22 @@ auto System::run_timed(std::string_view alg, bool supported, Fn&& fn) {
   checkpoint();
   fault::on_phase_start(name(), alg, cancel_);
   work_ = {};
+  pending_timeline_.clear();
   WallTimer t;
   auto result = fn();
   if (fault::take_wrong_output()) corrupt_result(result);
   const double secs = t.seconds();
-  std::map<std::string, std::string> extra{{"alg", std::string(alg)}};
+  PhaseEntry entry;
+  entry.name = std::string(phase::kAlgorithm);
+  entry.seconds = secs;
+  entry.work = work_;
+  entry.extra["alg"] = std::string(alg);
   if constexpr (requires { result.iterations; }) {
-    extra["iterations"] = std::to_string(result.iterations);
+    entry.extra["iterations"] = std::to_string(result.iterations);
   }
-  log_.add(std::string(phase::kAlgorithm), secs, work_, std::move(extra));
+  entry.timeline = std::move(pending_timeline_);
+  pending_timeline_.clear();
+  log_.add(std::move(entry));
   return result;
 }
 

@@ -117,6 +117,11 @@ class System {
     ckpt_ = session;
   }
 
+  /// The shared kernel runtime scope drives the private checkpoint and
+  /// cancellation helpers below; adapters interact with them only through
+  /// a KernelRun, never directly.
+  friend class KernelRun;
+
  protected:
   /// Subclass hooks. do_build() consumes staged_ into the native
   /// representation and reports the bytes of the built structure.
@@ -136,12 +141,20 @@ class System {
 
   vid_t n_ = 0;
 
-  /// Cancellation point: adapters call this at iteration boundaries
-  /// (frontier swaps, PageRank iterations, delta-stepping epochs) — never
-  /// inside an OpenMP region, where throwing would terminate the process.
-  /// When a checkpoint session holds registered state, a final snapshot
-  /// is written before the CancelledError unwinds the kernel, so timed-out
-  /// and interrupted trials resume from their last completed iteration.
+  /// The attached token (null when unsupervised), for engines that loop
+  /// outside the adapter (e.g. the PowerGraph GAS engine's async path).
+  [[nodiscard]] const CancellationToken* cancellation() const {
+    return cancel_;
+  }
+
+ private:
+  /// Cancellation point at iteration boundaries (frontier swaps, PageRank
+  /// iterations, delta-stepping epochs) — never inside an OpenMP region,
+  /// where throwing would terminate the process. When a checkpoint session
+  /// holds registered state, a final snapshot is written before the
+  /// CancelledError unwinds the kernel, so timed-out and interrupted
+  /// trials resume from their last completed iteration. Driven by
+  /// KernelRun::iteration(); adapters never call it directly.
   void checkpoint() const {
     if (cancel_ != nullptr && cancel_->cancelled() && ckpt_ != nullptr) {
       ckpt_->save_now();
@@ -164,13 +177,6 @@ class System {
   /// Kernel ran to completion: drop the registration and the snapshot.
   void ckpt_end();
 
-  /// The attached token (null when unsupervised), for engines that loop
-  /// outside the adapter (e.g. the PowerGraph GAS engine).
-  [[nodiscard]] const CancellationToken* cancellation() const {
-    return cancel_;
-  }
-
- private:
   template <typename Fn>
   auto run_timed(std::string_view alg, bool supported, Fn&& fn);
 
@@ -181,6 +187,9 @@ class System {
   PhaseLog log_;
   const CancellationToken* cancel_ = nullptr;
   CheckpointSession* ckpt_ = nullptr;
+  /// Timeline deposited by KernelRun::finish(); run_timed() moves it onto
+  /// the "run algorithm" phase entry it logs.
+  std::vector<IterRecord> pending_timeline_;
 };
 
 }  // namespace epgs

@@ -10,6 +10,7 @@
 #include "core/numa_alloc.hpp"
 #include "core/parallel.hpp"
 #include "core/prefetch.hpp"
+#include "systems/common/kernel_run.hpp"
 
 namespace epgs::systems {
 
@@ -121,10 +122,12 @@ BfsResult GapSystem::do_bfs(vid_t root) {
         edges_remaining = er;
         edges_scanned = es;
       });
-  std::uint64_t round = ckpt_begin("bfs", ckpt_state);
+  KernelRun run(*this, "bfs", &ckpt_state);
+  run.watch_edges(&edges_scanned);
+  std::uint64_t round = run.resumed();
 
   while (awake > 0) {
-    iter_checkpoint(round);  // frontier swap boundary (snapshot point)
+    run.iteration(round, awake);  // frontier swap boundary (snapshot point)
     if (!bottom_up) {
       const std::int64_t scout = frontier_out_degree();
       if (static_cast<double>(scout) >
@@ -202,7 +205,7 @@ BfsResult GapSystem::do_bfs(vid_t root) {
     }
     ++round;
   }
-  ckpt_end();
+  run.finish();
 
   for (vid_t v = 0; v < n; ++v) {
     r.parent[v] = parent[v].load(std::memory_order_relaxed);
@@ -294,11 +297,14 @@ SsspResult GapSystem::do_sssp(vid_t root) {
         }
         buckets = std::move(bk);
       });
-  const std::uint64_t start_epoch = ckpt_begin("sssp", ckpt_state);
+  KernelRun run(*this, "sssp", &ckpt_state);
+  run.watch_edges(&relaxations);
+  const std::uint64_t start_epoch = run.resumed();
 
   for (std::size_t i = static_cast<std::size_t>(start_epoch);
        i < buckets.size(); ++i) {
-    iter_checkpoint(i);  // delta-stepping epoch boundary (snapshot point)
+    // Delta-stepping epoch boundary (snapshot point).
+    run.iteration(i, buckets[i].size());
     std::vector<vid_t> deleted;
     std::vector<std::vector<vid_t>> thread_deleted(nt);
     while (!buckets[i].empty()) {
@@ -376,7 +382,7 @@ SsspResult GapSystem::do_sssp(vid_t root) {
     relaxations += relaxed;
     merge_bins(i + 1);
   }
-  ckpt_end();
+  run.finish();
 
   r.dist.resize(n);
   for (vid_t v = 0; v < n; ++v) {
@@ -459,24 +465,18 @@ PageRankResult GapSystem::do_pagerank(const PageRankParams& params) {
   // the two counters the result reports. contrib/next/bins are rebuilt
   // every iteration, so restoring ranks alone reproduces the remaining
   // iterations bit-identically (the kernel is a pure function of rank).
-  FnCheckpointable ckpt_state(
-      [&](StateWriter& w) {
-        w.put_array(&rank[0], static_cast<std::size_t>(n));
-        w.put_u64(static_cast<std::uint64_t>(r.iterations));
-        w.put_u64(edge_work);
-      },
-      [&](StateReader& rd) {
-        const auto saved = rd.get_vec<double>();
-        EPGS_CHECK(saved.size() == static_cast<std::size_t>(n),
-                   "PageRank snapshot vertex count mismatch");
-        std::copy(saved.begin(), saved.end(), rank.begin());
-        r.iterations = static_cast<int>(rd.get_u64());
-        edge_work = rd.get_u64();
-      });
-  const auto start_it = static_cast<int>(ckpt_begin("pagerank", ckpt_state));
+  // Accessor form because rank/next swap buffers every iteration — a
+  // pointer captured here would go stale after the first swap.
+  FnCheckpointable ckpt_state = ckpt_scalar_field<double, int>(
+      static_cast<std::size_t>(n), [&](std::size_t v) { return rank[v]; },
+      [&](std::size_t v, double x) { rank[v] = x; }, &r.iterations,
+      &edge_work, "PageRank");
+  KernelRun run(*this, "pagerank", &ckpt_state);
+  run.watch_edges(&edge_work);
+  const auto start_it = static_cast<int>(run.resumed());
 
   for (int it = start_it; it < params.max_iterations; ++it) {
-    iter_checkpoint(static_cast<std::uint64_t>(it));  // snapshot point
+    run.iteration(static_cast<std::uint64_t>(it), n);  // snapshot point
 #pragma omp parallel for schedule(static)
     for (std::int64_t v = 0; v < static_cast<std::int64_t>(n); ++v) {
       const eid_t d = out_.degree(static_cast<vid_t>(v));
@@ -563,9 +563,10 @@ PageRankResult GapSystem::do_pagerank(const PageRankParams& params) {
     rank.swap(next);
     ++r.iterations;
     edge_work += in_.num_edges();
+    run.residual(l1);
     if (l1 < params.epsilon) break;
   }
-  ckpt_end();
+  run.finish();
 
   r.rank.assign(rank.begin(), rank.end());
   work_.edges_processed = edge_work;
@@ -585,24 +586,17 @@ PageRankResult GapSystem::pagerank_legacy(const PageRankParams& params) {
   std::vector<double> next(n);
   std::uint64_t edge_work = 0;
 
-  FnCheckpointable ckpt_state(
-      [&](StateWriter& w) {
-        w.put_vec(r.rank);
-        w.put_u64(static_cast<std::uint64_t>(r.iterations));
-        w.put_u64(edge_work);
-      },
-      [&](StateReader& rd) {
-        auto saved = rd.get_vec<double>();
-        EPGS_CHECK(saved.size() == static_cast<std::size_t>(n),
-                   "PageRank snapshot vertex count mismatch");
-        r.rank = std::move(saved);
-        r.iterations = static_cast<int>(rd.get_u64());
-        edge_work = rd.get_u64();
-      });
-  const auto start_it = static_cast<int>(ckpt_begin("pagerank", ckpt_state));
+  // Accessor form: r.rank swaps with the scratch buffer each iteration.
+  FnCheckpointable ckpt_state = ckpt_scalar_field<double, int>(
+      static_cast<std::size_t>(n), [&](std::size_t v) { return r.rank[v]; },
+      [&](std::size_t v, double x) { r.rank[v] = x; }, &r.iterations,
+      &edge_work, "PageRank");
+  KernelRun run(*this, "pagerank", &ckpt_state);
+  run.watch_edges(&edge_work);
+  const auto start_it = static_cast<int>(run.resumed());
 
   for (int it = start_it; it < params.max_iterations; ++it) {
-    iter_checkpoint(static_cast<std::uint64_t>(it));  // snapshot point
+    run.iteration(static_cast<std::uint64_t>(it), n);  // snapshot point
     double dangling = 0.0;
 #pragma omp parallel for reduction(+ : dangling) schedule(static)
     for (std::int64_t v = 0; v < static_cast<std::int64_t>(n); ++v) {
@@ -624,9 +618,10 @@ PageRankResult GapSystem::pagerank_legacy(const PageRankParams& params) {
     r.rank.swap(next);
     ++r.iterations;
     edge_work += in_.num_edges();
+    run.residual(l1);
     if (l1 < params.epsilon) break;
   }
-  ckpt_end();
+  run.finish();
   work_.edges_processed = edge_work;
   work_.vertex_updates = static_cast<std::uint64_t>(n) * r.iterations;
   work_.bytes_touched = edge_work * (sizeof(vid_t) + sizeof(double));
@@ -649,9 +644,18 @@ WccResult GapSystem::do_wcc() {
   }
   std::uint64_t edge_work = 0;
 
+  // Snapshot state: the component array is the whole fixpoint state —
+  // restoring it reproduces the remaining hook-and-shortcut rounds.
+  std::uint64_t round = 0;
+  FnCheckpointable ckpt_state = ckpt_scalar_vector<vid_t, std::uint64_t>(
+      &comp[0], static_cast<std::size_t>(n), &round, &edge_work, "WCC");
+  KernelRun run(*this, "wcc", &ckpt_state);
+  run.watch_edges(&edge_work);
+  round = run.resumed();
+
   bool changed = true;
   while (changed) {
-    checkpoint();  // hook-and-shortcut round boundary
+    run.iteration(round, n);  // hook-and-shortcut round boundary
     changed = false;
 #pragma omp parallel for schedule(dynamic, 1024) reduction(|| : changed)
     for (std::int64_t u = 0; u < static_cast<std::int64_t>(n); ++u) {
@@ -672,7 +676,9 @@ WccResult GapSystem::do_wcc() {
     for (std::int64_t v = 0; v < static_cast<std::int64_t>(n); ++v) {
       while (comp[v] != comp[comp[v]]) comp[v] = comp[comp[v]];
     }
+    ++round;
   }
+  run.finish();
   r.component.assign(comp.begin(), comp.end());
   work_.edges_processed = edge_work;
   work_.vertex_updates = n;
@@ -752,11 +758,41 @@ BcResult GapSystem::do_bc(vid_t source) {
   levels.push_back({source});
   std::uint64_t scanned = 0;
 
+  // Snapshot state for the forward phase: path counts, per-vertex depth,
+  // the level sets discovered so far, and the scan counter. The backward
+  // sweep is derived wholly from these.
+  FnCheckpointable ckpt_state(
+      [&](StateWriter& w) {
+        w.put_vec(sigma);
+        w.put_vec(level);
+        w.put_u64(levels.size());
+        for (const auto& l : levels) w.put_vec(l);
+        w.put_u64(scanned);
+      },
+      [&](StateReader& rd) {
+        auto sg = rd.get_vec<double>();
+        EPGS_CHECK(sg.size() == static_cast<std::size_t>(n),
+                   "BC snapshot vertex count mismatch");
+        auto lv = rd.get_vec<vid_t>();
+        EPGS_CHECK(lv.size() == static_cast<std::size_t>(n),
+                   "BC snapshot vertex count mismatch");
+        const auto nl = rd.get_u64();
+        std::vector<std::vector<vid_t>> ls(nl);
+        for (auto& l : ls) l = rd.get_vec<vid_t>();
+        scanned = rd.get_u64();
+        sigma = std::move(sg);
+        level = std::move(lv);
+        levels = std::move(ls);
+      });
+  KernelRun run(*this, "bc", &ckpt_state);
+  run.watch_edges(&scanned);
+  std::uint64_t round = run.resumed();
+
   // Forward: discover next level, then accumulate sigma level-
   // synchronously (sigma writes race-free because each v at depth d is
   // summed from all depth d-1 in-neighbors in its own iteration).
   while (!levels.back().empty()) {
-    checkpoint();  // BC forward-level boundary
+    run.iteration(round, levels.back().size());  // forward-level boundary
     const auto& frontier = levels.back();
     const vid_t depth = static_cast<vid_t>(levels.size());
     std::vector<vid_t> next;
@@ -781,7 +817,9 @@ BcResult GapSystem::do_bc(vid_t source) {
     }
     if (next.empty()) break;
     levels.push_back(std::move(next));
+    ++round;
   }
+  run.finish();
 
   // Backward: process levels deepest-first; vertices within a level are
   // independent (dependencies only flow from deeper levels).

@@ -7,6 +7,7 @@
 #include "core/numa_alloc.hpp"
 #include "core/parallel.hpp"
 #include "core/prefetch.hpp"
+#include "systems/common/kernel_run.hpp"
 
 namespace epgs::systems {
 
@@ -74,10 +75,13 @@ BfsResult Graph500System::do_bfs(vid_t root) {
         for (const vid_t v : frontier) queue.push_back(v);
         queue.slide_window();
       });
-  std::uint64_t level = ckpt_begin("bfs", ckpt_state);
+  KernelRun run(*this, "bfs", &ckpt_state);
+  run.watch_edges(&edges_scanned);
+  std::uint64_t level = run.resumed();
 
   while (!queue.empty()) {
-    iter_checkpoint(level);  // K2 frontier-level boundary (snapshot point)
+    // K2 frontier-level boundary (snapshot point).
+    run.iteration(level, queue.size());
 #pragma omp parallel
     {
       LocalBuffer<vid_t> next(queue);
@@ -112,7 +116,7 @@ BfsResult Graph500System::do_bfs(vid_t root) {
     queue.slide_window();
     ++level;
   }
-  ckpt_end();
+  run.finish();
 
   for (vid_t v = 0; v < n; ++v) {
     r.parent[v] = parent[v].load(std::memory_order_relaxed);

@@ -6,6 +6,7 @@
 #include <numeric>
 
 #include "core/parallel.hpp"
+#include "systems/common/kernel_run.hpp"
 
 namespace epgs::systems {
 
@@ -89,10 +90,47 @@ BfsResult GraphBigSystem::do_bfs(vid_t root) {
   BfsVisitor visitor;
   std::vector<vid_t> frontier{root};
   std::uint64_t examined = 0;
+
+  // Snapshot state: the per-object status/parent properties, the live
+  // frontier, and the edge counter.
+  FnCheckpointable ckpt_state(
+      [&](StateWriter& w) {
+        std::vector<std::uint32_t> status(n);
+        std::vector<vid_t> par(n);
+        for (vid_t v = 0; v < n; ++v) {
+          const auto& obj = g_.vertex(v);
+          status[v] = obj.status;
+          par[v] = obj.parent;
+        }
+        w.put_vec(status);
+        w.put_vec(par);
+        w.put_vec(frontier);
+        w.put_u64(examined);
+      },
+      [&](StateReader& rd) {
+        const auto status = rd.get_vec<std::uint32_t>();
+        EPGS_CHECK(status.size() == static_cast<std::size_t>(n),
+                   "BFS snapshot vertex count mismatch");
+        const auto par = rd.get_vec<vid_t>();
+        frontier = rd.get_vec<vid_t>();
+        examined = rd.get_u64();
+        for (vid_t v = 0; v < n; ++v) {
+          auto& obj = g_.vertex(v);
+          obj.status = status[v];
+          obj.parent = par[v];
+        }
+      });
+  KernelRun run(*this, "bfs", &ckpt_state);
+  run.watch_edges(&examined);
+  std::uint64_t round = run.resumed();
+
   while (!frontier.empty()) {
-    checkpoint();  // BFS expansion round boundary
+    // BFS expansion round boundary (snapshot point).
+    run.iteration(round, frontier.size());
     frontier = g_.expand(frontier, visitor, examined);
+    ++round;
   }
+  run.finish();
 
   BfsResult r;
   r.root = root;
@@ -116,12 +154,50 @@ SsspResult GraphBigSystem::do_sssp(vid_t root) {
 
   std::vector<vid_t> frontier{root};
   std::uint64_t examined = 0;
+
+  // Snapshot state: distances plus the status round-tags (the visitor
+  // uses them to deduplicate frontier insertions, so they must survive
+  // a resume), the live frontier, the round counter, and edge work.
   std::uint32_t round = 0;
+  FnCheckpointable ckpt_state(
+      [&](StateWriter& w) {
+        std::vector<float> dist(n);
+        std::vector<std::uint32_t> status(n);
+        for (vid_t v = 0; v < n; ++v) {
+          const auto& obj = g_.vertex(v);
+          dist[v] = obj.fprop;
+          status[v] = obj.status;
+        }
+        w.put_vec(dist);
+        w.put_vec(status);
+        w.put_vec(frontier);
+        w.put_u64(round);
+        w.put_u64(examined);
+      },
+      [&](StateReader& rd) {
+        const auto dist = rd.get_vec<float>();
+        EPGS_CHECK(dist.size() == static_cast<std::size_t>(n),
+                   "SSSP snapshot vertex count mismatch");
+        const auto status = rd.get_vec<std::uint32_t>();
+        frontier = rd.get_vec<vid_t>();
+        round = static_cast<std::uint32_t>(rd.get_u64());
+        examined = rd.get_u64();
+        for (vid_t v = 0; v < n; ++v) {
+          auto& obj = g_.vertex(v);
+          obj.fprop = dist[v];
+          obj.status = status[v];
+        }
+      });
+  KernelRun run(*this, "sssp", &ckpt_state);
+  run.watch_edges(&examined);
+
   while (!frontier.empty()) {
-    checkpoint();  // SSSP expansion round boundary
+    // SSSP expansion round boundary (snapshot point).
+    run.iteration(round, frontier.size());
     SsspVisitor visitor(++round);
     frontier = g_.expand(frontier, visitor, examined);
   }
+  run.finish();
 
   SsspResult r;
   r.root = root;
@@ -193,30 +269,20 @@ PageRankResult GraphBigSystem::do_pagerank(const PageRankParams& params) {
   // Snapshot state: the vprop[0] ranks plus the result/work counters.
   // At the iteration boundary vprop[1] (accumulator) is zero and
   // vprop[2] (contribution cache) is recomputed, so neither is saved.
-  FnCheckpointable ckpt_state(
-      [&](StateWriter& w) {
-        std::vector<double> rank(n);
-        for (vid_t v = 0; v < n; ++v) rank[v] = g_.vertex(v).vprop[0];
-        w.put_vec(rank);
-        w.put_u64(static_cast<std::uint64_t>(r.iterations));
-        w.put_u64(edge_work);
+  FnCheckpointable ckpt_state = ckpt_scalar_field<double, int>(
+      n, [&](std::size_t v) { return g_.vertex(static_cast<vid_t>(v)).vprop[0]; },
+      [&](std::size_t v, double x) {
+        auto& obj = g_.vertex(static_cast<vid_t>(v));
+        obj.vprop[0] = x;
+        obj.vprop[1] = 0.0;
       },
-      [&](StateReader& rd) {
-        const auto rank = rd.get_vec<double>();
-        EPGS_CHECK(rank.size() == static_cast<std::size_t>(n),
-                   "PageRank snapshot vertex count mismatch");
-        r.iterations = static_cast<int>(rd.get_u64());
-        edge_work = rd.get_u64();
-        for (vid_t v = 0; v < n; ++v) {
-          auto& obj = g_.vertex(v);
-          obj.vprop[0] = rank[v];
-          obj.vprop[1] = 0.0;
-        }
-      });
-  const int start_it = static_cast<int>(ckpt_begin("pagerank", ckpt_state));
+      &r.iterations, &edge_work, "PageRank");
+  KernelRun run(*this, "pagerank", &ckpt_state);
+  run.watch_edges(&edge_work);
+  const int start_it = static_cast<int>(run.resumed());
 
   for (int it = start_it; it < params.max_iterations; ++it) {
-    iter_checkpoint(static_cast<std::uint64_t>(it));  // iteration boundary
+    run.iteration(static_cast<std::uint64_t>(it), n);  // iteration boundary
 #pragma omp parallel for schedule(static)
     for (std::int64_t v = 0; v < static_cast<std::int64_t>(n); ++v) {
       auto& src = g_.vertex(static_cast<vid_t>(v));
@@ -278,9 +344,10 @@ PageRankResult GraphBigSystem::do_pagerank(const PageRankParams& params) {
       obj.vprop[1] = 0.0;
     }
     ++r.iterations;
+    run.residual(l1);
     if (l1 < params.epsilon) break;
   }
-  ckpt_end();
+  run.finish();
 
   r.rank.resize(n);
   for (vid_t v = 0; v < n; ++v) r.rank[v] = g_.vertex(v).vprop[0];
@@ -306,30 +373,20 @@ PageRankResult GraphBigSystem::pagerank_legacy(
   }
   std::uint64_t edge_work = 0;
 
-  FnCheckpointable ckpt_state(
-      [&](StateWriter& w) {
-        std::vector<double> rank(n);
-        for (vid_t v = 0; v < n; ++v) rank[v] = g_.vertex(v).vprop[0];
-        w.put_vec(rank);
-        w.put_u64(static_cast<std::uint64_t>(r.iterations));
-        w.put_u64(edge_work);
+  FnCheckpointable ckpt_state = ckpt_scalar_field<double, int>(
+      n, [&](std::size_t v) { return g_.vertex(static_cast<vid_t>(v)).vprop[0]; },
+      [&](std::size_t v, double x) {
+        auto& obj = g_.vertex(static_cast<vid_t>(v));
+        obj.vprop[0] = x;
+        obj.vprop[1] = 0.0;
       },
-      [&](StateReader& rd) {
-        const auto rank = rd.get_vec<double>();
-        EPGS_CHECK(rank.size() == static_cast<std::size_t>(n),
-                   "PageRank snapshot vertex count mismatch");
-        r.iterations = static_cast<int>(rd.get_u64());
-        edge_work = rd.get_u64();
-        for (vid_t v = 0; v < n; ++v) {
-          auto& obj = g_.vertex(v);
-          obj.vprop[0] = rank[v];
-          obj.vprop[1] = 0.0;
-        }
-      });
-  const int start_it = static_cast<int>(ckpt_begin("pagerank", ckpt_state));
+      &r.iterations, &edge_work, "PageRank");
+  KernelRun run(*this, "pagerank", &ckpt_state);
+  run.watch_edges(&edge_work);
+  const int start_it = static_cast<int>(run.resumed());
 
   for (int it = start_it; it < params.max_iterations; ++it) {
-    iter_checkpoint(static_cast<std::uint64_t>(it));  // iteration boundary
+    run.iteration(static_cast<std::uint64_t>(it), n);  // iteration boundary
     double dangling = 0.0;
 #pragma omp parallel for reduction(+ : dangling) schedule(static)
     for (std::int64_t v = 0; v < static_cast<std::int64_t>(n); ++v) {
@@ -360,9 +417,10 @@ PageRankResult GraphBigSystem::pagerank_legacy(
       obj.vprop[1] = 0.0;
     }
     ++r.iterations;
+    run.residual(l1);
     if (l1 < params.epsilon) break;
   }
-  ckpt_end();
+  run.finish();
 
   r.rank.resize(n);
   for (vid_t v = 0; v < n; ++v) r.rank[v] = g_.vertex(v).vprop[0];
@@ -384,8 +442,17 @@ CdlpResult GraphBigSystem::do_cdlp(int max_iterations) {
   std::uint64_t edge_work = 0;
   CdlpResult r;
 
-  for (int it = 0; it < max_iterations; ++it) {
-    checkpoint();  // CDLP round boundary
+  // Snapshot state: the per-object labels plus the result/work counters.
+  FnCheckpointable ckpt_state = ckpt_scalar_field<vid_t, int>(
+      n, [&](std::size_t v) { return g_.vertex(static_cast<vid_t>(v)).label; },
+      [&](std::size_t v, vid_t x) { g_.vertex(static_cast<vid_t>(v)).label = x; },
+      &r.iterations, &edge_work, "CDLP");
+  KernelRun run(*this, "cdlp", &ckpt_state);
+  run.watch_edges(&edge_work);
+  const int start_it = static_cast<int>(run.resumed());
+
+  for (int it = start_it; it < max_iterations; ++it) {
+    run.iteration(static_cast<std::uint64_t>(it), n);  // round boundary
     bool changed = false;
 #pragma omp parallel for schedule(dynamic, 256) reduction(|| : changed)
     for (std::int64_t vi = 0; vi < static_cast<std::int64_t>(n); ++vi) {
@@ -423,6 +490,7 @@ CdlpResult GraphBigSystem::do_cdlp(int max_iterations) {
     ++r.iterations;
     if (!changed) break;
   }
+  run.finish();
 
   r.label.resize(n);
   for (vid_t v = 0; v < n; ++v) r.label[v] = g_.vertex(v).label;
@@ -491,9 +559,21 @@ WccResult GraphBigSystem::do_wcc() {
   std::vector<vid_t> next(n);
   std::uint64_t edge_work = 0;
 
+  // Snapshot state: the per-object labels plus a round counter and the
+  // work tally.
+  std::uint64_t round = 0;
+  FnCheckpointable ckpt_state = ckpt_scalar_field<vid_t, std::uint64_t>(
+      n, [&](std::size_t v) { return g_.vertex(static_cast<vid_t>(v)).label; },
+      [&](std::size_t v, vid_t x) { g_.vertex(static_cast<vid_t>(v)).label = x; },
+      &round, &edge_work, "WCC");
+  KernelRun run(*this, "wcc", &ckpt_state);
+  run.watch_edges(&edge_work);
+  round = run.resumed();
+
   bool changed = true;
   while (changed) {
-    checkpoint();  // WCC round boundary
+    run.iteration(round, n);  // WCC round boundary
+    ++round;
     changed = false;
 #pragma omp parallel for schedule(dynamic, 256) reduction(|| : changed)
     for (std::int64_t vi = 0; vi < static_cast<std::int64_t>(n); ++vi) {
@@ -512,6 +592,7 @@ WccResult GraphBigSystem::do_wcc() {
     for (vid_t v = 0; v < n; ++v) g_.vertex(v).label = next[v];
     edge_work += g_.num_edges() * 2;
   }
+  run.finish();
 
   WccResult r;
   r.component.resize(n);
@@ -592,8 +673,47 @@ BcResult GraphBigSystem::do_bc(vid_t source) {
 
   std::vector<std::vector<vid_t>> levels{{source}};
   std::uint64_t scanned = 0;
+
+  // Snapshot state: sigma (vprop[0]) and level (label) per object, the
+  // per-level vertex lists, and the scan counter. Dependencies are only
+  // written by the backward sweep, which runs after the scope closes.
+  FnCheckpointable ckpt_state(
+      [&](StateWriter& w) {
+        std::vector<double> sigma(n);
+        std::vector<vid_t> level(n);
+        for (vid_t v = 0; v < n; ++v) {
+          const auto& obj = g_.vertex(v);
+          sigma[v] = obj.vprop[0];
+          level[v] = obj.label;
+        }
+        w.put_vec(sigma);
+        w.put_vec(level);
+        w.put_u64(levels.size());
+        for (const auto& l : levels) w.put_vec(l);
+        w.put_u64(scanned);
+      },
+      [&](StateReader& rd) {
+        const auto sigma = rd.get_vec<double>();
+        EPGS_CHECK(sigma.size() == static_cast<std::size_t>(n),
+                   "BC snapshot vertex count mismatch");
+        const auto level = rd.get_vec<vid_t>();
+        levels.resize(rd.get_u64());
+        for (auto& l : levels) l = rd.get_vec<vid_t>();
+        scanned = rd.get_u64();
+        for (vid_t v = 0; v < n; ++v) {
+          auto& obj = g_.vertex(v);
+          obj.vprop[0] = sigma[v];
+          obj.label = level[v];
+        }
+      });
+  KernelRun run(*this, "bc", &ckpt_state);
+  run.watch_edges(&scanned);
+  std::uint64_t round = run.resumed();
+
   while (!levels.back().empty()) {
-    checkpoint();  // BC forward-level boundary
+    // BC forward-level boundary (snapshot point).
+    run.iteration(round, levels.back().size());
+    ++round;
     const auto depth = static_cast<vid_t>(levels.size());
     std::vector<vid_t> next;
     for (const vid_t u : levels.back()) {
@@ -610,6 +730,7 @@ BcResult GraphBigSystem::do_bc(vid_t source) {
     if (next.empty()) break;
     levels.push_back(std::move(next));
   }
+  run.finish();
 
   for (auto lit = levels.rbegin(); lit != levels.rend(); ++lit) {
     for (const vid_t v : *lit) {

@@ -22,6 +22,13 @@
 
 namespace epgs::systems::graphmat_detail {
 
+/// Engine counters. Passed in/out so an adapter that restored them from
+/// a snapshot resumes the epoch loop where the snapshot left off.
+struct EngineResult {
+  int iterations = 0;
+  std::uint64_t edges_scanned = 0;
+};
+
 /// A Program must define:
 ///   using State = ...; using Msg = ...; using Acc = ...;
 ///   Acc  identity() const;
@@ -29,33 +36,30 @@ namespace epgs::systems::graphmat_detail {
 ///   void process_message(const Msg&, weight_t w, Acc&) const;   // reduce
 ///   bool apply(const Acc&, State&) const;  // true -> activate vertex
 template <typename Program>
-struct EngineResult {
-  int iterations = 0;
-  std::uint64_t edges_scanned = 0;
-};
-
-template <typename Program>
-EngineResult<Program> run_graph_program(
+void run_graph_program(
     const Program& prog, const DCSR& a_transpose,
     std::vector<typename Program::State>& states, Bitmap& active,
-    int max_iterations, const CancellationToken* cancel = nullptr,
-    const std::function<void(int)>* epoch_hook = nullptr) {
+    int max_iterations, EngineResult& result,
+    const CancellationToken* cancel = nullptr,
+    const std::function<void(int, std::uint64_t)>* epoch_hook = nullptr) {
   using Msg = typename Program::Msg;
   const vid_t n = a_transpose.num_vertices();
-  EngineResult<Program> result;
 
   std::vector<Msg> x(n);
   Bitmap next_active(n);
 
-  for (int it = 0; it < max_iterations; ++it) {
+  for (int it = result.iterations; it < max_iterations; ++it) {
+    // Convergence is tested first so the hook fires exactly once per
+    // executed epoch (its tick count must match result.iterations).
+    const auto active_count = static_cast<std::uint64_t>(active.count());
+    if (active_count == 0) break;
     // SpMV epoch boundary: the adapter's hook (checkpoint ticking +
-    // cancellation) subsumes the bare token poll.
+    // telemetry) subsumes the bare token poll.
     if (epoch_hook != nullptr) {
-      (*epoch_hook)(it);
+      (*epoch_hook)(it, active_count);
     } else if (cancel != nullptr) {
       cancel->checkpoint();
     }
-    if (active.count() == 0) break;
 
     // Phase 1: materialise messages from active vertices (dense x).
 #pragma omp parallel for schedule(static)
@@ -103,7 +107,6 @@ EngineResult<Program> run_graph_program(
     ++result.iterations;
     active.swap(next_active);
   }
-  return result;
 }
 
 }  // namespace epgs::systems::graphmat_detail

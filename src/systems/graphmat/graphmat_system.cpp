@@ -8,6 +8,7 @@
 #include "core/numa_alloc.hpp"
 #include "core/prefetch.hpp"
 #include "core/timer.hpp"
+#include "systems/common/kernel_run.hpp"
 #include "systems/graphmat/engine.hpp"
 
 namespace epgs::systems {
@@ -93,15 +94,50 @@ BfsResult GraphMatSystem::do_bfs(vid_t root) {
   states[root] = {0, root};
   Bitmap active(n);
   active.set(root);
+  graphmat_detail::EngineResult stats;
 
-  // SpMV rounds tick the checkpoint session (no state registered for the
-  // engine-run kernels, so this is cancellation + fault-injection only).
-  const std::function<void(int)> epoch_hook = [this](int it) {
-    iter_checkpoint(static_cast<std::uint64_t>(it));
-  };
-  const auto stats = run_graph_program(BfsProgram{}, in_, states, active,
-                                       static_cast<int>(n) + 1,
-                                       cancellation(), &epoch_hook);
+  // Snapshot state: the per-vertex program state, the active set (as a
+  // vertex list), and the engine counters the epoch loop resumes from.
+  FnCheckpointable ckpt_state(
+      [&](StateWriter& w) {
+        std::vector<vid_t> depth(n), parent(n), act;
+        for (vid_t v = 0; v < n; ++v) {
+          depth[v] = states[v].depth;
+          parent[v] = states[v].parent;
+          if (active.test(v)) act.push_back(v);
+        }
+        w.put_vec(depth);
+        w.put_vec(parent);
+        w.put_vec(act);
+        w.put_u64(static_cast<std::uint64_t>(stats.iterations));
+        w.put_u64(stats.edges_scanned);
+      },
+      [&](StateReader& rd) {
+        const auto depth = rd.get_vec<vid_t>();
+        EPGS_CHECK(depth.size() == static_cast<std::size_t>(n),
+                   "BFS snapshot vertex count mismatch");
+        const auto parent = rd.get_vec<vid_t>();
+        const auto act = rd.get_vec<vid_t>();
+        stats.iterations = static_cast<int>(rd.get_u64());
+        stats.edges_scanned = rd.get_u64();
+        for (vid_t v = 0; v < n; ++v) states[v] = {depth[v], parent[v]};
+        active.reset();
+        for (const vid_t v : act) active.set(v);
+      });
+  KernelRun run(*this, "bfs", &ckpt_state);
+  run.watch_edges(&stats.edges_scanned);
+
+  // Each SpMV epoch ticks the scope: checkpoint boundary + one
+  // telemetry row carrying the active count.
+  const std::function<void(int, std::uint64_t)> epoch_hook =
+      [&run](int it, std::uint64_t active_count) {
+        run.iteration(static_cast<std::uint64_t>(it), active_count);
+      };
+  run_graph_program(BfsProgram{}, in_, states, active,
+                    static_cast<int>(n) + 1, stats, cancellation(),
+                    &epoch_hook);
+  run.finish();
+
   BfsResult r;
   r.root = root;
   r.parent.resize(n);
@@ -120,13 +156,45 @@ SsspResult GraphMatSystem::do_sssp(vid_t root) {
   states[root].dist = 0.0f;
   Bitmap active(n);
   active.set(root);
+  graphmat_detail::EngineResult stats;
 
-  const std::function<void(int)> epoch_hook = [this](int it) {
-    iter_checkpoint(static_cast<std::uint64_t>(it));
-  };
-  const auto stats = run_graph_program(SsspProgram{}, in_, states, active,
-                                       static_cast<int>(n) + 1,
-                                       cancellation(), &epoch_hook);
+  // Snapshot state: distances, the active set, and the engine counters.
+  FnCheckpointable ckpt_state(
+      [&](StateWriter& w) {
+        std::vector<weight_t> dist(n);
+        std::vector<vid_t> act;
+        for (vid_t v = 0; v < n; ++v) {
+          dist[v] = states[v].dist;
+          if (active.test(v)) act.push_back(v);
+        }
+        w.put_vec(dist);
+        w.put_vec(act);
+        w.put_u64(static_cast<std::uint64_t>(stats.iterations));
+        w.put_u64(stats.edges_scanned);
+      },
+      [&](StateReader& rd) {
+        const auto dist = rd.get_vec<weight_t>();
+        EPGS_CHECK(dist.size() == static_cast<std::size_t>(n),
+                   "SSSP snapshot vertex count mismatch");
+        const auto act = rd.get_vec<vid_t>();
+        stats.iterations = static_cast<int>(rd.get_u64());
+        stats.edges_scanned = rd.get_u64();
+        for (vid_t v = 0; v < n; ++v) states[v].dist = dist[v];
+        active.reset();
+        for (const vid_t v : act) active.set(v);
+      });
+  KernelRun run(*this, "sssp", &ckpt_state);
+  run.watch_edges(&stats.edges_scanned);
+
+  const std::function<void(int, std::uint64_t)> epoch_hook =
+      [&run](int it, std::uint64_t active_count) {
+        run.iteration(static_cast<std::uint64_t>(it), active_count);
+      };
+  run_graph_program(SsspProgram{}, in_, states, active,
+                    static_cast<int>(n) + 1, stats, cancellation(),
+                    &epoch_hook);
+  run.finish();
+
   SsspResult r;
   r.root = root;
   r.dist.resize(n);
@@ -188,24 +256,18 @@ PageRankResult GraphMatSystem::do_pagerank(const PageRankParams& params) {
 
   // Snapshot state: the single-precision rank vector plus the
   // result/work counters. contrib/next/bins are per-iteration scratch.
-  FnCheckpointable ckpt_state(
-      [&](StateWriter& w) {
-        w.put_array(&rank[0], n);
-        w.put_u64(static_cast<std::uint64_t>(r.iterations));
-        w.put_u64(edge_work);
-      },
-      [&](StateReader& rd) {
-        const auto saved = rd.get_vec<float>();
-        EPGS_CHECK(saved.size() == static_cast<std::size_t>(n),
-                   "PageRank snapshot vertex count mismatch");
-        r.iterations = static_cast<int>(rd.get_u64());
-        edge_work = rd.get_u64();
-        std::copy(saved.begin(), saved.end(), &rank[0]);
-      });
-  const int start_it = static_cast<int>(ckpt_begin("pagerank", ckpt_state));
+  // Accessor form because rank/next swap buffers every iteration — a
+  // pointer captured here would go stale after the first swap.
+  FnCheckpointable ckpt_state = ckpt_scalar_field<float, int>(
+      n, [&](std::size_t v) { return rank[v]; },
+      [&](std::size_t v, float x) { rank[v] = x; },
+      &r.iterations, &edge_work, "PageRank");
+  KernelRun run(*this, "pagerank", &ckpt_state);
+  run.watch_edges(&edge_work);
+  const int start_it = static_cast<int>(run.resumed());
 
   for (int it = start_it; it < params.max_iterations; ++it) {
-    iter_checkpoint(static_cast<std::uint64_t>(it));  // SpMV boundary
+    run.iteration(static_cast<std::uint64_t>(it), n);  // SpMV boundary
     double dangling = 0.0;
 #pragma omp parallel for reduction(+ : dangling) schedule(static)
     for (std::int64_t v = 0; v < static_cast<std::int64_t>(n); ++v) {
@@ -290,7 +352,7 @@ PageRankResult GraphMatSystem::do_pagerank(const PageRankParams& params) {
     ++r.iterations;
     if (!changed) break;
   }
-  ckpt_end();
+  run.finish();
 
   WallTimer output_timer;
   r.rank.assign(rank.begin(), rank.end());
@@ -313,8 +375,18 @@ CdlpResult GraphMatSystem::do_cdlp(int max_iterations) {
   std::vector<vid_t> next(n);
   std::uint64_t edge_work = 0;
 
-  for (int it = 0; it < max_iterations; ++it) {
-    checkpoint();  // CDLP round boundary
+  // Snapshot state: labels (accessor form — r.label swaps with the
+  // scratch buffer each round) plus the result/work counters.
+  FnCheckpointable ckpt_state = ckpt_scalar_field<vid_t, int>(
+      n, [&](std::size_t v) { return r.label[v]; },
+      [&](std::size_t v, vid_t x) { r.label[v] = x; }, &r.iterations,
+      &edge_work, "CDLP");
+  KernelRun run(*this, "cdlp", &ckpt_state);
+  run.watch_edges(&edge_work);
+  const int start_it = static_cast<int>(run.resumed());
+
+  for (int it = start_it; it < max_iterations; ++it) {
+    run.iteration(static_cast<std::uint64_t>(it), n);  // round boundary
     bool changed = false;
 #pragma omp parallel for schedule(dynamic, 256) reduction(|| : changed)
     for (std::int64_t vi = 0; vi < static_cast<std::int64_t>(n); ++vi) {
@@ -352,6 +424,7 @@ CdlpResult GraphMatSystem::do_cdlp(int max_iterations) {
     ++r.iterations;
     if (!changed) break;
   }
+  run.finish();
   work_.edges_processed = edge_work;
   work_.vertex_updates = static_cast<std::uint64_t>(n) * r.iterations;
   work_.bytes_touched = edge_work * sizeof(vid_t) * 2;
@@ -421,9 +494,21 @@ WccResult GraphMatSystem::do_wcc() {
   std::vector<vid_t> next(n);
   std::uint64_t edge_work = 0;
 
+  // Snapshot state: component labels (accessor form — r.component swaps
+  // with the scratch buffer each round), a round counter, and the tally.
+  std::uint64_t round = 0;
+  FnCheckpointable ckpt_state = ckpt_scalar_field<vid_t, std::uint64_t>(
+      n, [&](std::size_t v) { return r.component[v]; },
+      [&](std::size_t v, vid_t x) { r.component[v] = x; }, &round,
+      &edge_work, "WCC");
+  KernelRun run(*this, "wcc", &ckpt_state);
+  run.watch_edges(&edge_work);
+  round = run.resumed();
+
   bool changed = true;
   while (changed) {
-    checkpoint();  // WCC fixpoint round boundary
+    run.iteration(round, n);  // WCC fixpoint round boundary
+    ++round;
     changed = false;
     std::copy(r.component.begin(), r.component.end(), next.begin());
     // Gather minimum over in-neighbors (rows of A^T).
@@ -457,6 +542,7 @@ WccResult GraphMatSystem::do_wcc() {
     r.component.swap(next);
     edge_work += out_.num_nonzeros() + in_.num_nonzeros();
   }
+  run.finish();
   work_.edges_processed = edge_work;
   work_.vertex_updates = n;
   work_.bytes_touched = edge_work * sizeof(vid_t);
@@ -540,11 +626,34 @@ BcResult GraphMatSystem::do_bc(vid_t source) {
   vid_t depth = 0;
   bool any_new = true;
 
+  // Snapshot state: sigma, levels, the sweep depth, and the scan
+  // counter. Dependencies are written only by the backward phase, which
+  // runs after the scope closes.
+  FnCheckpointable ckpt_state(
+      [&](StateWriter& w) {
+        w.put_vec(sigma);
+        w.put_vec(level);
+        w.put_u64(depth);
+        w.put_u64(scanned);
+      },
+      [&](StateReader& rd) {
+        const auto s = rd.get_vec<double>();
+        EPGS_CHECK(s.size() == static_cast<std::size_t>(n),
+                   "BC snapshot vertex count mismatch");
+        level = rd.get_vec<vid_t>();
+        depth = static_cast<vid_t>(rd.get_u64());
+        scanned = rd.get_u64();
+        std::copy(s.begin(), s.end(), sigma.begin());
+      });
+  KernelRun run(*this, "bc", &ckpt_state);
+  run.watch_edges(&scanned);
+
   // Forward: each pass scans every compressed row of A^T (dense SpMV),
   // assigning levels and accumulating sigma for rows discovered at the
   // current depth.
   while (any_new) {
-    checkpoint();  // BC forward-sweep boundary
+    // BC forward-sweep boundary (snapshot point).
+    run.iteration(depth, n);
     ++depth;
     any_new = false;
     std::vector<double> add(n, 0.0);
@@ -575,6 +684,7 @@ BcResult GraphMatSystem::do_bc(vid_t source) {
       }
     }
   }
+  run.finish();
 
   // Backward: per level, pull dependencies from successors via A rows.
   for (vid_t d = depth; d-- > 0;) {

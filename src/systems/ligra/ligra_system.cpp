@@ -8,6 +8,7 @@
 #include "core/numa_alloc.hpp"
 #include "core/parallel.hpp"
 #include "core/prefetch.hpp"
+#include "systems/common/kernel_run.hpp"
 #include "systems/ligra/ligra_primitives.hpp"
 
 namespace epgs::systems {
@@ -119,15 +120,18 @@ BfsResult LigraSystem::do_bfs(vid_t root) {
         }
         frontier = VertexSubset::from_sparse(n, std::move(front));
       });
-  std::uint64_t round = ckpt_begin("bfs", ckpt_state);
+  KernelRun run(*this, "bfs", &ckpt_state);
+  run.watch_edges(&examined);
+  std::uint64_t round = run.resumed();
 
   while (!frontier.empty()) {
-    iter_checkpoint(round);  // edgeMap round boundary (snapshot point)
+    // edgeMap round boundary (snapshot point).
+    run.iteration(round, frontier.size());
     frontier = edge_map(out_, in_, frontier, BfsF{parent.data()},
                         examined);
     ++round;
   }
-  ckpt_end();
+  run.finish();
 
   BfsResult r;
   r.root = root;
@@ -151,10 +155,43 @@ SsspResult LigraSystem::do_sssp(vid_t root) {
   std::uint64_t examined = 0;
   VertexSubset frontier = VertexSubset::single(n, root);
   int rounds = 0;
-  while (!frontier.empty() && rounds++ <= static_cast<int>(n)) {
-    checkpoint();  // Bellman-Ford round boundary
+
+  // Snapshot state: tentative distances, the improved-vertex frontier,
+  // and the round/edge counters — a killed Bellman-Ford resumes from its
+  // last completed round instead of restarting.
+  FnCheckpointable ckpt_state(
+      [&](StateWriter& w) {
+        std::vector<weight_t> d(n);
+        for (vid_t v = 0; v < n; ++v) {
+          d[v] = dist[v].load(std::memory_order_relaxed);
+        }
+        w.put_vec(d);
+        w.put_vec(frontier.vertices());
+        w.put_u64(static_cast<std::uint64_t>(rounds));
+        w.put_u64(examined);
+      },
+      [&](StateReader& rd) {
+        const auto d = rd.get_vec<weight_t>();
+        EPGS_CHECK(d.size() == static_cast<std::size_t>(n),
+                   "SSSP snapshot vertex count mismatch");
+        auto front = rd.get_vec<vid_t>();
+        rounds = static_cast<int>(rd.get_u64());
+        examined = rd.get_u64();
+        for (vid_t v = 0; v < n; ++v) {
+          dist[v].store(d[v], std::memory_order_relaxed);
+        }
+        frontier = VertexSubset::from_sparse(n, std::move(front));
+      });
+  KernelRun run(*this, "sssp", &ckpt_state);
+  run.watch_edges(&examined);
+
+  while (!frontier.empty() && rounds <= static_cast<int>(n)) {
+    // Bellman-Ford round boundary (snapshot point).
+    run.iteration(static_cast<std::uint64_t>(rounds), frontier.size());
     frontier = edge_map(out_, in_, frontier, SsspF{dist.data()}, examined);
+    ++rounds;
   }
+  run.finish();
 
   SsspResult r;
   r.root = root;
@@ -200,24 +237,18 @@ PageRankResult LigraSystem::do_pagerank(const PageRankParams& params) {
   // resumed trial reports the same iteration and edge totals as an
   // uninterrupted one. `next` and `contrib` are scratch recomputed every
   // iteration.
-  FnCheckpointable ckpt_state(
-      [&](StateWriter& w) {
-        w.put_array(&rank[0], n);
-        w.put_u64(static_cast<std::uint64_t>(r.iterations));
-        w.put_u64(edge_work);
-      },
-      [&](StateReader& rd) {
-        const auto saved = rd.get_vec<double>();
-        EPGS_CHECK(saved.size() == static_cast<std::size_t>(n),
-                   "PageRank snapshot vertex count mismatch");
-        r.iterations = static_cast<int>(rd.get_u64());
-        edge_work = rd.get_u64();
-        std::copy(saved.begin(), saved.end(), &rank[0]);
-      });
-  const int start_it = static_cast<int>(ckpt_begin("pagerank", ckpt_state));
+  // Accessor form because rank/next swap buffers every iteration — a
+  // pointer captured here would go stale after the first swap.
+  FnCheckpointable ckpt_state = ckpt_scalar_field<double, int>(
+      n, [&](std::size_t v) { return rank[v]; },
+      [&](std::size_t v, double x) { rank[v] = x; }, &r.iterations,
+      &edge_work, "PageRank");
+  KernelRun run(*this, "pagerank", &ckpt_state);
+  run.watch_edges(&edge_work);
+  const int start_it = static_cast<int>(run.resumed());
 
   for (int it = start_it; it < params.max_iterations; ++it) {
-    iter_checkpoint(static_cast<std::uint64_t>(it));  // iteration boundary
+    run.iteration(static_cast<std::uint64_t>(it), n);  // iteration boundary
 #pragma omp parallel for schedule(static)
     for (std::int64_t v = 0; v < static_cast<std::int64_t>(n); ++v) {
       const auto d =
@@ -251,9 +282,10 @@ PageRankResult LigraSystem::do_pagerank(const PageRankParams& params) {
     rank.swap(next);
     ++r.iterations;
     edge_work += in_.num_edges();
+    run.residual(l1);
     if (l1 < params.epsilon) break;
   }
-  ckpt_end();
+  run.finish();
   r.rank.assign(rank.begin(), rank.end());
   work_.edges_processed = edge_work;
   work_.vertex_updates = static_cast<std::uint64_t>(n) * r.iterations;
@@ -271,8 +303,39 @@ WccResult LigraSystem::do_wcc() {
   // Weak connectivity needs both directions; alternate the orientation
   // by swapping the CSR arguments each half-round.
   int guard = 0;
-  while (!frontier.empty() && guard++ <= 2 * static_cast<int>(n)) {
-    checkpoint();  // WCC half-round boundary
+
+  // Snapshot state: component labels, the active frontier, and the
+  // guard/edge counters.
+  FnCheckpointable ckpt_state(
+      [&](StateWriter& w) {
+        std::vector<vid_t> c(n);
+        for (vid_t v = 0; v < n; ++v) {
+          c[v] = comp[v].load(std::memory_order_relaxed);
+        }
+        w.put_vec(c);
+        w.put_vec(frontier.vertices());
+        w.put_u64(static_cast<std::uint64_t>(guard));
+        w.put_u64(examined);
+      },
+      [&](StateReader& rd) {
+        const auto c = rd.get_vec<vid_t>();
+        EPGS_CHECK(c.size() == static_cast<std::size_t>(n),
+                   "WCC snapshot vertex count mismatch");
+        auto front = rd.get_vec<vid_t>();
+        guard = static_cast<int>(rd.get_u64());
+        examined = rd.get_u64();
+        for (vid_t v = 0; v < n; ++v) {
+          comp[v].store(c[v], std::memory_order_relaxed);
+        }
+        frontier = VertexSubset::from_sparse(n, std::move(front));
+      });
+  KernelRun run(*this, "wcc", &ckpt_state);
+  run.watch_edges(&examined);
+
+  while (!frontier.empty() && guard <= 2 * static_cast<int>(n)) {
+    // WCC round boundary (snapshot point).
+    run.iteration(static_cast<std::uint64_t>(guard), frontier.size());
+    ++guard;
     auto fwd = edge_map(out_, in_, frontier, WccF{comp.data()}, examined);
     auto bwd = edge_map(in_, out_, frontier, WccF{comp.data()}, examined);
     std::vector<vid_t> merged;
@@ -285,6 +348,7 @@ WccResult LigraSystem::do_wcc() {
     merged.erase(std::unique(merged.begin(), merged.end()), merged.end());
     frontier = VertexSubset::from_sparse(n, std::move(merged));
   }
+  run.finish();
 
   WccResult r;
   r.component.resize(n);
@@ -340,8 +404,55 @@ BcResult LigraSystem::do_bc(vid_t source) {
   std::uint64_t examined = 0;
   std::vector<std::vector<vid_t>> levels{{source}};
   VertexSubset frontier = VertexSubset::single(n, source);
+
+  // Snapshot state for the forward sweep: visit claims, path counts,
+  // per-vertex depth, the recorded level sets, the live frontier, and
+  // the edge counter. The backward sweep derives from these alone.
+  FnCheckpointable ckpt_state(
+      [&](StateWriter& w) {
+        std::vector<vid_t> vis(n);
+        for (vid_t v = 0; v < n; ++v) {
+          vis[v] = visited[v].load(std::memory_order_relaxed);
+        }
+        w.put_vec(vis);
+        w.put_array(&sigma[0], n);
+        w.put_array(&level[0], n);
+        w.put_u64(levels.size());
+        for (const auto& l : levels) w.put_vec(l);
+        w.put_vec(frontier.vertices());
+        w.put_u64(examined);
+      },
+      [&](StateReader& rd) {
+        const auto vis = rd.get_vec<vid_t>();
+        EPGS_CHECK(vis.size() == static_cast<std::size_t>(n),
+                   "BC snapshot vertex count mismatch");
+        const auto sg = rd.get_vec<double>();
+        EPGS_CHECK(sg.size() == static_cast<std::size_t>(n),
+                   "BC snapshot vertex count mismatch");
+        const auto lv = rd.get_vec<vid_t>();
+        EPGS_CHECK(lv.size() == static_cast<std::size_t>(n),
+                   "BC snapshot vertex count mismatch");
+        const auto nl = rd.get_u64();
+        std::vector<std::vector<vid_t>> ls(nl);
+        for (auto& l : ls) l = rd.get_vec<vid_t>();
+        auto front = rd.get_vec<vid_t>();
+        examined = rd.get_u64();
+        for (vid_t v = 0; v < n; ++v) {
+          visited[v].store(vis[v], std::memory_order_relaxed);
+        }
+        std::copy(sg.begin(), sg.end(), &sigma[0]);
+        std::copy(lv.begin(), lv.end(), &level[0]);
+        levels = std::move(ls);
+        frontier = VertexSubset::from_sparse(n, std::move(front));
+      });
+  KernelRun run(*this, "bc", &ckpt_state);
+  run.watch_edges(&examined);
+  std::uint64_t round = run.resumed();
+
   while (true) {
-    checkpoint();  // BC forward-level boundary
+    // BC forward-level boundary (snapshot point).
+    run.iteration(round, frontier.size());
+    ++round;
     frontier =
         edge_map(out_, in_, frontier, VisitF{visited.data()}, examined);
     if (frontier.empty()) break;
@@ -359,6 +470,7 @@ BcResult LigraSystem::do_bc(vid_t source) {
     }
     levels.push_back(frontier.vertices());
   }
+  run.finish();
 
   for (auto lit = levels.rbegin(); lit != levels.rend(); ++lit) {
     std::uint64_t level_examined = 0;

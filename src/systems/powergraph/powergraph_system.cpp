@@ -6,6 +6,7 @@
 
 #include "core/parallel.hpp"
 #include "core/timer.hpp"
+#include "systems/common/kernel_run.hpp"
 #include "systems/powergraph/gas_engine.hpp"
 
 namespace epgs::systems {
@@ -157,15 +158,52 @@ SsspResult PowerGraphSystem::do_sssp(vid_t root) {
 
   engine.data()[root].dist = 0.0f;
   auto active = engine.scatter_from({root});
-  // Superstep boundaries tick the checkpoint session (no state registered
-  // for the engine-run kernels: cancellation + fault-injection only).
-  const std::function<void(int)> hook = [this](int it) {
-    iter_checkpoint(static_cast<std::uint64_t>(it));
-  };
   if (opts_.async_engine) {
+    // The async engine has no superstep boundaries; it polls the
+    // cancellation token internally between activation batches.
     engine.run_async(std::move(active), ~0ull);
   } else {
-    engine.run(std::move(active), static_cast<int>(n) + 1, &hook);
+    // Snapshot state: master distances, the active list, the superstep
+    // count, and the engine's work counters. Mirrors are re-synced from
+    // masters every superstep, so masters alone suffice. The snapshot
+    // counters already include the seed scatter above; a fresh init is
+    // fully overwritten on restore.
+    int iters = 0;
+    FnCheckpointable ckpt_state(
+        [&](StateWriter& w) {
+          std::vector<weight_t> dist(n);
+          for (vid_t v = 0; v < n; ++v) dist[v] = engine.data()[v].dist;
+          w.put_vec(dist);
+          w.put_vec(active);
+          w.put_u64(static_cast<std::uint64_t>(iters));
+          const auto& c = engine.counters();
+          w.put_u64(c.gather_edges);
+          w.put_u64(c.scatter_signals);
+          w.put_u64(c.sync_copies);
+          w.put_u64(static_cast<std::uint64_t>(c.supersteps));
+        },
+        [&](StateReader& rd) {
+          const auto dist = rd.get_vec<weight_t>();
+          EPGS_CHECK(dist.size() == static_cast<std::size_t>(n),
+                     "SSSP snapshot vertex count mismatch");
+          active = rd.get_vec<vid_t>();
+          iters = static_cast<int>(rd.get_u64());
+          auto& c = engine.counters();
+          c.gather_edges = rd.get_u64();
+          c.scatter_signals = rd.get_u64();
+          c.sync_copies = rd.get_u64();
+          c.supersteps = static_cast<int>(rd.get_u64());
+          for (vid_t v = 0; v < n; ++v) engine.data()[v].dist = dist[v];
+        });
+    KernelRun run(*this, "sssp", &ckpt_state);
+    run.watch_edges(&engine.counters().gather_edges);
+    const int max_iters = static_cast<int>(n) + 1;
+    while (!active.empty() && iters < max_iters) {
+      run.iteration(static_cast<std::uint64_t>(iters), active.size());
+      active = engine.superstep(active);
+      ++iters;
+    }
+    run.finish();
   }
 
   SsspResult r;
@@ -234,10 +272,12 @@ PageRankResult PowerGraphSystem::do_pagerank(const PageRankParams& params) {
         for (vid_t v = 0; v < n; ++v) data[v].rank = rank[v];
         prev = std::move(saved_prev);
       });
-  const int start_it = static_cast<int>(ckpt_begin("pagerank", ckpt_state));
+  KernelRun run(*this, "pagerank", &ckpt_state);
+  run.watch_edges(&engine.counters().gather_edges);
+  const int start_it = static_cast<int>(run.resumed());
 
   for (int it = start_it; it < params.max_iterations; ++it) {
-    iter_checkpoint(static_cast<std::uint64_t>(it));  // superstep boundary
+    run.iteration(static_cast<std::uint64_t>(it), n);  // superstep boundary
     double dangling = 0.0;
     for (vid_t v = 0; v < n; ++v) {
       if (out_degree_[v] == 0) dangling += data[v].rank;
@@ -253,9 +293,10 @@ PageRankResult PowerGraphSystem::do_pagerank(const PageRankParams& params) {
       l1 += std::abs(data[v].rank - prev[v]);
       prev[v] = data[v].rank;
     }
+    run.residual(l1);
     if (l1 < params.epsilon) break;
   }
-  ckpt_end();
+  run.finish();
 
   r.rank.resize(n);
   for (vid_t v = 0; v < n; ++v) r.rank[v] = data[v].rank;
@@ -278,10 +319,44 @@ CdlpResult PowerGraphSystem::do_cdlp(int max_iterations) {
   for (vid_t v = 0; v < n; ++v) data[v].label = v;
 
   CdlpResult r;
-  const std::function<void(int)> hook = [this](int it) {
-    iter_checkpoint(static_cast<std::uint64_t>(it));
-  };
-  r.iterations = engine.run(engine.all_vertices(), max_iterations, &hook);
+  auto active = engine.all_vertices();
+
+  // Snapshot state: master labels, the active list, the round count,
+  // and the engine's work counters.
+  FnCheckpointable ckpt_state(
+      [&](StateWriter& w) {
+        std::vector<vid_t> labels(n);
+        for (vid_t v = 0; v < n; ++v) labels[v] = data[v].label;
+        w.put_vec(labels);
+        w.put_vec(active);
+        w.put_u64(static_cast<std::uint64_t>(r.iterations));
+        const auto& c = engine.counters();
+        w.put_u64(c.gather_edges);
+        w.put_u64(c.scatter_signals);
+        w.put_u64(c.sync_copies);
+        w.put_u64(static_cast<std::uint64_t>(c.supersteps));
+      },
+      [&](StateReader& rd) {
+        const auto labels = rd.get_vec<vid_t>();
+        EPGS_CHECK(labels.size() == static_cast<std::size_t>(n),
+                   "CDLP snapshot vertex count mismatch");
+        active = rd.get_vec<vid_t>();
+        r.iterations = static_cast<int>(rd.get_u64());
+        auto& c = engine.counters();
+        c.gather_edges = rd.get_u64();
+        c.scatter_signals = rd.get_u64();
+        c.sync_copies = rd.get_u64();
+        c.supersteps = static_cast<int>(rd.get_u64());
+        for (vid_t v = 0; v < n; ++v) data[v].label = labels[v];
+      });
+  KernelRun run(*this, "cdlp", &ckpt_state);
+  run.watch_edges(&engine.counters().gather_edges);
+  while (!active.empty() && r.iterations < max_iterations) {
+    run.iteration(static_cast<std::uint64_t>(r.iterations), active.size());
+    active = engine.superstep(active);
+    ++r.iterations;
+  }
+  run.finish();
   r.label.resize(n);
   for (vid_t v = 0; v < n; ++v) r.label[v] = data[v].label;
 
@@ -301,13 +376,49 @@ WccResult PowerGraphSystem::do_wcc() {
 
   auto& data = engine.data();
   for (vid_t v = 0; v < n; ++v) data[v].label = v;
-  const std::function<void(int)> hook = [this](int it) {
-    iter_checkpoint(static_cast<std::uint64_t>(it));
-  };
   if (opts_.async_engine) {
+    // Async: no superstep boundaries; the engine polls the token itself.
     engine.run_async(engine.all_vertices(), ~0ull);
   } else {
-    engine.run(engine.all_vertices(), static_cast<int>(n) + 1, &hook);
+    // Snapshot state: master labels, the active list, the round count,
+    // and the engine's work counters.
+    auto active = engine.all_vertices();
+    int iters = 0;
+    FnCheckpointable ckpt_state(
+        [&](StateWriter& w) {
+          std::vector<vid_t> labels(n);
+          for (vid_t v = 0; v < n; ++v) labels[v] = data[v].label;
+          w.put_vec(labels);
+          w.put_vec(active);
+          w.put_u64(static_cast<std::uint64_t>(iters));
+          const auto& c = engine.counters();
+          w.put_u64(c.gather_edges);
+          w.put_u64(c.scatter_signals);
+          w.put_u64(c.sync_copies);
+          w.put_u64(static_cast<std::uint64_t>(c.supersteps));
+        },
+        [&](StateReader& rd) {
+          const auto labels = rd.get_vec<vid_t>();
+          EPGS_CHECK(labels.size() == static_cast<std::size_t>(n),
+                     "WCC snapshot vertex count mismatch");
+          active = rd.get_vec<vid_t>();
+          iters = static_cast<int>(rd.get_u64());
+          auto& c = engine.counters();
+          c.gather_edges = rd.get_u64();
+          c.scatter_signals = rd.get_u64();
+          c.sync_copies = rd.get_u64();
+          c.supersteps = static_cast<int>(rd.get_u64());
+          for (vid_t v = 0; v < n; ++v) data[v].label = labels[v];
+        });
+    KernelRun run(*this, "wcc", &ckpt_state);
+    run.watch_edges(&engine.counters().gather_edges);
+    const int max_iters = static_cast<int>(n) + 1;
+    while (!active.empty() && iters < max_iters) {
+      run.iteration(static_cast<std::uint64_t>(iters), active.size());
+      active = engine.superstep(active);
+      ++iters;
+    }
+    run.finish();
   }
 
   WccResult r;

@@ -1,0 +1,377 @@
+// The shared kernel runtime (KernelRun) and its per-iteration telemetry:
+// timeline rows attach to the "run algorithm" phase on every system,
+// round-trip through the text log grammar and the fork-isolation pipe,
+// land in the --iter-trace JSONL sidecar, and every capability-advertised
+// iterative kernel is checkpointable (cancelled mid-kernel -> resumes
+// from the snapshot) while single-pass kernels stay snapshot-free.
+#include "systems/common/kernel_run.hpp"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/cancellation.hpp"
+#include "core/error.hpp"
+#include "core/parallel.hpp"
+#include "harness/analysis.hpp"
+#include "harness/runner.hpp"
+#include "systems/common/fault_injection.hpp"
+#include "systems/common/registry.hpp"
+#include "test_util.hpp"
+
+namespace epgs {
+namespace {
+
+namespace fs = std::filesystem;
+
+const char* const kAllSystems[] = {"GAP",      "Graph500", "GraphBIG",
+                                   "GraphMat", "Ligra",    "PowerGraph"};
+
+/// Build `system` over `el` and return it ready to run.
+std::unique_ptr<System> built(const std::string& system,
+                              const EdgeList& el) {
+  auto sys = make_system(system);
+  sys->set_edges(el);
+  sys->build();
+  return sys;
+}
+
+/// The "run algorithm" phase entry the last kernel logged.
+const PhaseEntry& algorithm_entry(const System& sys) {
+  const auto& entries = sys.log().entries();
+  for (auto it = entries.rbegin(); it != entries.rend(); ++it) {
+    if (it->name == phase::kAlgorithm) return *it;
+  }
+  throw EpgsError("no run-algorithm phase logged");
+}
+
+/// Timeline invariant shared by every kernel: dense 0-based iteration
+/// indices and non-negative per-iteration times.
+void expect_dense_timeline(const std::vector<IterRecord>& tl,
+                           const std::string& what) {
+  for (std::size_t i = 0; i < tl.size(); ++i) {
+    EXPECT_EQ(tl[i].iter, i) << what << ": timeline indices not dense";
+    EXPECT_GE(tl[i].seconds, 0.0) << what;
+  }
+}
+
+// --- telemetry rows ------------------------------------------------------
+
+TEST(KernelRunTelemetry, PageRankTimelineMatchesIterationsEverySystem) {
+  const EdgeList el = test::line_graph(96);
+  for (const std::string system :
+       {"GAP", "Ligra", "GraphMat", "GraphBIG", "PowerGraph"}) {
+    auto sys = built(system, el);
+    const auto r = sys->pagerank();
+    const auto& entry = algorithm_entry(*sys);
+    ASSERT_EQ(entry.timeline.size(),
+              static_cast<std::size_t>(r.iterations))
+        << system << ": one telemetry row per iteration";
+    expect_dense_timeline(entry.timeline, system);
+    // Systems with an epsilon stopping criterion report the L1 residual
+    // every iteration; GraphMat iterates until no rank changes and has
+    // no residual notion.
+    const bool expects_residual = system != "GraphMat";
+    for (const auto& row : entry.timeline) {
+      EXPECT_EQ(row.has_residual(), expects_residual) << system;
+    }
+  }
+}
+
+TEST(KernelRunTelemetry, BfsTimelineTracksFrontierAndEdges) {
+  ThreadScope scope(1);
+  const EdgeList el = test::line_graph(64);
+  for (const std::string system :
+       {"GAP", "Graph500", "Ligra", "GraphMat", "GraphBIG"}) {
+    auto sys = built(system, el);
+    (void)sys->bfs(0);
+    const auto& tl = algorithm_entry(*sys).timeline;
+    ASSERT_GE(tl.size(), 3u) << system;
+    expect_dense_timeline(tl, system);
+    std::uint64_t edges = 0;
+    for (const auto& row : tl) {
+      EXPECT_FALSE(row.has_residual()) << system << ": BFS has no residual";
+      edges += row.edges;
+    }
+    EXPECT_GT(edges, 0u) << system << ": no edge deltas recorded";
+  }
+}
+
+TEST(KernelRunTelemetry, TimelineRoundTripsThroughLogText) {
+  auto sys = built("GAP", test::line_graph(96));
+  (void)sys->pagerank();
+  const auto& before = algorithm_entry(*sys).timeline;
+  ASSERT_FALSE(before.empty());
+
+  const PhaseLog parsed = PhaseLog::parse_log_text(sys->log().to_log_text());
+  const auto entry = parsed.find(phase::kAlgorithm);
+  ASSERT_TRUE(entry.has_value());
+  ASSERT_EQ(entry->timeline.size(), before.size());
+  for (std::size_t i = 0; i < before.size(); ++i) {
+    const auto& a = before[i];
+    const auto& b = entry->timeline[i];
+    EXPECT_EQ(b.iter, a.iter);
+    EXPECT_EQ(b.frontier, a.frontier);
+    EXPECT_EQ(b.edges, a.edges);
+    EXPECT_NEAR(b.seconds, a.seconds, 1e-6 + 1e-6 * a.seconds);
+    ASSERT_EQ(b.has_residual(), a.has_residual());
+    if (a.has_residual()) {
+      EXPECT_NEAR(b.residual, a.residual,
+                  1e-6 + 1e-6 * std::abs(a.residual));
+    }
+  }
+}
+
+// --- checkpointable-kernel sweep -----------------------------------------
+//
+// The regression bar behind the KernelRun refactor: every iterative
+// kernel a system advertises must leave a resumable snapshot when
+// cancelled mid-kernel and continue from it — including the kernels that
+// previously only polled bare cancellation (Ligra SSSP and friends).
+
+class KernelCheckpointSweep : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("epgs_krun_" + std::to_string(::getpid()));
+    fs::create_directories(dir_);
+  }
+  void TearDown() override {
+    fault::disarm_cancel_at_iteration();
+    fs::remove_all(dir_);
+  }
+
+  [[nodiscard]] CheckpointConfig config(const std::string& key) const {
+    CheckpointConfig cfg;
+    cfg.dir = dir_.string();
+    cfg.unit_key = key;
+    cfg.fingerprint = "fp";
+    cfg.every_iterations = 1;
+    return cfg;
+  }
+
+  /// Cancel `alg` on `system` at completed iteration 1, assert a snapshot
+  /// was left, then resume it on a fresh instance and assert the resume
+  /// actually started from the snapshot.
+  template <typename Alg>
+  void expect_kill_resume(const std::string& system, const EdgeList& el,
+                          const std::string& alg_name, Alg&& alg) {
+    const std::string key = system + "|" + alg_name;
+    {
+      auto sys = built(system, el);
+      CancellationToken token;
+      sys->set_cancellation(&token);
+      CheckpointSession session(config(key));
+      sys->set_checkpoint_session(&session);
+      fault::arm_cancel_at_iteration({system, /*at_iteration=*/1});
+      EXPECT_THROW(alg(*sys), CancelledError) << key;
+      fault::disarm_cancel_at_iteration();
+      session.detach();
+      EXPECT_TRUE(session.snapshot_exists())
+          << key << " left no snapshot behind";
+    }
+    auto sys = built(system, el);
+    CheckpointSession session(config(key));
+    sys->set_checkpoint_session(&session);
+    EXPECT_NO_THROW(alg(*sys)) << key;
+    EXPECT_EQ(session.resumed_from(), 1) << key << " did not resume";
+    EXPECT_FALSE(session.snapshot_exists())
+        << key << " must delete the snapshot after completing";
+  }
+
+  fs::path dir_;
+};
+
+TEST_F(KernelCheckpointSweep, EveryAdvertisedIterativeKernelResumes) {
+  ThreadScope scope(1);
+  const EdgeList el = test::line_graph(96, /*weighted=*/true);
+  for (const std::string system : kAllSystems) {
+    const Capabilities caps = make_system(system)->capabilities();
+    if (caps.bfs) {
+      expect_kill_resume(system, el, "bfs",
+                         [](System& s) { (void)s.bfs(0); });
+    }
+    if (caps.sssp) {
+      expect_kill_resume(system, el, "sssp",
+                         [](System& s) { (void)s.sssp(0); });
+    }
+    if (caps.pagerank) {
+      expect_kill_resume(system, el, "pagerank",
+                         [](System& s) { (void)s.pagerank(); });
+    }
+    if (caps.cdlp) {
+      expect_kill_resume(system, el, "cdlp",
+                         [](System& s) { (void)s.cdlp(); });
+    }
+    if (caps.wcc) {
+      expect_kill_resume(system, el, "wcc",
+                         [](System& s) { (void)s.wcc(); });
+    }
+    if (caps.bc) {
+      expect_kill_resume(system, el, "bc",
+                         [](System& s) { (void)s.bc(0); });
+    }
+  }
+}
+
+TEST_F(KernelCheckpointSweep, SinglePassKernelsLeaveNoSnapshot) {
+  // LCC and TC are single-pass: they run to completion under a session
+  // without registering iteration state or leaving snapshots behind.
+  const EdgeList el = test::line_graph(32);
+  for (const std::string system : kAllSystems) {
+    const Capabilities caps = make_system(system)->capabilities();
+    for (const bool is_lcc : {true, false}) {
+      if (is_lcc ? !caps.lcc : !caps.tc) continue;
+      const std::string key = system + (is_lcc ? "|lcc" : "|tc");
+      auto sys = built(system, el);
+      CheckpointSession session(config(key));
+      sys->set_checkpoint_session(&session);
+      if (is_lcc) {
+        EXPECT_NO_THROW((void)sys->lcc()) << key;
+      } else {
+        EXPECT_NO_THROW((void)sys->tc()) << key;
+      }
+      EXPECT_FALSE(session.snapshot_exists()) << key;
+    }
+  }
+}
+
+// --- --iter-trace plumbing ----------------------------------------------
+
+harness::ExperimentConfig trace_config() {
+  harness::ExperimentConfig cfg;
+  cfg.graph.kind = harness::GraphSpec::Kind::kKronecker;
+  cfg.graph.scale = 6;
+  cfg.graph.edgefactor = 4;
+  cfg.systems = {"GAP"};
+  cfg.algorithms = {harness::Algorithm::kPageRank};
+  cfg.num_roots = 2;
+  cfg.threads = 2;
+  return cfg;
+}
+
+TEST(IterTrace, TimelinesReachRunRecords) {
+  const auto result = harness::run_experiment(trace_config());
+  int kernel_records = 0;
+  for (const auto& r : result.records) {
+    if (r.phase != phase::kAlgorithm || r.outcome != Outcome::kSuccess) {
+      continue;
+    }
+    ++kernel_records;
+    ASSERT_FALSE(r.timeline.empty()) << r.system << "/" << r.algorithm;
+    EXPECT_EQ(std::to_string(r.timeline.size()), r.extra.at("iterations"));
+  }
+  EXPECT_EQ(kernel_records, 2);
+}
+
+TEST(IterTrace, TimelinesSurviveForkIsolation) {
+  auto cfg = trace_config();
+  // BFS rows carry a NaN residual, so this also proves the pipe grammar
+  // round-trips "nan" (istream num_get rejects it; the parser must not).
+  cfg.algorithms = {harness::Algorithm::kPageRank, harness::Algorithm::kBfs};
+  cfg.supervisor.isolate = true;
+  const auto result = harness::run_experiment(cfg);
+  int kernel_records = 0;
+  for (const auto& r : result.records) {
+    if (r.phase != phase::kAlgorithm || r.outcome != Outcome::kSuccess) {
+      continue;
+    }
+    ++kernel_records;
+    ASSERT_FALSE(r.timeline.empty())
+        << r.system << "/" << r.algorithm
+        << ": timeline lost crossing the isolation pipe";
+    const auto iters = r.extra.find("iterations");
+    if (iters != r.extra.end()) {  // BFS results report no iteration count
+      EXPECT_EQ(std::to_string(r.timeline.size()), iters->second);
+    }
+    if (r.algorithm == "BFS") {
+      EXPECT_FALSE(r.timeline.front().has_residual());
+    }
+  }
+  EXPECT_EQ(kernel_records, 4) << "an isolated unit was misclassified";
+}
+
+TEST(IterTrace, SidecarJsonlMatchesIterationCounts) {
+  const fs::path dir = fs::temp_directory_path() /
+                       ("epgs_trace_" + std::to_string(::getpid()));
+  auto cfg = trace_config();
+  cfg.iter_trace_dir = dir.string();
+  const auto result = harness::run_experiment(cfg);
+  EXPECT_TRUE(result.iter_trace_warning.empty())
+      << result.iter_trace_warning;
+
+  std::size_t expected_rows = 0;
+  for (const auto& r : result.records) expected_rows += r.timeline.size();
+  ASSERT_GT(expected_rows, 0u);
+
+  fs::path sidecar;
+  for (const auto& e : fs::directory_iterator(dir)) {
+    if (e.path().filename().string().rfind("itertrace-", 0) == 0) {
+      sidecar = e.path();
+    }
+  }
+  ASSERT_FALSE(sidecar.empty()) << "no itertrace-*.jsonl written";
+
+  std::ifstream in(sidecar);
+  std::size_t rows = 0;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    ++rows;
+    EXPECT_EQ(line.front(), '{');
+    EXPECT_EQ(line.back(), '}');
+    EXPECT_NE(line.find("\"system\":\"GAP\""), std::string::npos);
+    EXPECT_NE(line.find("\"iter\":"), std::string::npos);
+    EXPECT_NE(line.find("\"residual\":"), std::string::npos);
+  }
+  EXPECT_EQ(rows, expected_rows)
+      << "sidecar rows must match in-memory timeline rows";
+  fs::remove_all(dir);
+}
+
+TEST(IterTrace, TrajectoryAveragesAcrossTrials) {
+  harness::ExperimentResult result;
+  for (int trial = 0; trial < 2; ++trial) {
+    harness::RunRecord r;
+    r.dataset = "d";
+    r.system = "GAP";
+    r.algorithm = "PageRank";
+    r.trial = trial;
+    r.phase = std::string(phase::kAlgorithm);
+    r.timeline.push_back(
+        IterRecord{0, 0.5, 10, 100, trial == 0 ? 0.4 : 0.2});
+    if (trial == 0) {
+      // Uneven lengths: iteration 1 has a single contributing sample.
+      IterRecord row{1, 0.25, 5, 50,
+                     std::numeric_limits<double>::quiet_NaN()};
+      r.timeline.push_back(row);
+    }
+    result.records.push_back(std::move(r));
+  }
+
+  const auto traj =
+      harness::iteration_trajectory(result, "GAP", "PageRank");
+  ASSERT_EQ(traj.size(), 2u);
+  EXPECT_EQ(traj[0].samples, 2);
+  EXPECT_DOUBLE_EQ(traj[0].mean_seconds, 0.5);
+  EXPECT_DOUBLE_EQ(traj[0].mean_frontier, 10.0);
+  EXPECT_DOUBLE_EQ(traj[0].mean_residual, 0.3);
+  EXPECT_EQ(traj[1].samples, 1);
+  EXPECT_FALSE(traj[1].has_residual());
+
+  const std::string csv = harness::trajectories_to_csv(result);
+  EXPECT_EQ(csv.compare(0, 6, "system"), 0);
+  EXPECT_NE(csv.find("GAP,PageRank,0,2,"), std::string::npos);
+  // Absent residual renders as an empty trailing field.
+  EXPECT_NE(csv.find(",\n"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace epgs

@@ -70,6 +70,41 @@ TEST(SystemLifecycle, UnsupportedAlgorithmThrowsTypedError) {
       << "PowerGraph provides no BFS reference implementation (Fig 8)";
 }
 
+TEST(SystemLifecycle, CapabilityMatrixEnforcedForEveryPair) {
+  // The advertised flags are the contract: every supported pair runs,
+  // every unsupported pair throws the typed error — no silent fallback
+  // and no capability that dies at runtime.
+  std::vector<std::string> names;
+  for (const auto n : all_system_names()) names.emplace_back(n);
+  for (const auto n : extension_system_names()) names.emplace_back(n);
+
+  int negative_pairs = 0;
+  for (const auto& name : names) {
+    auto sys = make_system(name);
+    sys->set_edges(test::line_graph(8, /*weighted=*/true));
+    sys->build();
+    const Capabilities caps = sys->capabilities();
+    const auto check = [&](bool supported, auto&& call, const char* alg) {
+      if (supported) {
+        EXPECT_NO_THROW(call()) << name << "/" << alg;
+      } else {
+        ++negative_pairs;
+        EXPECT_THROW(call(), UnsupportedAlgorithm) << name << "/" << alg;
+      }
+    };
+    check(caps.bfs, [&] { (void)sys->bfs(0); }, "bfs");
+    check(caps.sssp, [&] { (void)sys->sssp(0); }, "sssp");
+    check(caps.pagerank, [&] { (void)sys->pagerank(); }, "pagerank");
+    check(caps.cdlp, [&] { (void)sys->cdlp(); }, "cdlp");
+    check(caps.lcc, [&] { (void)sys->lcc(); }, "lcc");
+    check(caps.wcc, [&] { (void)sys->wcc(); }, "wcc");
+    check(caps.tc, [&] { (void)sys->tc(); }, "tc");
+    check(caps.bc, [&] { (void)sys->bc(0); }, "bc");
+  }
+  EXPECT_GT(negative_pairs, 0)
+      << "the matrix has no negative pairs left to enforce";
+}
+
 TEST(SystemLifecycle, PhaseLogRecordsBuildAndAlgorithm) {
   auto sys = make_system("GAP");
   sys->set_edges(test::line_graph(8));
