@@ -10,7 +10,7 @@ const std::vector<std::string>& Args::default_flags() {
   static const std::vector<std::string> kFlags = {
       "validate", "weights", "no-symmetrize", "no-dedupe",
       "no-reconstruct", "isolate", "resume", "allow-dnf", "no-cache",
-      "pin", "help"};
+      "pin", "retry-all", "shrink", "force-violation", "help"};
   return kFlags;
 }
 

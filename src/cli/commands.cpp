@@ -18,6 +18,7 @@
 #include "graph/statistics.hpp"
 #include "graph/transforms.hpp"
 #include "harness/analysis.hpp"
+#include "harness/chaos/chaos.hpp"
 #include "harness/dataset_pipeline.hpp"
 #include "graphalytics/comparator.hpp"
 #include "harness/predictor.hpp"
@@ -170,7 +171,7 @@ int cmd_run(const Args& args, std::ostream& out) {
                      "no-cache", "mem-limit", "min-free-disk",
                      "lock-timeout", "pin", "checkpoint-dir",
                      "checkpoint-every", "checkpoint-every-seconds",
-                     "iter-trace"});
+                     "iter-trace", "retry-all", "crash-dir"});
   harness::ExperimentConfig cfg;
   cfg.graph = spec_from_args(args);
   cfg.systems = args.get_list("systems");
@@ -195,7 +196,9 @@ int cmd_run(const Args& args, std::ostream& out) {
   cfg.reconstruct_per_trial = !args.has("no-reconstruct");
   cfg.supervisor.timeout_seconds = args.get_double("timeout", 0.0);
   cfg.supervisor.max_retries = args.get_int("retries", 0);
+  cfg.supervisor.retry_all_failures = args.has("retry-all");
   cfg.supervisor.isolate = args.has("isolate");
+  cfg.supervisor.crash_report_dir = args.get("crash-dir");
   cfg.supervisor.journal_path = args.get("journal");
   cfg.supervisor.resume = args.has("resume");
   EPGS_CHECK(!cfg.supervisor.resume || !cfg.supervisor.journal_path.empty(),
@@ -264,6 +267,12 @@ int cmd_run(const Args& args, std::ostream& out) {
 
   const auto summary = harness::outcome_summary(result.records);
   out << "\noutcomes:\n" << harness::render_outcome_table(summary);
+  // Triage view: repeated identical failures (same unit, outcome, and
+  // crash-stack fingerprint) collapse into one counted row.
+  if (const auto groups = harness::failure_groups(result.records);
+      !groups.empty()) {
+    out << "\nfailure groups:\n" << harness::render_failure_groups(groups);
+  }
   int failures = 0;
   for (const auto& row : summary) failures += row.failures();
   if (failures > 0) {
@@ -283,6 +292,62 @@ int cmd_run(const Args& args, std::ostream& out) {
   // to tell "data is partial" apart from "nothing ran".
   if (failures > 0 && !args.has("allow-dnf")) return 3;
   return 0;
+}
+
+int cmd_chaos(const Args& args, std::ostream& out) {
+  args.expect_known({"seed", "rounds", "scale", "edgefactor", "systems",
+                     "algorithms", "roots", "threads", "work-dir", "replay",
+                     "shrink", "force-violation", "chaos-timeout",
+                     "chaos-retries"});
+  harness::ExperimentConfig cfg;
+  // Chaos always runs on a synthetic Kronecker graph: --seed belongs to
+  // the fault schedule here, not the generator, so the graph itself stays
+  // fixed while the schedule varies across seeds.
+  cfg.graph.kind = harness::GraphSpec::Kind::kKronecker;
+  cfg.graph.scale = args.get_int("scale", 10);
+  cfg.graph.edgefactor = args.get_int("edgefactor", 8);
+  cfg.systems = args.get_list("systems");
+  if (cfg.systems.empty()) {
+    for (const auto s : all_system_names()) {
+      cfg.systems.emplace_back(s);
+    }
+  }
+  const auto algs = args.get_list("algorithms");
+  if (algs.empty()) {
+    // BFS gives every trial a validated result (wrong-output coverage);
+    // PageRank gives the kill-at-checkpoint events iterations to land on.
+    cfg.algorithms = {harness::Algorithm::kBfs,
+                      harness::Algorithm::kPageRank};
+  } else {
+    for (const auto& a : algs) {
+      cfg.algorithms.push_back(harness::algorithm_from_name(a));
+    }
+  }
+  cfg.num_roots = args.get_int("roots", 3);
+  cfg.threads = args.get_int("threads", 0);
+
+  harness::chaos::ChaosOptions opts;
+  opts.seed = args.get_u64("seed", 1);
+  opts.rounds = args.get_int("rounds", 3);
+  opts.shrink = args.has("shrink");
+  opts.force_violation = args.has("force-violation");
+  opts.work_dir = args.get("work-dir", "chaos-out");
+  opts.timeout_seconds = args.get_double("chaos-timeout", 20.0);
+  opts.max_retries = args.get_int("chaos-retries", 3);
+  const std::string replay = args.get("replay");
+  if (!replay.empty()) {
+    std::ifstream f(replay);
+    EPGS_CHECK(f.good(), "cannot read chaos spec " + replay);
+    std::ostringstream buf;
+    buf << f.rdbuf();
+    opts.replay_spec = buf.str();
+  }
+
+  const auto rep = harness::chaos::run_chaos(cfg, opts);
+  out << harness::chaos::render_chaos_report(rep);
+  // Exit 4 on violation: distinct from DNF (3) and usage errors (1/2), so
+  // CI can assert both "smoke holds" and "--force-violation trips".
+  return rep.violated ? 4 : 0;
 }
 
 int cmd_parse(const Args& args, std::ostream& out) {
@@ -541,6 +606,17 @@ std::string usage() {
       "              [--cache-dir DIR [--no-cache]]\n"
       "              [--lock-timeout SEC] [--min-free-disk MIB]\n"
       "              exit 3 when any trial DNFs (unless --allow-dnf)\n"
+      "              [--retry-all]  retry every recoverable failure\n"
+      "              [--crash-dir DIR]  crash forensics: signal-killed\n"
+      "              units leave post-mortems (backtrace, phase, faults)\n"
+      "  chaos       [--seed N] [--rounds K] [--scale N] [--edgefactor N]\n"
+      "              [--systems ...] [--algorithms ...] [--roots N]\n"
+      "              [--work-dir DIR] [--chaos-timeout SEC]\n"
+      "              [--chaos-retries N] [--shrink] [--force-violation]\n"
+      "              [--replay FILE]   seeded fault schedules over a real\n"
+      "              sweep; checks the stripped CSV stays byte-identical\n"
+      "              to a fault-free control (exit 4 on violation; with\n"
+      "              --shrink, ddmin writes a minimal replayable spec)\n"
       "  parse       --logdir DIR [--csv out.csv] [--threads N]\n"
       "  analyze     [--csv results.csv] [--out PREFIX]\n"
       "  tune        [--kind ...] [--roots N]   (GAP alpha/beta + Delta)\n"
@@ -565,6 +641,7 @@ int dispatch(const std::vector<std::string>& argv, std::ostream& out,
     if (cmd == "homogenize") return cmd_homogenize(args, out);
     if (cmd == "prepare") return cmd_prepare(args, out);
     if (cmd == "run") return cmd_run(args, out);
+    if (cmd == "chaos") return cmd_chaos(args, out);
     if (cmd == "parse") return cmd_parse(args, out);
     if (cmd == "analyze") return cmd_analyze(args, out);
     if (cmd == "tune") return cmd_tune(args, out);

@@ -6,6 +6,7 @@
 //   epg homogenize  convert a SNAP file into every system's format
 //   epg prepare     materialize a dataset into the content-addressed cache
 //   epg run         run systems x algorithms x roots; write logs + CSV
+//   epg chaos       seeded fault schedules over a real sweep + invariants
 //   epg parse       compress raw log files into the phase-4 CSV
 //   epg analyze     box statistics + plot data from a phase-4 CSV
 //
@@ -25,6 +26,7 @@ int cmd_generate(const Args& args, std::ostream& out);
 int cmd_homogenize(const Args& args, std::ostream& out);
 int cmd_prepare(const Args& args, std::ostream& out);
 int cmd_run(const Args& args, std::ostream& out);
+int cmd_chaos(const Args& args, std::ostream& out);
 int cmd_parse(const Args& args, std::ostream& out);
 int cmd_analyze(const Args& args, std::ostream& out);
 int cmd_tune(const Args& args, std::ostream& out);

@@ -3,6 +3,7 @@
 #include <unistd.h>
 
 #include <array>
+#include <atomic>
 #include <utility>
 
 #include "core/fs_shim.hpp"
@@ -75,7 +76,13 @@ struct SnapshotMeta {
   std::uint64_t iteration = 0;
 };
 
+std::atomic<SnapshotPublishHook> g_publish_hook{nullptr};
+
 }  // namespace
+
+void set_snapshot_publish_hook(SnapshotPublishHook hook) noexcept {
+  g_publish_hook.store(hook, std::memory_order_release);
+}
 
 std::uint32_t crc32(const void* data, std::size_t n, std::uint32_t seed) {
   static const std::array<std::uint32_t, 256> table = make_crc_table();
@@ -256,6 +263,12 @@ bool CheckpointSession::write_snapshot() {
       out.write(frame.data(), static_cast<std::streamsize>(frame.size()));
       out.sync_now();
       out.close();
+    }
+    // The torn-publish window: tmp is durable, the rename has not
+    // happened. An installed hook may kill the process right here.
+    if (SnapshotPublishHook hook =
+            g_publish_hook.load(std::memory_order_acquire)) {
+      hook(path_.c_str());
     }
     fsx::rename(tmp, path_);
     fsx::fsync_dir(path_.parent_path());

@@ -280,6 +280,16 @@ template <typename T, typename IterT, typename GetFn, typename SetFn>
                                          std::move(what));
 }
 
+/// Test hook fired between a snapshot's durable tmp write and the rename
+/// that publishes it — the exact window where a process death leaves a
+/// stale-or-absent snapshot plus an orphaned .tmp. The fault-injection
+/// layer installs a handler here to rehearse torn publishes (chaos
+/// publish-kill events, tests/test_checkpoint.cpp); production never sets
+/// it and the call site reduces to one relaxed atomic load. The argument
+/// is the final snapshot path.
+using SnapshotPublishHook = void (*)(const char* path);
+void set_snapshot_publish_hook(SnapshotPublishHook hook) noexcept;
+
 /// One session's identity and cadence. A session snapshots exactly one
 /// supervised unit; the fingerprint ties the snapshot to the experiment
 /// configuration the same way the journal's config line does.

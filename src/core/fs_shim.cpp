@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <cerrno>
+#include <charconv>
 #include <cstdlib>
 #include <cstring>
 #include <streambuf>
@@ -12,6 +13,7 @@
 #include <sys/statvfs.h>
 #include <unistd.h>
 
+#include "core/crash_report.hpp"
 #include "core/error.hpp"
 
 namespace epgs::fsx {
@@ -92,6 +94,37 @@ constexpr ErrnoName kErrnoNames[] = {
     {"EACCES", EACCES}, {"EROFS", EROFS},
 };
 
+/// Strict decimal parse for spec fields: the whole of `text` must be
+/// digits (std::atoi's silent acceptance of "12abc" let malformed specs
+/// arm the wrong plan). Throws EpgsError naming the offending field.
+int parse_spec_int(std::string_view field, std::string_view text) {
+  int value = 0;
+  const auto [end, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), value);
+  if (ec != std::errc{} || end != text.data() + text.size() ||
+      text.empty()) {
+    throw EpgsError("fs fault spec: bad " + std::string(field) +
+                    " value '" + std::string(text) + "' (want an integer)");
+  }
+  return value;
+}
+
+/// Short human description of the armed plan for crash forensics.
+std::string describe(const Plan& plan) {
+  std::string d = "fs:";
+  d += op_name(plan.op);
+  d += plan.short_write ? ":short" : (":errno=" +
+                                      std::to_string(plan.error_code));
+  d += " at=" + std::to_string(plan.at_call);
+  d += " count=" + std::to_string(plan.max_fires);
+  if (!plan.path_substr.empty()) d += " path=" + plan.path_substr;
+  return d;
+}
+
+/// Crash-note slot owned by the fs shim (slots 0-2 belong to the phase
+/// injector; see fault_injection.cpp).
+constexpr int kNoteFsPlan = 3;
+
 }  // namespace
 
 std::string_view op_name(Op op) {
@@ -119,6 +152,7 @@ void arm(const Plan& plan) {
   g_calls.store(0);
   g_fires.store(0);
   g_armed.store(true, std::memory_order_release);
+  crash::note_fault(kNoteFsPlan, describe(plan));
 }
 
 void disarm() {
@@ -126,6 +160,7 @@ void disarm() {
   g_plan = Plan{};
   g_calls.store(0);
   g_fires.store(0);
+  crash::note_fault(kNoteFsPlan, {});
 }
 
 bool armed() { return g_armed.load(std::memory_order_acquire); }
@@ -136,15 +171,21 @@ int fire_count() { return g_fires.load(); }
 
 void arm_from_spec(std::string_view spec) {
   Plan plan;
+  // Split on ':', keeping empty fields so "write::ENOSPC" and a trailing
+  // colon are rejected loudly instead of silently collapsing.
   std::vector<std::string_view> parts;
-  while (!spec.empty()) {
+  for (;;) {
     const std::size_t colon = spec.find(':');
     parts.push_back(spec.substr(0, colon));
-    spec = colon == std::string_view::npos ? std::string_view{}
-                                           : spec.substr(colon + 1);
+    if (colon == std::string_view::npos) break;
+    spec = spec.substr(colon + 1);
   }
   EPGS_CHECK(parts.size() >= 2,
              "fs fault spec needs at least <op>:<errno>");
+  for (const std::string_view part : parts) {
+    EPGS_CHECK(!part.empty(),
+               "fs fault spec: empty field (doubled or trailing ':')");
+  }
   plan.op = op_from_name(parts[0]);
 
   plan.error_code = -1;
@@ -166,13 +207,15 @@ void arm_from_spec(std::string_view spec) {
     if (part == "short") {
       plan.short_write = true;
     } else if (part.rfind("at=", 0) == 0) {
-      plan.at_call = std::atoi(std::string(part.substr(3)).c_str());
+      plan.at_call = parse_spec_int("at=", part.substr(3));
       EPGS_CHECK(plan.at_call >= 1, "fs fault spec: at= must be >= 1");
     } else if (part.rfind("count=", 0) == 0) {
-      plan.max_fires = std::atoi(std::string(part.substr(6)).c_str());
+      plan.max_fires = parse_spec_int("count=", part.substr(6));
       EPGS_CHECK(plan.max_fires >= 1, "fs fault spec: count= must be >= 1");
     } else if (part.rfind("path=", 0) == 0) {
       plan.path_substr = std::string(part.substr(5));
+      EPGS_CHECK(!plan.path_substr.empty(),
+                 "fs fault spec: path= needs a substring");
     } else {
       throw EpgsError("fs fault spec: unknown field '" + std::string(part) +
                       "'");

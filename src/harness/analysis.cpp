@@ -87,6 +87,82 @@ std::string render_outcome_table(const std::vector<OutcomeSummary>& rows) {
   return out;
 }
 
+std::vector<FailureGroup> failure_groups(
+    const std::vector<RunRecord>& records) {
+  std::vector<FailureGroup> groups;
+  for (const auto& r : records) {
+    if (r.outcome == Outcome::kSuccess) continue;
+    const auto fp_it = r.extra.find("crash_fingerprint");
+    const std::string fp =
+        fp_it == r.extra.end() ? std::string() : fp_it->second;
+    FailureGroup* g = nullptr;
+    for (auto& existing : groups) {
+      if (existing.system == r.system && existing.algorithm == r.algorithm &&
+          existing.phase == r.phase && existing.outcome == r.outcome &&
+          existing.crash_fingerprint == fp) {
+        g = &existing;
+        break;
+      }
+    }
+    if (g == nullptr) {
+      FailureGroup fresh;
+      fresh.system = r.system;
+      fresh.algorithm = r.algorithm;
+      fresh.phase = r.phase;
+      fresh.outcome = r.outcome;
+      fresh.crash_fingerprint = fp;
+      const auto err = r.extra.find("error");
+      if (err != r.extra.end()) fresh.message = err->second;
+      groups.push_back(std::move(fresh));
+      g = &groups.back();
+    }
+    ++g->count;
+  }
+  // Most frequent first; stable_sort keeps first-seen order within ties.
+  std::stable_sort(groups.begin(), groups.end(),
+                   [](const FailureGroup& a, const FailureGroup& b) {
+                     return a.count > b.count;
+                   });
+  return groups;
+}
+
+std::string render_failure_groups(const std::vector<FailureGroup>& groups) {
+  if (groups.empty()) return {};
+  const auto unit_of = [](const FailureGroup& g) {
+    std::string u = g.system;
+    u += '/';
+    u += g.algorithm.empty() ? g.phase : g.algorithm;
+    return u;
+  };
+  std::size_t unit_w = std::string_view("unit").size();
+  std::size_t out_w = std::string_view("outcome").size();
+  std::size_t fp_w = std::string_view("stack").size();
+  for (const auto& g : groups) {
+    unit_w = std::max(unit_w, unit_of(g).size());
+    out_w = std::max(out_w, outcome_name(g.outcome).size());
+    fp_w = std::max(fp_w, g.crash_fingerprint.size());
+  }
+  std::string out;
+  auto pad = [&](std::string_view s, std::size_t w) {
+    out += s;
+    for (std::size_t i = s.size(); i < w; ++i) out += ' ';
+  };
+  pad("count", 7);
+  pad("unit", unit_w + 2);
+  pad("outcome", out_w + 2);
+  pad("stack", fp_w + 2);
+  out += "message\n";
+  for (const auto& g : groups) {
+    pad(std::to_string(g.count), 7);
+    pad(unit_of(g), unit_w + 2);
+    pad(outcome_name(g.outcome), out_w + 2);
+    pad(g.crash_fingerprint.empty() ? "-" : g.crash_fingerprint, fp_w + 2);
+    out += g.message;
+    out += '\n';
+  }
+  return out;
+}
+
 std::vector<ScalabilityCurve> scalability_sweep(
     ExperimentConfig base, const std::vector<int>& ladder) {
   EPGS_CHECK(!ladder.empty(), "empty thread ladder");

@@ -46,6 +46,32 @@ std::vector<OutcomeSummary> outcome_summary(
 /// is zero for every system are elided to keep the table narrow.
 std::string render_outcome_table(const std::vector<OutcomeSummary>& rows);
 
+/// Repeated identical failures collapsed into one row. A chaos sweep (or
+/// a genuinely broken adapter) produces the same failure dozens of times
+/// across roots and retries; triage wants "GAP/bfs crashed 32x with stack
+/// 1a2b..", not 32 interleaved lines. Records group on everything that
+/// identifies the failure mode — system, algorithm, phase, outcome, and
+/// the crash-forensics stack fingerprint when one was captured — with the
+/// first-seen error message kept as the representative.
+struct FailureGroup {
+  std::string system;
+  std::string algorithm;  ///< empty for load/build failures
+  std::string phase;
+  Outcome outcome = Outcome::kCrash;
+  std::string crash_fingerprint;  ///< empty when no post-mortem exists
+  std::string message;            ///< representative (first seen)
+  int count = 0;
+};
+
+/// Aggregate every non-success record, most frequent group first (ties
+/// in first-seen order). Success records never contribute, so a clean
+/// sweep returns empty.
+std::vector<FailureGroup> failure_groups(
+    const std::vector<RunRecord>& records);
+
+/// Aligned text table of the groups; empty string for no failures.
+std::string render_failure_groups(const std::vector<FailureGroup>& groups);
+
 // --- Scalability (Figs 5 and 6) ---------------------------------------
 
 struct ScalabilityPoint {

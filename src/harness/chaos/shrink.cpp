@@ -1,0 +1,78 @@
+#include "harness/chaos/shrink.hpp"
+
+#include <algorithm>
+#include <cstddef>
+
+namespace epgs::harness::chaos {
+namespace {
+
+/// Split `events` into `n` contiguous chunks as evenly as possible.
+std::vector<std::vector<ChaosEvent>> split_chunks(
+    const std::vector<ChaosEvent>& events, std::size_t n) {
+  std::vector<std::vector<ChaosEvent>> chunks;
+  const std::size_t size = events.size();
+  std::size_t start = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t len = size / n + (i < size % n ? 1 : 0);
+    chunks.emplace_back(events.begin() + static_cast<std::ptrdiff_t>(start),
+                        events.begin() +
+                            static_cast<std::ptrdiff_t>(start + len));
+    start += len;
+  }
+  return chunks;
+}
+
+std::vector<ChaosEvent> complement_of(
+    const std::vector<std::vector<ChaosEvent>>& chunks, std::size_t skip) {
+  std::vector<ChaosEvent> out;
+  for (std::size_t i = 0; i < chunks.size(); ++i) {
+    if (i == skip) continue;
+    out.insert(out.end(), chunks[i].begin(), chunks[i].end());
+  }
+  return out;
+}
+
+}  // namespace
+
+ShrinkResult shrink_events(std::vector<ChaosEvent> failing,
+                           const ViolationProbe& probe) {
+  ShrinkResult res;
+  std::size_t n = 2;
+  while (failing.size() >= 2) {
+    const auto chunks = split_chunks(failing, std::min(n, failing.size()));
+    bool reduced = false;
+
+    // Try each chunk alone: the violation hiding in one chunk is the
+    // fast path (log-many probes).
+    for (const auto& chunk : chunks) {
+      ++res.probes;
+      if (probe(chunk)) {
+        failing = chunk;
+        n = 2;
+        reduced = true;
+        break;
+      }
+    }
+    // Then each complement: drop one chunk at a time.
+    if (!reduced && chunks.size() > 2) {
+      for (std::size_t i = 0; i < chunks.size(); ++i) {
+        auto comp = complement_of(chunks, i);
+        ++res.probes;
+        if (probe(comp)) {
+          failing = std::move(comp);
+          n = std::max<std::size_t>(n - 1, 2);
+          reduced = true;
+          break;
+        }
+      }
+    }
+    if (!reduced) {
+      if (n >= failing.size()) break;  // single-event granularity: 1-minimal
+      n = std::min(n * 2, failing.size());
+    }
+  }
+  res.minimal = std::move(failing);
+  return res;
+}
+
+}  // namespace epgs::harness::chaos

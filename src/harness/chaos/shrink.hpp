@@ -1,0 +1,37 @@
+// Schedule shrinking: when a chaos schedule violates the determinism
+// invariant, minimize it before a human looks at it. Classic ddmin
+// (Zeller & Hildebrandt, "Simplifying and Isolating Failure-Inducing
+// Input"): repeatedly probe subsets and complements of the failing event
+// list, keeping any subset that still violates, until the result is
+// 1-minimal — removing any single event makes the violation disappear.
+//
+// The probe re-runs real chaos rounds, so shrinking an N-event schedule
+// costs O(N log N) sweeps in the best case and O(N^2) in the worst; the
+// harness only invokes it at the smoke scale where a sweep is seconds.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "harness/chaos/schedule.hpp"
+
+namespace epgs::harness::chaos {
+
+/// Does this subset of events still violate the invariant? Must be
+/// deterministic for the minimality guarantee to mean anything — chaos
+/// probes are (seeded faults, stripped CSV compare).
+using ViolationProbe =
+    std::function<bool(const std::vector<ChaosEvent>&)>;
+
+struct ShrinkResult {
+  std::vector<ChaosEvent> minimal;  ///< 1-minimal violating subset
+  int probes = 0;                   ///< probe invocations spent
+};
+
+/// ddmin over `failing` (which must already violate: the caller verified
+/// it, so the algorithm never re-probes the full set). Returns a
+/// 1-minimal subset in original order.
+[[nodiscard]] ShrinkResult shrink_events(std::vector<ChaosEvent> failing,
+                                         const ViolationProbe& probe);
+
+}  // namespace epgs::harness::chaos

@@ -114,8 +114,19 @@ void RecordCollector::emit_replayed(
     bool configured = false;
     for (const auto& s : systems) configured |= (s == sys_of_key);
     if (!configured) continue;
-    records_.insert(records_.end(), entry.records.begin(),
-                    entry.records.end());
+    for (RunRecord rec : entry.records) {
+      // Re-attach forensics from the journal's "crash" line: the CSV row
+      // format has no column for them, so replayed records would
+      // otherwise lose the fingerprint the outcome table groups by.
+      if (!entry.crash_fingerprint.empty() &&
+          rec.outcome != Outcome::kSuccess) {
+        rec.extra["crash_fingerprint"] = entry.crash_fingerprint;
+        if (!entry.crash_report_path.empty()) {
+          rec.extra["crash_report"] = entry.crash_report_path;
+        }
+      }
+      records_.push_back(std::move(rec));
+    }
   }
 }
 
@@ -129,6 +140,8 @@ void RecordCollector::store(const std::string& key,
   journaled_rep.resumed_from_iter = rep.resumed_from_iter;
   journaled_rep.message = rep.message;
   journaled_rep.elapsed_seconds = rep.elapsed_seconds;
+  journaled_rep.crash_fingerprint = rep.crash_fingerprint;
+  journaled_rep.crash_report_path = rep.crash_report_path;
   journaled_rep.records = recs;
   journal_.append(key, journaled_rep);
   write_timelines(recs);

@@ -77,8 +77,17 @@ struct SupervisorOptions {
   /// Wall-clock deadline per attempt; 0 disables the watchdog. Measured
   /// against std::chrono::steady_clock, never the system clock.
   double timeout_seconds = 0.0;
-  /// Extra attempts granted to Outcome::kTransient failures only.
+  /// Extra attempts granted to Outcome::kTransient failures only (and to
+  /// snapshot-resumable timeouts/crashes/OOM kills; see supervisor.hpp).
   int max_retries = 0;
+  /// Widen retry eligibility to *every* recoverable failure — timeouts,
+  /// crashes, OOM kills, validation failures, resource exhaustion — even
+  /// without a snapshot to resume from (a full deterministic restart).
+  /// kConfig/kUnsupported stay terminal: they reproduce by construction.
+  /// The chaos harness runs with this on: a fault that fires once (see
+  /// fault::Plan::once_marker) plus a clean retry must reproduce the
+  /// fault-free CSV byte-for-byte.
+  bool retry_all_failures = false;
   /// Exponential backoff: base * 2^(attempt-1) * (1 + U[0,1)) seconds,
   /// clamped to backoff_max_seconds.
   double backoff_base_seconds = 0.05;
@@ -119,6 +128,21 @@ struct SupervisorOptions {
   /// disables. A final snapshot is still written whenever a watchdog or
   /// interrupt cancels the unit, regardless of cadence.
   double checkpoint_every_seconds = 0.25;
+  /// Crash-forensics report file for this unit; empty disables. Each
+  /// fork-isolated attempt arms async-signal-safe handlers (see
+  /// core/crash_report.hpp) that write signal, backtrace, active
+  /// phase/iteration, and the armed fault plans here when the child dies
+  /// on SEGV/ABRT/BUS/ILL/FPE. The parent parses the report, attaches
+  /// the stack fingerprint to the trial report and journal, and the
+  /// outcome table deduplicates identical crashes by it. Set per unit by
+  /// the runner (from --crash-dir); meaningless without isolate.
+  std::string crash_report_path;
+  /// Sweep-level crash-report directory (--crash-dir). The runner derives
+  /// each algorithm unit's crash_report_path from it (checkpoint-style
+  /// sanitized key + FNV tag, extension ".crash"). Empty disables
+  /// forensics. Like iter_trace_dir, deliberately NOT part of
+  /// config_fingerprint: forensics is observability, not identity.
+  std::string crash_report_dir;
 };
 
 struct ExperimentConfig {

@@ -1,7 +1,9 @@
 #include "harness/runner.hpp"
 
+#include <filesystem>
 #include <memory>
 #include <optional>
+#include <system_error>
 #include <utility>
 
 #include "core/error.hpp"
@@ -45,6 +47,12 @@ RunRecord failure_record(const SweepPlan& plan,
   if (!rep.message.empty()) rec.extra["error"] = rep.message;
   if (rep.attempts > 1) {
     rec.extra["attempts"] = std::to_string(rep.attempts);
+  }
+  if (!rep.crash_fingerprint.empty()) {
+    rec.extra["crash_fingerprint"] = rep.crash_fingerprint;
+  }
+  if (!rep.crash_report_path.empty()) {
+    rec.extra["crash_report"] = rep.crash_report_path;
   }
   return rec;
 }
@@ -248,13 +256,32 @@ void execute_system_plan(const ExperimentConfig& cfg, const SweepPlan& plan,
       // simply run the algorithm 32 times").
     };
 
-    TrialReport rep =
-        supervise_unit(unit, sup, backoff_rng, session ? &*session : nullptr);
+    // Forensics: derive this unit's crash-report path from the sweep's
+    // --crash-dir (same sanitize+FNV naming as checkpoints, different
+    // extension). A signal-killed isolated attempt writes its post-mortem
+    // there; the parent parses it back into the report.
+    SupervisorOptions unit_opts = sup;
+    if (!sup.crash_report_dir.empty() && sup.isolate) {
+      unit_opts.crash_report_path =
+          CheckpointSession::path_for(sup.crash_report_dir, t.key)
+              .replace_extension(".crash")
+              .string();
+    }
+
+    TrialReport rep = supervise_unit(unit, unit_opts, backoff_rng,
+                                     session ? &*session : nullptr);
     if (rep.outcome == Outcome::kSuccess) {
       for (auto& rec : rep.records) {
         if (rep.attempts > 1) {
           rec.extra["attempts"] = std::to_string(rep.attempts);
           rec.extra["last_failure"] = std::string(outcome_name(rep.last_failure));
+          // A unit that crashed, then recovered on retry, keeps the
+          // forensic fingerprint of the crash it survived. In-memory
+          // only: these extras have no CSV column, so chaos byte-identity
+          // is unaffected.
+          if (!rep.crash_fingerprint.empty()) {
+            rec.extra["crash_fingerprint"] = rep.crash_fingerprint;
+          }
         }
         if (rep.resumed_from_iter >= 0) {
           rec.extra["resumed_from_iter"] =
@@ -326,6 +353,14 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
   // Oracles for optional validation.
   std::optional<CSRGraph> oracle_csr;
   if (cfg.validate) oracle_csr = CSRGraph::from_edges(el);
+
+  // Crash-forensics reports land here; a failure to create the directory
+  // silently disables arming (crash::arm tolerates an unopenable path —
+  // forensics must never fail a sweep).
+  if (!sup.crash_report_dir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(sup.crash_report_dir, ec);
+  }
 
   // Collect: journal replay (on --resume) happens before planning so the
   // plan can mark every already-finished unit.

@@ -3,6 +3,7 @@
 #include <fcntl.h>
 #include <poll.h>
 #include <sys/resource.h>
+#include <sys/stat.h>
 #include <sys/wait.h>
 #include <unistd.h>
 
@@ -19,6 +20,7 @@
 #include <sstream>
 #include <thread>
 
+#include "core/crash_report.hpp"
 #include "core/csv.hpp"
 #include "core/parallel.hpp"
 #include "core/timer.hpp"
@@ -272,6 +274,13 @@ void write_all(int fd, std::string_view data) {
   // longer exists. Pin the child to one thread for correctness; the cost
   // is on the caller's DESIGN.md trade-off list.
   ThreadScope scope(1);
+  // Crash forensics: if this child dies on a fatal signal, leave a
+  // post-mortem (signal, backtrace, phase/iteration, armed faults) for
+  // the parent to attach to the unit's journal record. arm() failure is
+  // silently tolerated — forensics must never fail a trial.
+  if (!opts.crash_report_path.empty()) {
+    (void)crash::arm(opts.crash_report_path);
+  }
   if (opts.mem_limit_bytes > 0) {
     // Hard ceiling: any allocation past the cap fails with bad_alloc,
     // which run_attempt classifies as kOomKilled. RLIMIT_AS counts the
@@ -379,6 +388,12 @@ TrialReport run_isolated_attempt(const UnitFn& fn,
   int fds[2];
   EPGS_CHECK(::pipe(fds) == 0, "pipe() failed for trial isolation");
 
+  // Drop any report a previous attempt left: a stale stack must not be
+  // attributed to this attempt if it dies report-less (e.g. SIGKILL).
+  if (!opts.crash_report_path.empty()) {
+    ::unlink(opts.crash_report_path.c_str());
+  }
+
   const pid_t pid = ::fork();
   EPGS_CHECK(pid >= 0, "fork() failed for trial isolation");
   if (pid == 0) {
@@ -421,6 +436,27 @@ TrialReport run_isolated_attempt(const UnitFn& fn,
   int status = 0;
   ::waitpid(pid, &status, 0);
 
+  // Post-mortem: whichever way the child died, check whether its crash
+  // handler left a report. A SIGKILL death leaves none (unblockable);
+  // read_report simply returns nullopt for the absent/stale file.
+  const auto attach_forensics = [&opts](TrialReport& out) {
+    if (opts.crash_report_path.empty()) return;
+    if (const auto cr = crash::read_report(opts.crash_report_path)) {
+      out.crash_fingerprint = cr->fingerprint;
+      out.crash_report_path = opts.crash_report_path;
+      std::string where = cr->phase;
+      if (cr->iteration >= 0) {
+        where += " iter=" + std::to_string(cr->iteration);
+      }
+      out.message += " [" + cr->signal_name +
+                     (where.empty() ? "" : " at " + where) +
+                     (cr->fingerprint.empty()
+                          ? ""
+                          : " stack=" + cr->fingerprint.substr(0, 8)) +
+                     "]";
+    }
+  };
+
   TrialReport r;
   if (hard_killed) {
     r.outcome = Outcome::kTimeout;
@@ -438,12 +474,14 @@ TrialReport run_isolated_attempt(const UnitFn& fn,
       r.message = "isolated trial killed by signal " +
                   std::to_string(WTERMSIG(status));
     }
+    attach_forensics(r);
     return r;
   }
   if (!WIFEXITED(status) || WEXITSTATUS(status) != 0) {
     r.outcome = Outcome::kCrash;
     r.message = "isolated trial exited with status " +
                 std::to_string(WIFEXITED(status) ? WEXITSTATUS(status) : -1);
+    attach_forensics(r);
     return r;
   }
   try {
@@ -518,6 +556,13 @@ TrialReport supervise_unit(const UnitFn& fn, const SupervisorOptions& opts,
     report.records = std::move(r.records);
     report.resumed_from_iter = r.resumed_from_iter;
     report.attempts = attempt;
+    // A later clean attempt keeps the forensics of the crash it recovered
+    // from: "passed on retry after SIGSEGV at iter 12" is the interesting
+    // datum, and the fingerprint feeds the aggregated failure table.
+    if (!r.crash_fingerprint.empty()) {
+      report.crash_fingerprint = std::move(r.crash_fingerprint);
+      report.crash_report_path = std::move(r.crash_report_path);
+    }
     if (report.outcome == Outcome::kSuccess ||
         report.outcome == Outcome::kInterrupted ||
         attempt > opts.max_retries) {
@@ -532,13 +577,47 @@ TrialReport supervise_unit(const UnitFn& fn, const SupervisorOptions& opts,
         (report.outcome == Outcome::kTimeout ||
          report.outcome == Outcome::kCrash ||
          report.outcome == Outcome::kOomKilled);
-    if (report.outcome != Outcome::kTransient && !snapshot_resumable) break;
+    // retry_all_failures widens eligibility to every recoverable outcome
+    // (full restart when no snapshot exists). kConfig/kUnsupported stay
+    // terminal: they reproduce by construction, retries only burn time.
+    const bool retry_all =
+        opts.retry_all_failures &&
+        (report.outcome == Outcome::kTimeout ||
+         report.outcome == Outcome::kCrash ||
+         report.outcome == Outcome::kOomKilled ||
+         report.outcome == Outcome::kValidationFailed ||
+         report.outcome == Outcome::kResourceExhausted);
+    if (report.outcome != Outcome::kTransient && !snapshot_resumable &&
+        !retry_all) {
+      break;
+    }
     if (interrupt_requested()) break;  // don't start new attempts
     report.last_failure = report.outcome;
+    // The next attempt unlinks the canonical report path before forking;
+    // move this attempt's post-mortem aside so a recovered-after-crash
+    // unit still points at a live file.
+    if (!report.crash_report_path.empty() &&
+        report.crash_report_path == opts.crash_report_path) {
+      const std::string preserved = opts.crash_report_path + ".prev";
+      if (std::rename(opts.crash_report_path.c_str(), preserved.c_str()) ==
+          0) {
+        report.crash_report_path = preserved;
+      }
+    }
     const double delay = backoff_delay(opts, attempt, rng);
     std::this_thread::sleep_for(std::chrono::duration<double>(delay));
   }
   report.elapsed_seconds = total.seconds();
+  // arm() pre-creates the report file at child start; a unit whose final
+  // attempt never crashed leaves it empty. Drop it so --crash-dir holds
+  // only real post-mortems (.prev files from survived crashes included).
+  if (!opts.crash_report_path.empty() &&
+      report.crash_report_path != opts.crash_report_path) {
+    struct stat st{};
+    if (::stat(opts.crash_report_path.c_str(), &st) == 0 && st.st_size == 0) {
+      ::unlink(opts.crash_report_path.c_str());
+    }
+  }
   return report;
 }
 
@@ -580,6 +659,10 @@ void Journal::append(const std::string& key, const TrialReport& report) {
   for (const auto& rec : report.records) {
     os << "rec ";
     w.write_row(record_to_csv_row(rec));
+  }
+  if (!report.crash_fingerprint.empty()) {
+    os << "crash " << report.crash_fingerprint << '|'
+       << report.crash_report_path << '\n';
   }
   os << "end " << report.attempts << '|'
      << outcome_name(report.last_failure) << '|' << report.resumed_from_iter
@@ -683,6 +766,17 @@ std::vector<JournalEntry> replay_journal(const std::string& path,
     }
     if (!complete || !std::getline(in, line)) {
       break;  // torn trailing group: the in-flight unit simply re-runs
+    }
+    if (line.rfind("crash ", 0) == 0) {
+      // crash <fingerprint>|<report_path> — optional forensics line.
+      const std::string body2 = line.substr(6);
+      const std::size_t bar = body2.find('|');
+      e.crash_fingerprint =
+          bar == std::string::npos ? body2 : body2.substr(0, bar);
+      if (bar != std::string::npos) {
+        e.crash_report_path = body2.substr(bar + 1);
+      }
+      if (!std::getline(in, line)) break;  // torn tail
     }
     if (line.rfind("end ", 0) == 0) {
       // end <attempts>|<last_failure>|<resumed_from_iter>

@@ -61,6 +61,12 @@ struct TrialReport {
   std::string message;         ///< failure detail; empty on success
   double elapsed_seconds = 0;  ///< wall time across all attempts
   std::vector<RunRecord> records;  ///< timed phases of the final attempt
+  /// Stack fingerprint from the crash-forensics report of the last
+  /// signal-killed attempt (empty when no attempt crashed, no report was
+  /// armed, or the child died before its handler ran — e.g. SIGKILL).
+  std::string crash_fingerprint;
+  /// Path of that crash report, for the journal and post-mortem triage.
+  std::string crash_report_path;
 };
 
 /// The unit body: runs one (system, algorithm, trial) and returns its
@@ -114,6 +120,7 @@ void enable_interrupt_watch(bool on) noexcept;
 //   config <fingerprint>
 //   unit <key>|<outcome>|<attempts>|<num_records>
 //   rec <one CSV row, record_to_csv_row form>      (x num_records)
+//   crash <stack_fingerprint>|<report_path>        (optional, post-mortem)
 //   end <attempts>|<last_failure>|<resumed_from_iter>
 //   ckpt <key>|<iteration>                         (breadcrumb, any point)
 //
@@ -134,6 +141,8 @@ struct JournalEntry {
   Outcome last_failure = Outcome::kSuccess;
   std::int64_t resumed_from_iter = -1;
   std::vector<RunRecord> records;
+  std::string crash_fingerprint;  ///< from the optional "crash" line
+  std::string crash_report_path;
 };
 
 /// Append-only fsync'd journal writer (no-op when path is empty). All

@@ -1,4 +1,5 @@
-// Deterministic fault injection for the trial supervisor's test suite.
+// Deterministic fault injection for the trial supervisor's test suite and
+// the chaos harness.
 //
 // Every supervisor behaviour — watchdog cancellation, crash containment,
 // retry/backoff, journal replay — must be demonstrable without wall-clock
@@ -13,9 +14,14 @@
 // fork time, and its fire counters never propagate back, so under
 // --isolate every isolated unit re-evaluates the plan from the parent's
 // snapshot (a max_fires=1 abort aborts every matching child, not just the
-// first). Tests that need fire-once semantics run without isolation.
+// first). Plans that need fire-once semantics *across* re-forked retries
+// set `once_marker`: a filesystem path claimed with O_CREAT|O_EXCL
+// immediately before the fault executes, so the retry child finds the
+// marker and skips. The chaos scheduler leans on this to make every
+// injected fatal fault recoverable.
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <string_view>
 
@@ -29,8 +35,13 @@ enum class Kind {
   kTransient,    ///< throw TransientError (retryable)
   kError,        ///< throw EpgsError (contained as Outcome::kCrash)
   kAbort,        ///< std::abort() — only survivable under --isolate
+  kSegv,         ///< raise SIGSEGV — exercises the crash-forensics handler
+  kBadAlloc,     ///< throw std::bad_alloc (memory-squeeze stand-in)
   kWrongOutput,  ///< corrupt the phase's result so validation rejects it
 };
+
+[[nodiscard]] std::string_view kind_name(Kind k);
+[[nodiscard]] Kind kind_from_name(std::string_view name);
 
 struct Plan {
   std::string system;  ///< exact System::name() match; empty = any system
@@ -38,6 +49,10 @@ struct Plan {
   int at_phase = 0;    ///< fire from the Nth matching phase start on...
   int max_fires = 1;   ///< ...but at most this many times
   std::string phase;   ///< optional phase-name filter; empty = any phase
+  /// When set, the fault claims this marker file (O_CREAT|O_EXCL) right
+  /// before executing; a plan whose marker already exists never fires
+  /// again — fire-once across fork-isolated retries.
+  std::string once_marker;
 };
 
 /// Arm `plan` for the whole process (tests only; not thread-safe against
@@ -84,7 +99,10 @@ class Scoped {
 // exact snapshot boundaries. Both plans key on the *iteration* a snapshot
 // covers, not a fire counter: a resumed kernel never re-writes the
 // snapshot for iteration N, so the fault naturally fires exactly once
-// even though fork children inherit the armed plan by value.
+// even though fork children inherit the armed plan by value. The
+// once_marker is belt-and-braces for chaos compositions where a
+// *different* fault forces a full restart (snapshot unreadable) and the
+// iteration would otherwise be reached again.
 
 /// SIGKILL the current process right after the snapshot covering
 /// completed iteration `at_iteration` of a matching system became
@@ -93,6 +111,7 @@ class Scoped {
 struct KillPlan {
   std::string system;  ///< exact System::name() match; empty = any system
   std::uint64_t at_iteration = 1;
+  std::string once_marker;  ///< see Plan::once_marker
 };
 
 void arm_kill_at_checkpoint(const KillPlan& plan);
@@ -114,6 +133,7 @@ void arm_kill_from_env();
 struct CancelPlan {
   std::string system;  ///< exact System::name() match; empty = any system
   std::uint64_t at_iteration = 1;
+  std::string once_marker;  ///< see Plan::once_marker
 };
 
 void arm_cancel_at_iteration(const CancelPlan& plan);
@@ -122,5 +142,31 @@ void disarm_cancel_at_iteration();
 /// Called by System at every iteration boundary, before the token poll.
 void on_iteration_boundary(std::string_view system, std::uint64_t completed,
                            const CancellationToken* token);
+
+// --- Snapshot-publish faults -------------------------------------------
+//
+// The torn-publish failure mode: a process dying *between* the durable
+// tmp write and the rename that publishes it. The checkpoint writer
+// exposes a hook at exactly that instant (see set_snapshot_publish_hook
+// in core/checkpoint.hpp); arming a PublishKillPlan installs a SIGKILL
+// there. The invariant under test: the snapshot path afterwards holds
+// either nothing or the previous valid snapshot — never a torn frame
+// that peek_iteration() accepts.
+
+/// SIGKILL the current process at the `at_publish`-th snapshot publish
+/// point (1-based), after the tmp file is durable but before the rename.
+struct PublishKillPlan {
+  int at_publish = 1;
+  std::string once_marker;  ///< see Plan::once_marker
+};
+
+void arm_kill_at_publish(const PublishKillPlan& plan);
+void disarm_kill_at_publish();
+[[nodiscard]] bool publish_kill_armed();
+/// Publish points observed since arming (counts even when not firing).
+[[nodiscard]] int publish_events();
+
+/// Disarm every fault family at once (chaos round teardown).
+void disarm_all();
 
 }  // namespace epgs::fault

@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "core/crash_report.hpp"
 #include "core/timer.hpp"
 #include "graph/snap_io.hpp"
 #include "systems/common/fault_injection.hpp"
@@ -99,6 +100,7 @@ void System::build() {
   EPGS_CHECK(has_staged_ || !pending_path_.empty(),
              "System::build: no edges staged and no file pending");
   checkpoint();
+  crash::note_phase(name(), phase::kBuild);
   fault::on_phase_start(name(), phase::kBuild, cancel_);
   WallTimer t;
   bool fused = false;
@@ -132,6 +134,7 @@ std::uint64_t System::ckpt_begin(std::string_view stage,
 }
 
 void System::iter_checkpoint(std::uint64_t completed) {
+  crash::note_iteration(completed);
   fault::on_iteration_boundary(name(), completed, cancel_);
   if (ckpt_ != nullptr && ckpt_->tick(completed)) {
     fault::on_checkpoint_saved(name(), ckpt_->last_saved_iteration());
@@ -154,6 +157,7 @@ auto System::run_timed(std::string_view alg, bool supported, Fn&& fn) {
   EPGS_CHECK(built_, std::string(name()) + ": build() must precede " +
                          std::string(alg));
   checkpoint();
+  crash::note_phase(name(), alg);
   fault::on_phase_start(name(), alg, cancel_);
   work_ = {};
   pending_timeline_.clear();

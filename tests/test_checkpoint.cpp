@@ -6,8 +6,10 @@
 #include "core/checkpoint.hpp"
 
 #include <gtest/gtest.h>
+#include <sys/wait.h>
 #include <unistd.h>
 
+#include <csignal>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
@@ -84,8 +86,7 @@ class CheckpointDir : public ::testing::Test {
     fs::create_directories(dir_);
   }
   void TearDown() override {
-    fault::disarm_cancel_at_iteration();
-    fault::disarm_kill_at_checkpoint();
+    fault::disarm_all();
     fs::remove_all(dir_);
   }
 
@@ -241,6 +242,71 @@ TEST_F(CheckpointDir, StageMismatchForcesFullRestart) {
   ToyState state;
   EXPECT_EQ(s.begin("bfs", state), 0u);
   EXPECT_FALSE(s.warning().empty());
+}
+
+// --- torn-publish window -------------------------------------------------
+//
+// A process can die *between* the durable tmp write and the rename that
+// publishes it (crash, SIGKILL, power cut). The invariant: the snapshot
+// path afterwards holds either nothing or the previous valid snapshot —
+// never a torn frame that peek_iteration() accepts. A real SIGKILL in a
+// fork child exercises the exact window via the publish hook.
+
+TEST_F(CheckpointDir, KillAtFirstPublishLeavesNoSnapshot) {
+  const auto cfg = config("pub|1");
+  const pid_t pid = ::fork();
+  if (pid == 0) {
+    fault::arm_kill_at_publish({1, {}});
+    CheckpointSession s(cfg);
+    ToyState state;
+    (void)s.begin("toy", state);
+    state.sum = 1;
+    (void)s.tick(1);  // dies between the tmp fsync and the rename
+    ::_exit(0);       // unreachable: the hook SIGKILLed us
+  }
+  int status = 0;
+  ::waitpid(pid, &status, 0);
+  ASSERT_TRUE(WIFSIGNALED(status));
+  ASSERT_EQ(WTERMSIG(status), SIGKILL);
+
+  const fs::path p = CheckpointSession::path_for(dir_, "pub|1");
+  EXPECT_EQ(CheckpointSession::peek_iteration(p), -1)
+      << "the unpublished tmp write must not be visible as a snapshot";
+  CheckpointSession s(cfg);
+  ToyState state;
+  EXPECT_EQ(s.begin("toy", state), 0u) << "restart must be from scratch";
+}
+
+TEST_F(CheckpointDir, KillAtSecondPublishKeepsPriorValidSnapshot) {
+  const auto cfg = config("pub|2");
+  const pid_t pid = ::fork();
+  if (pid == 0) {
+    fault::arm_kill_at_publish({2, {}});
+    CheckpointSession s(cfg);
+    ToyState state;
+    (void)s.begin("toy", state);
+    state.sum = 1;
+    state.vals = {1.5};
+    (void)s.tick(1);  // publish 1 lands
+    state.sum = 99;
+    state.vals = {9.9, 9.9};
+    (void)s.tick(2);  // dies in the window: iteration 2 never publishes
+    ::_exit(0);
+  }
+  int status = 0;
+  ::waitpid(pid, &status, 0);
+  ASSERT_TRUE(WIFSIGNALED(status));
+  ASSERT_EQ(WTERMSIG(status), SIGKILL);
+
+  const fs::path p = CheckpointSession::path_for(dir_, "pub|2");
+  ASSERT_EQ(CheckpointSession::peek_iteration(p), 1)
+      << "the previous published snapshot must survive the torn publish";
+  CheckpointSession s(cfg);
+  ToyState state;
+  EXPECT_EQ(s.begin("toy", state), 1u);
+  EXPECT_EQ(state.sum, 1u);
+  EXPECT_EQ(state.vals, (std::vector<double>{1.5}))
+      << "restored state must be the iteration-1 frame, not the torn one";
 }
 
 TEST_F(CheckpointDir, PathForSanitizesAndDisambiguatesKeys) {

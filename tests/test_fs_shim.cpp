@@ -247,5 +247,27 @@ TEST_F(FsShimDir, SpecParserRoundTrip) {
   EXPECT_FALSE(fsx::armed());
 }
 
+TEST_F(FsShimDir, SpecParserRejectsEveryMalformedShape) {
+  // $EPGS_FS_FAULT is operator input: each malformed shape must be its
+  // own typed rejection, never a silently-misarmed plan.
+  const auto expect_reject = [](const char* spec) {
+    EXPECT_THROW(fsx::arm_from_spec(spec), EpgsError) << spec;
+    EXPECT_FALSE(fsx::armed()) << spec << " left a plan armed";
+  };
+  expect_reject("write::ENOSPC");          // doubled ':' = empty field
+  expect_reject("write:ENOSPC:");          // trailing ':' = empty field
+  expect_reject(":ENOSPC");                // empty op
+  expect_reject("launder:ENOSPC");         // unknown op
+  expect_reject("write:28");               // errno must be named, not raw
+  expect_reject("write:enospc");           // names are case-sensitive
+  expect_reject("write:ENOSPC:at=12abc");  // trailing junk in integer
+  expect_reject("write:ENOSPC:at=");       // empty integer
+  expect_reject("write:ENOSPC:count=");    // empty integer
+  expect_reject("write:ENOSPC:count=0");   // count must be >= 1
+  expect_reject("write:ENOSPC:count=-2");
+  expect_reject("write:ENOSPC:path=");     // path= needs a substring
+  expect_reject("write:ENOSPC:at");        // field without '='
+}
+
 }  // namespace
 }  // namespace epgs

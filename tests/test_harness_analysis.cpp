@@ -112,5 +112,74 @@ TEST(Analysis, EnergyTableEmptyForUnknownAlgorithm) {
   EXPECT_TRUE(rows.empty());
 }
 
+// --- failure-group triage ------------------------------------------------
+
+RunRecord failed_record(std::string system, std::string alg,
+                        std::string phase_name, Outcome outcome,
+                        std::string fingerprint = {},
+                        std::string message = {}) {
+  RunRecord rec;
+  rec.dataset = "synthetic";
+  rec.system = std::move(system);
+  rec.algorithm = std::move(alg);
+  rec.phase = std::move(phase_name);
+  rec.outcome = outcome;
+  if (!fingerprint.empty()) rec.extra["crash_fingerprint"] = fingerprint;
+  if (!message.empty()) rec.extra["error"] = message;
+  return rec;
+}
+
+TEST(Analysis, FailureGroupsCollapseIdenticalFailures) {
+  std::vector<RunRecord> records;
+  // Successes never appear in triage.
+  records.push_back(synthetic_result().records[0]);
+  // Three identical crashes (same unit, same stack) = one row, count 3.
+  for (int i = 0; i < 3; ++i) {
+    records.push_back(failed_record("GAP", "BFS", "bfs", Outcome::kCrash,
+                                    "deadbeefdeadbeef", "segfault in scan"));
+  }
+  // Same unit, different stack: its own group.
+  records.push_back(failed_record("GAP", "BFS", "bfs", Outcome::kCrash,
+                                  "0123456789abcdef", "segfault elsewhere"));
+  // A build-phase timeout with no algorithm or fingerprint.
+  records.push_back(
+      failed_record("GraphMat", "", "build graph", Outcome::kTimeout));
+
+  const auto groups = failure_groups(records);
+  ASSERT_EQ(groups.size(), 3u);
+  // Most frequent first; first-seen order within the count-1 tie.
+  EXPECT_EQ(groups[0].count, 3);
+  EXPECT_EQ(groups[0].system, "GAP");
+  EXPECT_EQ(groups[0].crash_fingerprint, "deadbeefdeadbeef");
+  EXPECT_EQ(groups[0].message, "segfault in scan");
+  EXPECT_EQ(groups[1].count, 1);
+  EXPECT_EQ(groups[1].crash_fingerprint, "0123456789abcdef");
+  EXPECT_EQ(groups[2].system, "GraphMat");
+  EXPECT_EQ(groups[2].outcome, Outcome::kTimeout);
+  EXPECT_TRUE(groups[2].crash_fingerprint.empty());
+}
+
+TEST(Analysis, FailureGroupsEmptyWhenEverythingSucceeded) {
+  const auto records = synthetic_result().records;
+  EXPECT_TRUE(failure_groups(records).empty());
+  EXPECT_TRUE(render_failure_groups({}).empty());
+}
+
+TEST(Analysis, RenderFailureGroupsShowsUnitStackAndMessage) {
+  const std::vector<RunRecord> records = {
+      failed_record("GAP", "BFS", "bfs", Outcome::kCrash,
+                    "deadbeefdeadbeef", "segfault in scan"),
+      failed_record("GraphMat", "", "build graph", Outcome::kTimeout)};
+  const std::string table = render_failure_groups(failure_groups(records));
+  EXPECT_NE(table.find("count"), std::string::npos);
+  EXPECT_NE(table.find("GAP/BFS"), std::string::npos);
+  EXPECT_NE(table.find("GraphMat/build graph"), std::string::npos)
+      << "a phase-only failure renders system/phase";
+  EXPECT_NE(table.find("deadbeefdeadbeef"), std::string::npos);
+  EXPECT_NE(table.find("segfault in scan"), std::string::npos);
+  EXPECT_NE(table.find(" - "), std::string::npos)
+      << "missing fingerprints render as '-'";
+}
+
 }  // namespace
 }  // namespace epgs::harness

@@ -182,6 +182,46 @@ TEST(Supervisor, NonTransientFailuresAreNotRetried) {
   EXPECT_EQ(calls, 1) << "retrying a deterministic failure wastes the sweep";
 }
 
+TEST(Supervisor, RetryAllFailuresWidensRetryToCrashes) {
+  // The chaos posture: with retry_all_failures a contained crash retries
+  // even without a snapshot (full restart), and the recovered report
+  // remembers what the earlier attempts died of.
+  SupervisorOptions opts;
+  opts.max_retries = 2;
+  opts.retry_all_failures = true;
+  opts.backoff_base_seconds = 1e-4;
+  opts.backoff_max_seconds = 1e-3;
+  Xoshiro256 rng(1);
+  int calls = 0;
+  const auto report = supervise_unit(
+      [&](CancellationToken&) -> std::vector<RunRecord> {
+        if (++calls < 3) throw EpgsError("chaos-injected fault");
+        return {};
+      },
+      opts, rng);
+  EXPECT_EQ(report.outcome, Outcome::kSuccess);
+  EXPECT_EQ(report.attempts, 3);
+  EXPECT_EQ(report.last_failure, Outcome::kCrash);
+}
+
+TEST(Supervisor, RetryAllStillTreatsUnsupportedAsTerminal) {
+  // kUnsupported reproduces by construction; even the chaos posture must
+  // not burn its retry budget on it.
+  SupervisorOptions opts;
+  opts.max_retries = 5;
+  opts.retry_all_failures = true;
+  Xoshiro256 rng(1);
+  int calls = 0;
+  const auto report = supervise_unit(
+      [&](CancellationToken&) -> std::vector<RunRecord> {
+        ++calls;
+        throw UnsupportedAlgorithm("no BC on Graph500");
+      },
+      opts, rng);
+  EXPECT_EQ(report.outcome, Outcome::kUnsupported);
+  EXPECT_EQ(calls, 1);
+}
+
 // --- supervised sweeps with injected faults -----------------------------
 
 TEST(SupervisedRun, HangCancelledAtDeadlineSweepContinues) {
