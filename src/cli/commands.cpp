@@ -25,6 +25,8 @@
 #include "harness/supervisor.hpp"
 #include "harness/tuning.hpp"
 #include "harness/runner.hpp"
+#include "serve/protocol.hpp"
+#include "serve/server.hpp"
 #include "systems/common/registry.hpp"
 
 namespace epgs::cli {
@@ -350,6 +352,107 @@ int cmd_chaos(const Args& args, std::ostream& out) {
   return rep.violated ? 4 : 0;
 }
 
+int cmd_serve(const Args& args, std::ostream& out) {
+  args.expect_known({"socket", "queue-depth", "max-resident-bytes",
+                     "cache-dir", "lock-timeout", "min-free-disk", "timeout",
+                     "retries", "validate"});
+  serve::ServerOptions opts;
+  opts.socket_path = args.get("socket", "epg.sock");
+  const int depth = args.get_int("queue-depth", 16);
+  EPGS_CHECK(depth > 0, "--queue-depth must be positive");
+  opts.queue_depth = static_cast<std::size_t>(depth);
+  opts.max_resident_bytes = args.get_u64("max-resident-bytes", 0);
+  opts.dataset.cache_dir = args.get("cache-dir");
+  opts.dataset.lock_timeout_seconds = args.get_double("lock-timeout", 60.0);
+  opts.dataset.min_free_disk_bytes =
+      args.get_u64("min-free-disk", 0) << 20;  // MiB -> bytes
+  opts.supervisor.timeout_seconds = args.get_double("timeout", 0.0);
+  opts.supervisor.max_retries = args.get_int("retries", 0);
+  opts.validate = args.has("validate");
+
+  serve::Server server(opts);
+  // Flushed before blocking: the CI smoke backgrounds the daemon and
+  // polls for this line / the socket file before sending queries.
+  out << "serving on " << server.socket_path() << std::endl;
+
+  // Same signal path as `epg run`: first SIGINT/SIGTERM requests a
+  // graceful stop, a second hard-exits 128+sig.
+  const RunSignalScope signal_scope;
+  const bool graceful =
+      server.wait([] { return harness::interrupt_requested(); });
+  server.stop();
+  // The final snapshot is part of the CLI contract (the smoke greps it):
+  // graceful or signalled, the daemon accounts for every request.
+  out << "\nmetrics:\n" << serve::render_metrics(server.snapshot());
+  if (!graceful) {
+    const int sig = harness::interrupt_signal();
+    out << "interrupted by signal " << sig << "\n";
+    return 128 + sig;
+  }
+  out << "shutdown requested by client\n";
+  return 0;
+}
+
+int cmd_query(const Args& args, std::ostream& out) {
+  args.expect_known({"socket", "kind", "graph", "scale", "edgefactor",
+                     "fraction", "seed", "no-symmetrize", "no-dedupe",
+                     "weights", "max-weight", "system", "algorithm", "roots",
+                     "threads", "deadline-ms", "out"});
+  const std::string socket = args.get("socket", "epg.sock");
+  const std::string verb =
+      args.positional().empty() ? "run" : args.positional()[0];
+  EPGS_CHECK(args.positional().size() <= 1,
+             "query takes at most one positional verb");
+
+  serve::Request req;
+  if (verb == "ping") {
+    req.verb = serve::Verb::kPing;
+  } else if (verb == "stats") {
+    req.verb = serve::Verb::kStats;
+  } else if (verb == "shutdown") {
+    req.verb = serve::Verb::kShutdown;
+  } else if (verb == "run") {
+    req.verb = serve::Verb::kRun;
+    req.graph = spec_from_args(args);
+    req.system = args.get("system");
+    EPGS_CHECK(!req.system.empty(), "query run requires --system NAME");
+    req.algorithm = harness::algorithm_from_name(args.get("algorithm", "BFS"));
+    // Mirror cmd_run: a single-algorithm SSSP query implies weights.
+    if (req.algorithm == harness::Algorithm::kSssp) {
+      req.graph.add_weights = true;
+    }
+    req.roots = args.get_int("roots", 1);
+    req.threads = args.get_int("threads", 0);
+    req.deadline_ms = args.get_int("deadline-ms", 0);
+  } else {
+    throw EpgsError("unknown query verb '" + verb +
+                    "' (ping | stats | shutdown | run)");
+  }
+
+  const serve::Reply reply =
+      serve::query_server(socket, serve::render_request(req));
+  if (reply.kind == serve::ReplyKind::kOk) {
+    const std::string out_path = args.get("out");
+    if (!out_path.empty()) {
+      auto f = open_out_file(out_path);
+      f << reply.body;
+      out << "wrote reply body to " << out_path << "\n";
+    } else if (!reply.body.empty()) {
+      out << reply.body;
+      if (reply.body.back() != '\n') out << "\n";
+    }
+    return 0;
+  }
+  out << "error " << serve::reply_kind_name(reply.kind) << ": " << reply.body
+      << "\n";
+  // Typed exit codes so scripts can tell back-pressure (retryable) and
+  // deadline misses from hard server errors: 6 overloaded, 7 deadline,
+  // 4 anything else the server rejected.
+  if (reply.kind == serve::ReplyKind::kOverloaded) return 6;
+  if (reply.kind == serve::ReplyKind::kDeadline) return 7;
+  return 4;
+}
+
 int cmd_parse(const Args& args, std::ostream& out) {
   args.expect_known({"logdir", "csv", "threads"});
   const std::string logdir = args.get("logdir");
@@ -617,6 +720,18 @@ std::string usage() {
       "              sweep; checks the stripped CSV stays byte-identical\n"
       "              to a fault-free control (exit 4 on violation; with\n"
       "              --shrink, ddmin writes a minimal replayable spec)\n"
+      "  serve       [--socket PATH] [--queue-depth N]\n"
+      "              [--max-resident-bytes N]  warm-graph LRU budget\n"
+      "              [--cache-dir DIR] [--timeout SEC] [--retries N]\n"
+      "              [--validate]   warm-graph query daemon; `stats` and\n"
+      "              shutdown dump served/coalesced/rejected counters and\n"
+      "              p50/p95/p99 latency (SIGINT/SIGTERM exit 128+sig)\n"
+      "  query       [ping|stats|shutdown|run] [--socket PATH]\n"
+      "              [--kind ... | --kind snap --graph file.snap]\n"
+      "              --system S [--algorithm A] [--roots N] [--threads N]\n"
+      "              [--deadline-ms MS] [--out FILE]\n"
+      "              exit 6 when the server sheds load, 7 on a missed\n"
+      "              deadline, 4 on other server-side errors\n"
       "  parse       --logdir DIR [--csv out.csv] [--threads N]\n"
       "  analyze     [--csv results.csv] [--out PREFIX]\n"
       "  tune        [--kind ...] [--roots N]   (GAP alpha/beta + Delta)\n"
@@ -642,6 +757,8 @@ int dispatch(const std::vector<std::string>& argv, std::ostream& out,
     if (cmd == "prepare") return cmd_prepare(args, out);
     if (cmd == "run") return cmd_run(args, out);
     if (cmd == "chaos") return cmd_chaos(args, out);
+    if (cmd == "serve") return cmd_serve(args, out);
+    if (cmd == "query") return cmd_query(args, out);
     if (cmd == "parse") return cmd_parse(args, out);
     if (cmd == "analyze") return cmd_analyze(args, out);
     if (cmd == "tune") return cmd_tune(args, out);

@@ -7,6 +7,8 @@
 //   epg prepare     materialize a dataset into the content-addressed cache
 //   epg run         run systems x algorithms x roots; write logs + CSV
 //   epg chaos       seeded fault schedules over a real sweep + invariants
+//   epg serve       warm-graph query daemon on a Unix-domain socket
+//   epg query       client for a running `epg serve` daemon
 //   epg parse       compress raw log files into the phase-4 CSV
 //   epg analyze     box statistics + plot data from a phase-4 CSV
 //
@@ -27,6 +29,8 @@ int cmd_homogenize(const Args& args, std::ostream& out);
 int cmd_prepare(const Args& args, std::ostream& out);
 int cmd_run(const Args& args, std::ostream& out);
 int cmd_chaos(const Args& args, std::ostream& out);
+int cmd_serve(const Args& args, std::ostream& out);
+int cmd_query(const Args& args, std::ostream& out);
 int cmd_parse(const Args& args, std::ostream& out);
 int cmd_analyze(const Args& args, std::ostream& out);
 int cmd_tune(const Args& args, std::ostream& out);

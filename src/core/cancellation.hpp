@@ -12,10 +12,72 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
+#include <cstdint>
 
 #include "core/error.hpp"
 
 namespace epgs {
+
+/// A request ran past its caller-supplied deadline_ms. The serve layer
+/// maps this to a typed `deadline` protocol reply; it is distinct from
+/// CancelledError (a watchdog killing a trial) because the *request* is
+/// what expired, possibly before any trial even started.
+class DeadlineExceededError : public EpgsError {
+ public:
+  using EpgsError::EpgsError;
+};
+
+/// An absolute steady-clock deadline, or "none". The serve scheduler
+/// stamps one per request from its deadline_ms and consults it at every
+/// hand-off (admission, dequeue, reply): expired-before-execution turns
+/// into a typed DeadlineExceeded reply instead of a queued request the
+/// client has already given up on, and remaining_seconds() feeds the
+/// trial supervisor's watchdog so an in-flight kernel is cancelled
+/// cooperatively at the same instant. Monotonic by construction — never
+/// the system clock.
+class Deadline {
+ public:
+  using clock = std::chrono::steady_clock;
+
+  /// No deadline: never expires, remaining time is unbounded.
+  Deadline() = default;
+
+  /// Expire `ms` milliseconds from now; ms <= 0 means no deadline.
+  [[nodiscard]] static Deadline after_ms(std::int64_t ms) {
+    Deadline d;
+    if (ms > 0) {
+      d.enabled_ = true;
+      d.at_ = clock::now() + std::chrono::milliseconds(ms);
+    }
+    return d;
+  }
+
+  [[nodiscard]] bool enabled() const noexcept { return enabled_; }
+
+  [[nodiscard]] bool expired() const noexcept {
+    return enabled_ && clock::now() >= at_;
+  }
+
+  /// Seconds until expiry, clamped to 0; 0 also when no deadline is set
+  /// (callers gate on enabled() to tell the two apart).
+  [[nodiscard]] double remaining_seconds() const noexcept {
+    if (!enabled_) return 0.0;
+    const double s = std::chrono::duration<double>(at_ - clock::now()).count();
+    return s > 0.0 ? s : 0.0;
+  }
+
+  /// Throws DeadlineExceededError once expired.
+  void checkpoint() const {
+    if (expired()) {
+      throw DeadlineExceededError("request deadline exceeded");
+    }
+  }
+
+ private:
+  bool enabled_ = false;
+  clock::time_point at_{};
+};
 
 class CancellationToken {
  public:

@@ -1,0 +1,26 @@
+#include "core/proc_stats.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cstdio>
+
+namespace epgs {
+
+std::uint64_t resident_set_bytes() noexcept {
+  // Raw open/pread, not the fs shim: fault injection must never blind the
+  // governor or the residency metrics.
+  const int fd = ::open("/proc/self/statm", O_RDONLY | O_CLOEXEC);
+  if (fd < 0) return 0;
+  char buf[128] = {};
+  const ssize_t n = ::pread(fd, buf, sizeof buf - 1, 0);
+  ::close(fd);
+  if (n <= 0) return 0;
+  unsigned long size = 0;
+  unsigned long resident = 0;
+  if (std::sscanf(buf, "%lu %lu", &size, &resident) != 2) return 0;
+  return static_cast<std::uint64_t>(resident) *
+         static_cast<std::uint64_t>(::sysconf(_SC_PAGESIZE));
+}
+
+}  // namespace epgs

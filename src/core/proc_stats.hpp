@@ -1,0 +1,18 @@
+// Process self-accounting helpers shared by the supervisor's resource
+// governor (RSS watchdog) and the serve layer's residency metrics: both
+// need the same answer to "how big is this process right now", so the
+// /proc/self/statm read lives here once.
+#pragma once
+
+#include <cstdint>
+
+namespace epgs {
+
+/// Current resident-set size of this process in bytes, read from
+/// /proc/self/statm (field 2, resident pages). Returns 0 when /proc is
+/// unreadable or malformed — callers treat 0 as "accounting unavailable",
+/// never as "zero memory", so a broken /proc disables rather than trips
+/// whatever policy sits on top.
+[[nodiscard]] std::uint64_t resident_set_bytes() noexcept;
+
+}  // namespace epgs

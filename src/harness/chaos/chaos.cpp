@@ -32,22 +32,11 @@ std::string_view phase_of(Algorithm a) {
   return "?";
 }
 
-// The volatile CSV columns (0-based): seconds(6), attempts(12),
-// resumed_from(13). Faults may legitimately perturb these; everything
-// else must come back byte-identical.
-constexpr std::size_t kVolatileCols[] = {13, 12, 6};
-
+// Faults may legitimately perturb timing and retry provenance; everything
+// else must come back byte-identical. The column stripping is shared with
+// the serve tests (records_to_stripped_csv).
 std::string stripped_csv(const std::vector<RunRecord>& recs) {
-  std::vector<CsvRow> rows;
-  rows.reserve(recs.size());
-  for (const RunRecord& r : recs) {
-    CsvRow row = record_to_csv_row(r);
-    for (const std::size_t col : kVolatileCols) {
-      row.erase(row.begin() + static_cast<std::ptrdiff_t>(col));
-    }
-    rows.push_back(std::move(row));
-  }
-  return to_csv(rows);
+  return records_to_stripped_csv(recs);
 }
 
 /// First differing line between the control and chaos CSVs, for the

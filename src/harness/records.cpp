@@ -135,6 +135,22 @@ std::string records_to_csv(const std::vector<RunRecord>& records) {
   return to_csv(rows);
 }
 
+std::string records_to_stripped_csv(const std::vector<RunRecord>& records) {
+  // The volatile CSV columns (0-based): seconds(6), attempts(12),
+  // resumed_from(13). Erased highest-first so earlier indices stay valid.
+  constexpr std::size_t kVolatileCols[] = {13, 12, 6};
+  std::vector<CsvRow> rows;
+  rows.reserve(records.size());
+  for (const RunRecord& r : records) {
+    CsvRow row = record_to_csv_row(r);
+    for (const std::size_t col : kVolatileCols) {
+      row.erase(row.begin() + static_cast<std::ptrdiff_t>(col));
+    }
+    rows.push_back(std::move(row));
+  }
+  return to_csv(rows);
+}
+
 std::vector<RunRecord> records_from_csv(const std::string& csv) {
   const auto rows = parse_csv(csv);
   EPGS_CHECK(!rows.empty(), "empty CSV");

@@ -87,4 +87,12 @@ std::vector<RunRecord> records_from_csv(const std::string& csv);
 CsvRow record_to_csv_row(const RunRecord& r);
 RunRecord record_from_csv_row(const CsvRow& row);
 
+/// CSV with the volatile columns removed — seconds(6), attempts(12),
+/// resumed_from(13), 0-based. This is the byte-identity currency shared
+/// by the chaos harness (faulted sweep == fault-free control), the CI
+/// kill-resume smoke, and the serve tests (a reply served from a warm
+/// graph == a direct run_experiment of the same spec): timing and retry
+/// provenance may legitimately differ, everything else must not.
+std::string records_to_stripped_csv(const std::vector<RunRecord>& records);
+
 }  // namespace epgs::harness

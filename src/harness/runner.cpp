@@ -321,32 +321,49 @@ void execute_system_plan(const ExperimentConfig& cfg, const SweepPlan& plan,
 }  // namespace
 
 ExperimentResult run_experiment(const ExperimentConfig& cfg) {
-  EPGS_CHECK(!cfg.systems.empty(), "no systems configured");
-  EPGS_CHECK(!cfg.algorithms.empty(), "no algorithms configured");
-  const SupervisorOptions& sup = cfg.supervisor;
-
   // Materialize: through the content-addressed cache (and on to the
   // native-file data path) when the pipeline is enabled, else the legacy
   // in-RAM path.
-  ExperimentResult result;
   EdgeList el;
   std::optional<HomogenizedDataset> files;
+  StagedDataset staged;
+  bool degraded = false;
+  std::string degradation;
   if (cfg.dataset.enabled()) {
     PreparedDataset prep = prepare_dataset(cfg.graph, cfg.dataset);
     el = std::move(prep.edges);
     if (prep.degraded) {
       // Sick cache (disk full, lock timeout, I/O error): the sweep runs
       // anyway on the in-RAM data path and the result carries a warning.
-      result.dataset_degraded = true;
-      result.dataset_warning = prep.degradation;
+      degraded = true;
+      degradation = prep.degradation;
     } else {
       files = std::move(prep.entry.files);
-      result.used_dataset_pipeline = true;
-      result.dataset_cache_hit = prep.cache_hit;
+      staged.files = &*files;
+      staged.cache_hit = prep.cache_hit;
     }
   } else {
     el = materialize(cfg.graph);
   }
+  staged.edges = &el;
+
+  ExperimentResult result = run_experiment(cfg, staged);
+  result.dataset_degraded = degraded;
+  result.dataset_warning = std::move(degradation);
+  return result;
+}
+
+ExperimentResult run_experiment(const ExperimentConfig& cfg,
+                                const StagedDataset& staged) {
+  EPGS_CHECK(!cfg.systems.empty(), "no systems configured");
+  EPGS_CHECK(!cfg.algorithms.empty(), "no algorithms configured");
+  EPGS_CHECK(staged.edges != nullptr, "no staged edges");
+  const SupervisorOptions& sup = cfg.supervisor;
+  const EdgeList& el = *staged.edges;
+
+  ExperimentResult result;
+  result.used_dataset_pipeline = staged.files != nullptr;
+  result.dataset_cache_hit = staged.cache_hit;
 
   result.roots = select_roots(el, cfg.num_roots, cfg.root_seed);
 
@@ -370,8 +387,7 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
 
   // Plan: every unit and every data-path/rebuild/replay decision, up
   // front.
-  const SweepPlan plan =
-      plan_sweep(cfg, files ? &*files : nullptr, collector.journaled());
+  const SweepPlan plan = plan_sweep(cfg, staged.files, collector.journaled());
 
   // Pin the worker team before any kernel runs. OpenMP pools its team
   // threads, so binds applied here stick for every later parallel

@@ -28,4 +28,24 @@ namespace epgs::harness {
 /// times real I/O).
 ExperimentResult run_experiment(const ExperimentConfig& cfg);
 
+/// A dataset the caller already holds in RAM. The serve layer keeps
+/// graphs warm across requests (see src/serve/graph_session.hpp) and runs
+/// each request through this overload, skipping the generate/load phase
+/// that dominates one-shot sweeps. `edges` must outlive the call;
+/// `files`, when non-null, routes separate-construction systems through
+/// their homogenized native files exactly like a cache hit would.
+struct StagedDataset {
+  const EdgeList* edges = nullptr;
+  const HomogenizedDataset* files = nullptr;  ///< null = in-RAM data path
+  bool cache_hit = false;  ///< reported as ExperimentResult::dataset_cache_hit
+};
+
+/// Run the experiment on a pre-staged dataset: identical planning,
+/// supervision, and record collection to run_experiment(cfg), minus the
+/// materialize step. Apart from the timing columns, the records are
+/// byte-identical to what a cold run of the same config would produce —
+/// the property the serve end-to-end tests pin down.
+ExperimentResult run_experiment(const ExperimentConfig& cfg,
+                                const StagedDataset& staged);
+
 }  // namespace epgs::harness

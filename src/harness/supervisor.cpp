@@ -23,6 +23,7 @@
 #include "core/crash_report.hpp"
 #include "core/csv.hpp"
 #include "core/parallel.hpp"
+#include "core/proc_stats.hpp"
 #include "core/timer.hpp"
 
 namespace epgs::harness {
@@ -76,13 +77,13 @@ class Watchdog {
 class RssWatchdog {
  public:
   RssWatchdog(CancellationToken& token, std::uint64_t limit_bytes)
-      : limit_bytes_(limit_bytes),
-        page_size_(static_cast<std::uint64_t>(::sysconf(_SC_PAGESIZE))) {
-    statm_fd_ = ::open("/proc/self/statm", O_RDONLY | O_CLOEXEC);
+      : limit_bytes_(limit_bytes) {
     thread_ = std::thread([this, &token] {
       std::unique_lock<std::mutex> lk(mutex_);
       while (!done_) {
-        if (resident_bytes() > limit_bytes_) {
+        // resident_set_bytes() returns 0 when /proc is unreadable, so a
+        // broken /proc disables rather than trips the watchdog.
+        if (resident_set_bytes() > limit_bytes_) {
           tripped_.store(true, std::memory_order_relaxed);
           token.cancel();
           return;
@@ -99,7 +100,6 @@ class RssWatchdog {
     }
     cv_.notify_all();
     thread_.join();
-    if (statm_fd_ >= 0) ::close(statm_fd_);
   }
 
   RssWatchdog(const RssWatchdog&) = delete;
@@ -110,22 +110,7 @@ class RssWatchdog {
   }
 
  private:
-  /// statm field 2 is resident pages. Raw pread (not the fs shim: fault
-  /// injection must never blind the governor), 0 on any read problem so a
-  /// broken /proc disables rather than trips the watchdog.
-  [[nodiscard]] std::uint64_t resident_bytes() const {
-    if (statm_fd_ < 0) return 0;
-    char buf[128] = {};
-    const ssize_t n = ::pread(statm_fd_, buf, sizeof buf - 1, 0);
-    if (n <= 0) return 0;
-    unsigned long size = 0, resident = 0;
-    if (std::sscanf(buf, "%lu %lu", &size, &resident) != 2) return 0;
-    return static_cast<std::uint64_t>(resident) * page_size_;
-  }
-
   std::uint64_t limit_bytes_;
-  std::uint64_t page_size_;
-  int statm_fd_ = -1;
   std::mutex mutex_;
   std::condition_variable cv_;
   bool done_ = false;
